@@ -1,0 +1,463 @@
+//! LU: blocked dense LU factorization without pivoting (SPLASH-2).
+//!
+//! The paper runs two variants distinguished only by data layout:
+//!
+//! - **LU-CONT**: blocks are allocated contiguously (block-major), so
+//!   a 32x32 block occupies whole pages by itself — little false
+//!   sharing.
+//! - **LU-NCONT**: the matrix is row-major, so a block's rows are
+//!   strided across pages shared with neighboring blocks — the page-
+//!   level false sharing that the multiple-writer protocol absorbs.
+//!
+//! Blocks are owned 2D-cyclically; each step factors the diagonal
+//! block, solves the perimeter, then updates the interior, with
+//! barriers between phases.
+
+use rsdsm_core::{BarrierId, DsmCtx, DsmProgram, Heap, HomePolicy, SharedVec, VerifyCtx};
+use rsdsm_simnet::SimDuration;
+
+use crate::util::{gen_f64, BarrierCycle};
+
+/// Effective cost per floating-point operation (calibrated; includes
+/// the 1998 memory hierarchy).
+const NS_PER_FLOP: u64 = 480;
+
+/// Matrix layout variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuLayout {
+    /// Block-major allocation (the paper's LU-CONT).
+    Contiguous,
+    /// Row-major allocation (the paper's LU-NCONT).
+    NonContiguous,
+}
+
+/// Blocked LU factorization of an `n x n` matrix.
+#[derive(Debug, Clone)]
+pub struct LuApp {
+    n: usize,
+    block: usize,
+    layout: LuLayout,
+}
+
+impl LuApp {
+    /// A factorization problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block` divides `n` and both are at least 2.
+    pub fn new(n: usize, block: usize, layout: LuLayout) -> Self {
+        assert!(block >= 2 && n >= 2 * block, "degenerate blocking");
+        assert_eq!(n % block, 0, "block must divide n");
+        LuApp { n, block, layout }
+    }
+
+    /// The paper's LU-CONT: 1024x1024, 32x32 contiguous blocks.
+    pub fn paper_cont() -> Self {
+        LuApp::new(1024, 32, LuLayout::Contiguous)
+    }
+
+    /// The paper's LU-NCONT: 1024x1024, 128x128 non-contiguous blocks.
+    pub fn paper_ncont() -> Self {
+        LuApp::new(1024, 128, LuLayout::NonContiguous)
+    }
+
+    /// Scaled-down LU-CONT (12x12 blocks keep the 2D-cyclic
+    /// ownership balanced, as the paper's 32x32 of 1024 does).
+    pub fn default_cont() -> Self {
+        LuApp::new(384, 32, LuLayout::Contiguous)
+    }
+
+    /// Scaled-down LU-NCONT (larger blocks, row-major layout — the
+    /// paper's 128-of-1024 ratio).
+    pub fn default_ncont() -> Self {
+        LuApp::new(384, 48, LuLayout::NonContiguous)
+    }
+
+    fn nb(&self) -> usize {
+        self.n / self.block
+    }
+
+    /// Flat index of element (i, j) under the layout.
+    fn idx(&self, i: usize, j: usize) -> usize {
+        match self.layout {
+            LuLayout::NonContiguous => i * self.n + j,
+            LuLayout::Contiguous => {
+                let b = self.block;
+                let (bi, bj) = (i / b, j / b);
+                (bi * self.nb() + bj) * b * b + (i % b) * b + (j % b)
+            }
+        }
+    }
+
+    /// 2D-cyclic block owner.
+    fn owner(bi: usize, bj: usize, nthreads: usize) -> usize {
+        let pr = (1..=nthreads)
+            .filter(|p| nthreads.is_multiple_of(*p) && *p * *p <= nthreads)
+            .max()
+            .unwrap_or(1);
+        let pc = nthreads / pr;
+        (bi % pr) * pc + (bj % pc)
+    }
+
+    fn initial(&self, i: usize, j: usize) -> f64 {
+        let v = gen_f64(0x10, i * self.n + j) - 0.5;
+        if i == j {
+            v + self.n as f64
+        } else {
+            v
+        }
+    }
+
+    /// The same blocked factorization, sequentially, for verification.
+    fn reference(&self) -> Vec<f64> {
+        let n = self.n;
+        let b = self.block;
+        let nb = self.nb();
+        let mut a: Vec<f64> = (0..n * n).map(|x| self.initial(x / n, x % n)).collect();
+        for k in 0..nb {
+            factor_diag(&mut a, n, k * b, b);
+            for bj in k + 1..nb {
+                solve_row_block(&mut a, n, k * b, bj * b, b);
+            }
+            for bi in k + 1..nb {
+                solve_col_block(&mut a, n, bi * b, k * b, b);
+            }
+            for bi in k + 1..nb {
+                for bj in k + 1..nb {
+                    gemm_update(&mut a, n, bi * b, bj * b, k * b, b);
+                }
+            }
+        }
+        a
+    }
+}
+
+// Dense helpers on row-major n x n storage, operating on one block.
+
+fn factor_diag(a: &mut [f64], n: usize, d: usize, b: usize) {
+    for kk in 0..b {
+        let pivot = a[(d + kk) * n + d + kk];
+        for i in kk + 1..b {
+            a[(d + i) * n + d + kk] /= pivot;
+            let l = a[(d + i) * n + d + kk];
+            for j in kk + 1..b {
+                a[(d + i) * n + d + j] -= l * a[(d + kk) * n + d + j];
+            }
+        }
+    }
+}
+
+/// A(k, bj) := L(k,k)^-1 A(k, bj) (unit lower triangular solve).
+fn solve_row_block(a: &mut [f64], n: usize, k: usize, cj: usize, b: usize) {
+    for kk in 0..b {
+        for i in kk + 1..b {
+            let l = a[(k + i) * n + k + kk];
+            for j in 0..b {
+                a[(k + i) * n + cj + j] -= l * a[(k + kk) * n + cj + j];
+            }
+        }
+    }
+}
+
+/// A(bi, k) := A(bi, k) U(k,k)^-1.
+fn solve_col_block(a: &mut [f64], n: usize, ri: usize, k: usize, b: usize) {
+    for kk in 0..b {
+        let pivot = a[(k + kk) * n + k + kk];
+        for i in 0..b {
+            a[(ri + i) * n + k + kk] /= pivot;
+            let l = a[(ri + i) * n + k + kk];
+            for j in kk + 1..b {
+                a[(ri + i) * n + k + j] -= l * a[(k + kk) * n + k + j];
+            }
+        }
+    }
+}
+
+/// A(bi, bj) -= A(bi, k) * A(k, bj).
+fn gemm_update(a: &mut [f64], n: usize, ri: usize, cj: usize, k: usize, b: usize) {
+    for i in 0..b {
+        for kk in 0..b {
+            let l = a[(ri + i) * n + k + kk];
+            for j in 0..b {
+                a[(ri + i) * n + cj + j] -= l * a[(k + kk) * n + cj + j];
+            }
+        }
+    }
+}
+
+impl DsmProgram for LuApp {
+    type Handles = SharedVec<f64>;
+
+    fn name(&self) -> String {
+        match self.layout {
+            LuLayout::Contiguous => "LU-CONT".into(),
+            LuLayout::NonContiguous => "LU-NCONT".into(),
+        }
+    }
+
+    fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+        heap.alloc(self.n * self.n, HomePolicy::Blocked)
+    }
+
+    fn run(&self, ctx: &mut DsmCtx, mat: &Self::Handles) {
+        let t = ctx.thread_id();
+        let nt = ctx.num_threads();
+        let (n, b, nb) = (self.n, self.block, self.nb());
+
+        // Master initialization.
+        if t == 0 {
+            let mut row = vec![0.0f64; n];
+            for i in 0..n {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = self.initial(i, j);
+                }
+                match self.layout {
+                    LuLayout::NonContiguous => ctx.write_slice(mat, i * n, &row),
+                    LuLayout::Contiguous => {
+                        for (j, &v) in row.iter().enumerate() {
+                            ctx.write(mat, self.idx(i, j), v);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.barrier(BarrierId(0));
+
+        // Block I/O through the DSM: rows of a block are contiguous
+        // runs in both layouts.
+        let read_block = |ctx: &mut DsmCtx, bi: usize, bj: usize| -> Vec<f64> {
+            // Compiler-style prefetching also issues checks for the
+            // private block buffer (Table 1's LU-NCONT rate).
+            ctx.prefetch_private(2);
+            let mut out = vec![0.0f64; b * b];
+            for i in 0..b {
+                let start = self.idx(bi * b + i, bj * b);
+                ctx.read_slice(mat, start, &mut out[i * b..(i + 1) * b]);
+            }
+            out
+        };
+        let write_block = |ctx: &mut DsmCtx, bi: usize, bj: usize, data: &[f64]| {
+            for i in 0..b {
+                let start = self.idx(bi * b + i, bj * b);
+                ctx.write_slice(mat, start, &data[i * b..(i + 1) * b]);
+            }
+        };
+        let prefetch_block = |ctx: &mut DsmCtx, bi: usize, bj: usize| {
+            for i in 0..b {
+                let start = self.idx(bi * b + i, bj * b);
+                ctx.prefetch(mat, start, start + b);
+            }
+        };
+
+        // First-touch prefetch of every owned block (the matrix was
+        // initialized on the master, so all our blocks are remote).
+        for bi in 0..nb {
+            for bj in 0..nb {
+                if LuApp::owner(bi, bj, nt) == t {
+                    prefetch_block(ctx, bi, bj);
+                }
+            }
+        }
+
+        let mut bars = BarrierCycle::new();
+        for k in 0..nb {
+            // Diagonal factorization by its owner.
+            if LuApp::owner(k, k, nt) == t {
+                let mut d = read_block(ctx, k, k);
+                factor_diag(&mut d, b, 0, b);
+                ctx.compute(SimDuration::from_nanos(
+                    2 * (b as u64).pow(3) / 3 * NS_PER_FLOP,
+                ));
+                write_block(ctx, k, k, &d);
+            }
+            bars.next(ctx);
+
+            // Perimeter: prefetch the (remote) diagonal block first.
+            let mine_in_perimeter =
+                (k + 1..nb).any(|x| LuApp::owner(k, x, nt) == t || LuApp::owner(x, k, nt) == t);
+            if mine_in_perimeter {
+                prefetch_block(ctx, k, k);
+                let diag = read_block(ctx, k, k);
+                for bj in k + 1..nb {
+                    if LuApp::owner(k, bj, nt) == t {
+                        let mut blk = read_block(ctx, k, bj);
+                        solve_with_diag(&diag, &mut blk, b, true);
+                        ctx.compute(SimDuration::from_nanos((b as u64).pow(3) * NS_PER_FLOP));
+                        write_block(ctx, k, bj, &blk);
+                    }
+                }
+                for bi in k + 1..nb {
+                    if LuApp::owner(bi, k, nt) == t {
+                        let mut blk = read_block(ctx, bi, k);
+                        solve_with_diag(&diag, &mut blk, b, false);
+                        ctx.compute(SimDuration::from_nanos((b as u64).pow(3) * NS_PER_FLOP));
+                        write_block(ctx, bi, k, &blk);
+                    }
+                }
+            }
+            bars.next(ctx);
+
+            // Interior updates: prefetch perimeter blocks we will read.
+            for bi in k + 1..nb {
+                for bj in k + 1..nb {
+                    if LuApp::owner(bi, bj, nt) == t {
+                        prefetch_block(ctx, bi, k);
+                        prefetch_block(ctx, k, bj);
+                        prefetch_block(ctx, bi, bj);
+                    }
+                }
+            }
+            for bi in k + 1..nb {
+                for bj in k + 1..nb {
+                    if LuApp::owner(bi, bj, nt) != t {
+                        continue;
+                    }
+                    let left = read_block(ctx, bi, k);
+                    let up = read_block(ctx, k, bj);
+                    let mut blk = read_block(ctx, bi, bj);
+                    for i in 0..b {
+                        for kk in 0..b {
+                            let l = left[i * b + kk];
+                            for j in 0..b {
+                                blk[i * b + j] -= l * up[kk * b + j];
+                            }
+                        }
+                    }
+                    ctx.compute(SimDuration::from_nanos(2 * (b as u64).pow(3) * NS_PER_FLOP));
+                    write_block(ctx, bi, bj, &blk);
+                }
+            }
+            bars.next(ctx);
+        }
+    }
+
+    fn verify(&self, mem: &VerifyCtx, mat: &Self::Handles) -> bool {
+        let expect = self.reference();
+        let n = self.n;
+        let debug = std::env::var_os("RSDSM_TRACE").is_some();
+        let mut ok = true;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in 0..n {
+                let got = mem.read(mat, self.idx(i, j));
+                if (got - expect[i * n + j]).abs() > 1e-6 * expect[i * n + j].abs().max(1.0) {
+                    ok = false;
+                    if debug {
+                        eprintln!(
+                            "LU mismatch at ({i},{j}) block ({},{}): got {got}, expect {}",
+                            i / self.block,
+                            j / self.block,
+                            expect[i * n + j]
+                        );
+                    } else {
+                        return false;
+                    }
+                }
+            }
+        }
+        ok
+    }
+}
+
+/// Applies the diagonal block's triangular factors to a b x b block
+/// held in private memory (`row_solve` picks L^-1·B vs B·U^-1).
+fn solve_with_diag(diag: &[f64], blk: &mut [f64], b: usize, row_solve: bool) {
+    if row_solve {
+        for kk in 0..b {
+            for i in kk + 1..b {
+                let l = diag[i * b + kk];
+                for j in 0..b {
+                    blk[i * b + j] -= l * blk[kk * b + j];
+                }
+            }
+        }
+    } else {
+        for kk in 0..b {
+            let pivot = diag[kk * b + kk];
+            for i in 0..b {
+                blk[i * b + kk] /= pivot;
+                let l = blk[i * b + kk];
+                for j in kk + 1..b {
+                    blk[i * b + j] -= l * diag[kk * b + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Multiplies the L and U factors packed in `lu` and compares to
+    /// the original matrix.
+    fn residual(original: &[f64], lu: &[f64], n: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    let l = if k < i { lu[i * n + k] } else { l };
+                    let u = lu[k * n + j];
+                    sum += if k <= j { l * u } else { 0.0 };
+                }
+                worst = worst.max((sum - original[i * n + j]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn reference_factorization_reconstructs_matrix() {
+        let app = LuApp::new(32, 8, LuLayout::NonContiguous);
+        let n = app.n;
+        let original: Vec<f64> = (0..n * n).map(|x| app.initial(x / n, x % n)).collect();
+        let lu = app.reference();
+        let r = residual(&original, &lu, n);
+        assert!(r < 1e-8, "LU residual {r}");
+    }
+
+    #[test]
+    fn contiguous_indexing_is_block_major() {
+        let app = LuApp::new(8, 4, LuLayout::Contiguous);
+        // Block (0,0) occupies indices 0..16.
+        assert_eq!(app.idx(0, 0), 0);
+        assert_eq!(app.idx(3, 3), 15);
+        // Block (0,1) starts right after.
+        assert_eq!(app.idx(0, 4), 16);
+        // Block (1,0) after the first block row.
+        assert_eq!(app.idx(4, 0), 32);
+    }
+
+    #[test]
+    fn noncontiguous_indexing_is_row_major() {
+        let app = LuApp::new(8, 4, LuLayout::NonContiguous);
+        assert_eq!(app.idx(3, 5), 3 * 8 + 5);
+    }
+
+    #[test]
+    fn ownership_is_a_partition() {
+        for nt in [1, 2, 4, 8] {
+            for bi in 0..6 {
+                for bj in 0..6 {
+                    assert!(LuApp::owner(bi, bj, nt) < nt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_dominance() {
+        let app = LuApp::new(64, 8, LuLayout::Contiguous);
+        for i in 0..64 {
+            assert!(app.initial(i, i) > 32.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block must divide n")]
+    fn bad_blocking_rejected() {
+        LuApp::new(100, 32, LuLayout::Contiguous);
+    }
+}

@@ -1,0 +1,216 @@
+//! RADIX: parallel integer radix sort (SPLASH-2).
+//!
+//! Each pass histograms one digit, computes global ranks from the
+//! shared histogram matrix, then permutes keys into the destination
+//! array. The permutation writes are scattered across remote pages at
+//! positions only known moments before the writes — which is why the
+//! paper finds RADIX prefetches hard to schedule early enough (§5.2)
+//! and throttles them in the combined mode (§5.1).
+
+use rsdsm_core::{BarrierId, DsmCtx, DsmProgram, Heap, HomePolicy, SharedVec, VerifyCtx};
+use rsdsm_simnet::SimDuration;
+
+use crate::block_range;
+use crate::util::{gen_u32, BarrierCycle};
+
+/// Simulated cost of histogramming one key.
+const NS_PER_COUNT: u64 = 550;
+/// Simulated cost of moving one key in the permutation.
+const NS_PER_MOVE: u64 = 1100;
+
+/// Parallel radix sort of `n` keys.
+#[derive(Debug, Clone)]
+pub struct RadixApp {
+    n: usize,
+    max_key_bits: u32,
+    radix_bits: u32,
+}
+
+impl RadixApp {
+    /// A sort of `n` keys below `2^max_key_bits`, `2^radix_bits`
+    /// buckets per pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters.
+    pub fn new(n: usize, max_key_bits: u32, radix_bits: u32) -> Self {
+        assert!(n >= 4, "need some keys");
+        assert!((1..=31).contains(&max_key_bits), "key bits in 1..=31");
+        assert!((1..=16).contains(&radix_bits), "radix bits in 1..=16");
+        RadixApp {
+            n,
+            max_key_bits,
+            radix_bits,
+        }
+    }
+
+    /// The paper's size: 2^20 keys, max key 2^21, radix 1024.
+    pub fn paper_scale() -> Self {
+        RadixApp::new(1 << 20, 21, 10)
+    }
+
+    /// Scaled-down default.
+    pub fn default_scale() -> Self {
+        RadixApp::new(1 << 14, 18, 8)
+    }
+
+    fn radix(&self) -> usize {
+        1 << self.radix_bits
+    }
+
+    fn passes(&self) -> usize {
+        self.max_key_bits.div_ceil(self.radix_bits) as usize
+    }
+
+    fn key(&self, i: usize) -> u32 {
+        gen_u32(0x52AD_1C5E, i, 1 << self.max_key_bits)
+    }
+}
+
+/// Shared handles: double-buffered key arrays plus the histogram
+/// matrix (one row per thread).
+#[derive(Debug, Clone, Copy)]
+pub struct RadixHandles {
+    keys: [SharedVec<u32>; 2],
+    hist: SharedVec<u32>,
+}
+
+impl DsmProgram for RadixApp {
+    type Handles = RadixHandles;
+
+    fn name(&self) -> String {
+        "RADIX".into()
+    }
+
+    fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+        // The histogram rows are sized by the maximum thread count we
+        // support (threads beyond the allocation would be an app bug).
+        RadixHandles {
+            keys: [
+                heap.alloc(self.n, HomePolicy::Blocked),
+                heap.alloc(self.n, HomePolicy::Blocked),
+            ],
+            hist: heap.alloc(64 * self.radix(), HomePolicy::Blocked),
+        }
+    }
+
+    fn run(&self, ctx: &mut DsmCtx, h: &Self::Handles) {
+        let t = ctx.thread_id();
+        let nt = ctx.num_threads();
+        assert!(nt <= 64, "histogram sized for at most 64 threads");
+        let radix = self.radix();
+        let (k0, k1) = block_range(self.n, t, nt);
+
+        if t == 0 {
+            let init: Vec<u32> = (0..self.n).map(|i| self.key(i)).collect();
+            ctx.write_slice(&h.keys[0], 0, &init);
+        }
+        ctx.barrier(BarrierId(0));
+
+        let mut bars = BarrierCycle::new();
+        for pass in 0..self.passes() {
+            let shift = pass as u32 * self.radix_bits;
+            let (src, dst) = (h.keys[pass % 2], h.keys[(pass + 1) % 2]);
+
+            // Local histogram of my block.
+            let mine = ctx.read_vec(&src, k0, k1 - k0);
+            let mut counts = vec![0u32; radix];
+            for &key in &mine {
+                counts[((key >> shift) as usize) & (radix - 1)] += 1;
+            }
+            ctx.compute(SimDuration::from_nanos(mine.len() as u64 * NS_PER_COUNT));
+            ctx.write_slice(&h.hist, t * radix, &counts);
+            bars.next(ctx);
+
+            // Global ranks: my write offset for digit d is the total
+            // of smaller digits plus earlier threads' counts of d.
+            ctx.prefetch(&h.hist, 0, nt * radix);
+            let all = ctx.read_vec(&h.hist, 0, nt * radix);
+            ctx.compute(SimDuration::from_nanos((nt * radix) as u64 * 8));
+            let mut digit_total = vec![0u64; radix];
+            for row in 0..nt {
+                for d in 0..radix {
+                    digit_total[d] += all[row * radix + d] as u64;
+                }
+            }
+            let mut offsets = vec![0usize; radix];
+            let mut running = 0usize;
+            for d in 0..radix {
+                let mut mine_off = running;
+                for row in 0..t {
+                    mine_off += all[row * radix + d] as usize;
+                }
+                offsets[d] = mine_off;
+                running += digit_total[d] as usize;
+            }
+
+            // Gather my keys per digit (stable within the block)...
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); radix];
+            for &key in &mine {
+                buckets[((key >> shift) as usize) & (radix - 1)].push(key);
+            }
+            // ...prefetch the destination runs (often too late — the
+            // addresses were just computed, as the paper observes)...
+            for d in 0..radix {
+                if !buckets[d].is_empty() {
+                    ctx.prefetch(&dst, offsets[d], offsets[d] + buckets[d].len());
+                }
+            }
+            // ...and permute.
+            ctx.compute(SimDuration::from_nanos(mine.len() as u64 * NS_PER_MOVE));
+            for d in 0..radix {
+                if !buckets[d].is_empty() {
+                    ctx.write_slice(&dst, offsets[d], &buckets[d]);
+                }
+            }
+            bars.next(ctx);
+        }
+    }
+
+    fn verify(&self, mem: &VerifyCtx, h: &Self::Handles) -> bool {
+        let final_arr = mem.read_vec(&h.keys[self.passes() % 2], 0, self.n);
+        // Sorted?
+        if !final_arr.windows(2).all(|w| w[0] <= w[1]) {
+            return false;
+        }
+        // Same multiset as the input (sum + xor fingerprints).
+        let (mut s1, mut x1, mut s2, mut x2) = (0u64, 0u32, 0u64, 0u32);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.n {
+            let a = self.key(i);
+            s1 = s1.wrapping_add(a as u64);
+            x1 ^= a;
+            let b = final_arr[i];
+            s2 = s2.wrapping_add(b as u64);
+            x2 ^= b;
+        }
+        s1 == s2 && x1 == x2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_count() {
+        assert_eq!(RadixApp::new(16, 20, 8).passes(), 3);
+        assert_eq!(RadixApp::new(16, 16, 8).passes(), 2);
+        assert_eq!(RadixApp::paper_scale().passes(), 3);
+    }
+
+    #[test]
+    fn keys_are_bounded_and_deterministic() {
+        let app = RadixApp::new(1024, 10, 4);
+        for i in 0..1024 {
+            assert!(app.key(i) < 1024);
+            assert_eq!(app.key(i), app.key(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radix bits")]
+    fn excessive_radix_rejected() {
+        RadixApp::new(16, 20, 20);
+    }
+}

@@ -1,0 +1,196 @@
+//! SOR: red-black successive over-relaxation (TreadMarks distribution).
+//!
+//! A grid is relaxed for a number of iterations; each iteration
+//! updates the red cells (reading black neighbors), barriers, then
+//! updates the black cells. Rows are block-partitioned across
+//! threads, so the only communication is the halo row on each side of
+//! a block — plus the initialization hot-spot (thread 0 writes the
+//! whole grid, so every other node's first read storms node 0, the
+//! effect the paper calls out for SOR in §4.3).
+
+use rsdsm_core::{BarrierId, DsmCtx, DsmProgram, Heap, HomePolicy, SharedVec, VerifyCtx};
+use rsdsm_simnet::SimDuration;
+
+use crate::block_range;
+use crate::util::BarrierCycle;
+
+/// Simulated compute cost per cell update (a few flops plus index
+/// arithmetic on a 133 MHz PowerPC 604).
+const NS_PER_CELL: u64 = 470;
+
+/// Red-black successive over-relaxation on a `rows x cols` grid.
+#[derive(Debug, Clone)]
+pub struct SorApp {
+    rows: usize,
+    cols: usize,
+    iters: usize,
+}
+
+impl SorApp {
+    /// A SOR problem of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 3x3 or `iters` is zero.
+    pub fn new(rows: usize, cols: usize, iters: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "grid too small");
+        assert!(iters > 0, "need at least one iteration");
+        SorApp { rows, cols, iters }
+    }
+
+    /// The paper's problem size: 2000x2000, 50 iterations.
+    pub fn paper_scale() -> Self {
+        SorApp::new(2000, 2000, 50)
+    }
+
+    /// Scaled-down default preserving the sharing structure.
+    pub fn default_scale() -> Self {
+        SorApp::new(512, 512, 10)
+    }
+
+    fn initial_row(&self, i: usize) -> Vec<f64> {
+        // Hot top edge, cold interior — the classic heat plate.
+        if i == 0 {
+            vec![1.0; self.cols]
+        } else {
+            vec![0.0; self.cols]
+        }
+    }
+
+    /// Sequential reference with the same update order per color.
+    fn reference(&self) -> Vec<f64> {
+        let mut g: Vec<f64> = (0..self.rows).flat_map(|i| self.initial_row(i)).collect();
+        let cols = self.cols;
+        for _ in 0..self.iters {
+            for color in 0..2usize {
+                let prev = g.clone();
+                for i in 1..self.rows - 1 {
+                    for j in 1..cols - 1 {
+                        if (i + j) % 2 == color {
+                            g[i * cols + j] = 0.25
+                                * (prev[(i - 1) * cols + j]
+                                    + prev[(i + 1) * cols + j]
+                                    + prev[i * cols + j - 1]
+                                    + prev[i * cols + j + 1]);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+impl DsmProgram for SorApp {
+    type Handles = SharedVec<f64>;
+
+    fn name(&self) -> String {
+        "SOR".into()
+    }
+
+    fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+        // The TreadMarks SOR allocates the grid on the master.
+        heap.alloc(self.rows * self.cols, HomePolicy::Single(0))
+    }
+
+    fn run(&self, ctx: &mut DsmCtx, grid: &Self::Handles) {
+        let t = ctx.thread_id();
+        let n = ctx.num_threads();
+        let cols = self.cols;
+        // Interior rows are partitioned; boundary rows stay fixed.
+        let (r0, r1) = block_range(self.rows - 2, t, n);
+        let (r0, r1) = (r0 + 1, r1 + 1);
+
+        if t == 0 {
+            for i in 0..self.rows {
+                ctx.write_slice(grid, i * cols, &self.initial_row(i));
+            }
+        }
+        ctx.barrier(BarrierId(0));
+        // First-touch prefetch: the whole grid lives on the master
+        // after initialization.
+        ctx.prefetch(grid, (r0 - 1) * cols, (r1 + 1) * cols);
+
+        let mut bars = BarrierCycle::new();
+        for it in 0..self.iters {
+            for color in 0..2usize {
+                // Prefetch the halo rows owned by our neighbors; they
+                // were invalidated by the previous phase's writes.
+                if r0 > 1 {
+                    ctx.prefetch(grid, (r0 - 1) * cols, r0 * cols);
+                }
+                if r1 < self.rows - 1 {
+                    ctx.prefetch(grid, r1 * cols, (r1 + 1) * cols);
+                }
+                // Update one row: reads rows i-1, i, i+1; only cells
+                // of the current color change, and they read only the
+                // other color, so in-place updates are order-free.
+                let update_row = |ctx: &mut DsmCtx, i: usize| {
+                    let above = ctx.read_vec(grid, (i - 1) * cols, cols);
+                    let here = ctx.read_vec(grid, i * cols, cols);
+                    let below = ctx.read_vec(grid, (i + 1) * cols, cols);
+                    let mut new_row = here.clone();
+                    for j in 1..cols - 1 {
+                        if (i + j) % 2 == color {
+                            new_row[j] = 0.25 * (above[j] + below[j] + here[j - 1] + here[j + 1]);
+                        }
+                    }
+                    ctx.compute(SimDuration::from_nanos(NS_PER_CELL * (cols as u64 / 2)));
+                    ctx.write_slice(grid, i * cols, &new_row);
+                };
+                // Interior rows first so the halo prefetches have the
+                // whole block's compute time to complete (§3.2's
+                // scheduling); the halo-dependent edge rows run last.
+                for i in r0 + 1..r1.saturating_sub(1) {
+                    update_row(ctx, i);
+                }
+                update_row(ctx, r0);
+                if r1 - r0 > 1 {
+                    update_row(ctx, r1 - 1);
+                }
+                let _ = it;
+                bars.next(ctx);
+            }
+        }
+    }
+
+    fn verify(&self, mem: &VerifyCtx, grid: &Self::Handles) -> bool {
+        let expect = self.reference();
+        let got = mem.read_vec(grid, 0, grid.len());
+        got.iter()
+            .zip(&expect)
+            .all(|(a, b)| (a - b).abs() <= 1e-12 * b.abs().max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_diffuses_heat_downward() {
+        let app = SorApp::new(8, 8, 10);
+        let g = app.reference();
+        // Row 1 interior cells must have warmed above zero.
+        assert!(g[8 + 4] > 0.0);
+        // Heat decreases with depth.
+        assert!(g[8 + 4] > g[3 * 8 + 4]);
+        // Boundary unchanged.
+        assert_eq!(g[4], 1.0);
+        assert_eq!(g[7 * 8 + 4], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grid_rejected() {
+        SorApp::new(2, 8, 1);
+    }
+
+    #[test]
+    fn scales_are_sane() {
+        let p = SorApp::paper_scale();
+        assert_eq!((p.rows, p.cols, p.iters), (2000, 2000, 50));
+        let d = SorApp::default_scale();
+        assert!(d.rows * d.cols < p.rows * p.cols);
+    }
+}

@@ -1,0 +1,167 @@
+//! The benchmark suite: one entry point over all eight applications.
+//!
+//! [`Benchmark`] enumerates the paper's applications in its figure
+//! order and dispatches runs, hiding each program's concrete handle
+//! type. The experiment harness sweeps over `Benchmark::ALL`.
+
+use rsdsm_core::{DsmConfig, PrefetchConfig, RunReport, SimError, Simulation};
+
+use crate::fft::FftApp;
+use crate::lu::LuApp;
+use crate::ocean::OceanApp;
+use crate::radix::RadixApp;
+use crate::sor::SorApp;
+use crate::water_nsq::WaterNsqApp;
+use crate::water_sp::WaterSpApp;
+
+/// Problem size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down sizes preserving the sharing structure (default
+    /// for the experiment binaries; each run takes well under a
+    /// second of wall-clock time).
+    Default,
+    /// The paper's exact problem sizes (slow).
+    Paper,
+    /// Tiny sizes for tests.
+    Test,
+}
+
+/// One of the paper's eight applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// 1D complex FFT (SPLASH-2).
+    Fft,
+    /// Blocked LU, non-contiguous layout (SPLASH-2).
+    LuNcont,
+    /// Blocked LU, contiguous layout (SPLASH-2).
+    LuCont,
+    /// Ocean current simulation (SPLASH-2, simplified).
+    Ocean,
+    /// Integer radix sort (SPLASH-2).
+    Radix,
+    /// Red-black successive over-relaxation (TreadMarks).
+    Sor,
+    /// O(n^2) molecular dynamics (SPLASH-2, simplified potential).
+    WaterNsq,
+    /// O(n) spatial molecular dynamics (SPLASH-2, simplified).
+    WaterSp,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the order of the paper's Figure 2.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Fft,
+        Benchmark::LuNcont,
+        Benchmark::LuCont,
+        Benchmark::Ocean,
+        Benchmark::Radix,
+        Benchmark::Sor,
+        Benchmark::WaterNsq,
+        Benchmark::WaterSp,
+    ];
+
+    /// The paper's name for the application.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Fft => "FFT",
+            Benchmark::LuNcont => "LU-NCONT",
+            Benchmark::LuCont => "LU-CONT",
+            Benchmark::Ocean => "OCEAN",
+            Benchmark::Radix => "RADIX",
+            Benchmark::Sor => "SOR",
+            Benchmark::WaterNsq => "WATER-NSQ",
+            Benchmark::WaterSp => "WATER-SP",
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Whether the paper used compiler-inserted prefetching for this
+    /// application (FFT and LU-NCONT; hand-tuned elsewhere, §3.2).
+    pub fn uses_compiler_prefetch(self) -> bool {
+        matches!(self, Benchmark::Fft | Benchmark::LuNcont)
+    }
+
+    /// The prefetch mode the paper's "P" bars use for this app.
+    pub fn paper_prefetch(self) -> PrefetchConfig {
+        if self.uses_compiler_prefetch() {
+            PrefetchConfig::compiler()
+        } else {
+            PrefetchConfig::hand()
+        }
+    }
+
+    /// Runs the benchmark at `scale` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the engine.
+    pub fn run(self, scale: Scale, cfg: DsmConfig) -> Result<RunReport, SimError> {
+        let sim = Simulation::new(cfg);
+        match (self, scale) {
+            (Benchmark::Fft, Scale::Paper) => sim.run(&FftApp::paper_scale()),
+            (Benchmark::Fft, Scale::Default) => sim.run(&FftApp::default_scale()),
+            (Benchmark::Fft, Scale::Test) => sim.run(&FftApp::new(10)),
+            (Benchmark::LuNcont, Scale::Paper) => sim.run(&LuApp::paper_ncont()),
+            (Benchmark::LuNcont, Scale::Default) => sim.run(&LuApp::default_ncont()),
+            (Benchmark::LuNcont, Scale::Test) => {
+                sim.run(&LuApp::new(64, 16, crate::lu::LuLayout::NonContiguous))
+            }
+            (Benchmark::LuCont, Scale::Paper) => sim.run(&LuApp::paper_cont()),
+            (Benchmark::LuCont, Scale::Default) => sim.run(&LuApp::default_cont()),
+            (Benchmark::LuCont, Scale::Test) => {
+                sim.run(&LuApp::new(64, 16, crate::lu::LuLayout::Contiguous))
+            }
+            (Benchmark::Ocean, Scale::Paper) => sim.run(&OceanApp::paper_scale()),
+            (Benchmark::Ocean, Scale::Default) => sim.run(&OceanApp::default_scale()),
+            (Benchmark::Ocean, Scale::Test) => sim.run(&OceanApp::new(34, 2)),
+            (Benchmark::Radix, Scale::Paper) => sim.run(&RadixApp::paper_scale()),
+            (Benchmark::Radix, Scale::Default) => sim.run(&RadixApp::default_scale()),
+            (Benchmark::Radix, Scale::Test) => sim.run(&RadixApp::new(1 << 11, 12, 6)),
+            (Benchmark::Sor, Scale::Paper) => sim.run(&SorApp::paper_scale()),
+            (Benchmark::Sor, Scale::Default) => sim.run(&SorApp::default_scale()),
+            (Benchmark::Sor, Scale::Test) => sim.run(&SorApp::new(64, 64, 3)),
+            (Benchmark::WaterNsq, Scale::Paper) => sim.run(&WaterNsqApp::paper_scale()),
+            (Benchmark::WaterNsq, Scale::Default) => sim.run(&WaterNsqApp::default_scale()),
+            (Benchmark::WaterNsq, Scale::Test) => sim.run(&WaterNsqApp::new(48, 2)),
+            (Benchmark::WaterSp, Scale::Paper) => sim.run(&WaterSpApp::paper_scale()),
+            (Benchmark::WaterSp, Scale::Default) => sim.run(&WaterSpApp::default_scale()),
+            (Benchmark::WaterSp, Scale::Test) => sim.run(&WaterSpApp::new(96, 2)),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn compiler_prefetch_matches_paper() {
+        assert!(Benchmark::Fft.uses_compiler_prefetch());
+        assert!(Benchmark::LuNcont.uses_compiler_prefetch());
+        assert!(!Benchmark::Sor.uses_compiler_prefetch());
+        assert!(Benchmark::Fft.paper_prefetch().compiler_style);
+        assert!(!Benchmark::Sor.paper_prefetch().compiler_style);
+    }
+}

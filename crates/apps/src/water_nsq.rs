@@ -1,0 +1,461 @@
+//! WATER-NSQ: O(n^2) molecular dynamics (SPLASH-2, simplified
+//! potential).
+//!
+//! Molecules are block-owned; each step every thread computes pair
+//! forces for its molecules against a half shell of the others,
+//! accumulates privately, then merges into the shared force array
+//! under per-block locks — the multiple-producer, multiple-consumer
+//! pattern the paper highlights: the major misses happen at lock-
+//! protected shared updates, and the *non-binding* property lets
+//! prefetches be hoisted above the acquires (§3.2).
+//!
+//! The intermolecular potential is a softened repulsive pair force
+//! rather than the real water potential, and each molecule occupies a
+//! realistic record footprint ([`STRIDE`] elements per array) so page-
+//! level sharing behaves like the original; the sharing, locking and
+//! synchronization structure — which is what the paper measures — is
+//! preserved.
+
+use rsdsm_core::{BarrierId, DsmCtx, DsmProgram, Heap, HomePolicy, LockId, SharedVec, VerifyCtx};
+use rsdsm_simnet::SimDuration;
+
+use crate::block_range;
+use crate::util::{gen_f64, BarrierCycle};
+
+/// Simulated cost per pair-force evaluation (the real water potential
+/// is expensive — dozens of flops).
+const NS_PER_PAIR: u64 = 8000;
+/// Integration cost per molecule.
+const NS_PER_INTEGRATE: u64 = 2000;
+/// Elements reserved per molecule in each shared array. A real
+/// SPLASH-2 water molecule record carries positions, derivatives and
+/// forces for three atoms (hundreds of bytes); this stride models that
+/// footprint so page-level sharing behaves like the original.
+const STRIDE: usize = 32;
+/// Molecules covered by one force-merge lock. Fine-grained, close to
+/// the SPLASH-2 per-molecule locking that keeps holders from queueing
+/// behind each other.
+const MOLS_PER_LOCK: usize = 4;
+/// Lock ids used by this app start here.
+const LOCK_BASE: u32 = 100;
+/// The global potential-energy accumulator lock.
+const ENERGY_LOCK: LockId = LockId(99);
+
+/// Softened repulsive pair force: `f(r) = k / (r^2 + eps)^2` along
+/// the separation vector.
+fn pair_force(dx: f64, dy: f64, dz: f64) -> [f64; 3] {
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let denom = (r2 + 0.05) * (r2 + 0.05);
+    let k = 1e-3 / denom;
+    [k * dx, k * dy, k * dz]
+}
+
+fn pair_energy(dx: f64, dy: f64, dz: f64) -> f64 {
+    let r2 = dx * dx + dy * dy + dz * dz;
+    5e-4 / (r2 + 0.05)
+}
+
+/// O(n^2) molecular dynamics over `n` molecules for `steps` steps.
+#[derive(Debug, Clone)]
+pub struct WaterNsqApp {
+    n: usize,
+    steps: usize,
+}
+
+impl WaterNsqApp {
+    /// A run of `n` molecules for `steps` time steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8` or `steps == 0`.
+    pub fn new(n: usize, steps: usize) -> Self {
+        assert!(n >= 8, "need at least 8 molecules");
+        assert!(steps > 0, "need at least one step");
+        WaterNsqApp { n, steps }
+    }
+
+    /// The paper's size: 512 molecules, 9 steps.
+    pub fn paper_scale() -> Self {
+        WaterNsqApp::new(512, 9)
+    }
+
+    /// Scaled-down default.
+    pub fn default_scale() -> Self {
+        WaterNsqApp::new(256, 3)
+    }
+
+    fn initial_pos(&self, i: usize, axis: usize) -> f64 {
+        gen_f64(0x3A7E | (axis as u64) << 32, i) * 4.0
+    }
+
+    fn initial_vel(&self, i: usize, axis: usize) -> f64 {
+        (gen_f64(0xBEE5 | (axis as u64) << 32, i) - 0.5) * 0.01
+    }
+
+    /// The half-shell partner range of molecule `i`: `i+1 ..= i+n/2`
+    /// (mod n), as in SPLASH-2 WATER.
+    fn partners(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let n = self.n;
+        (1..=n / 2).filter_map(move |d| {
+            let j = (i + d) % n;
+            // For even n, the d = n/2 pair would be visited twice
+            // (once from each side); keep only the lower index's view.
+            if d == n / 2 && n.is_multiple_of(2) && i >= j {
+                None
+            } else {
+                Some(j)
+            }
+        })
+    }
+
+    /// The reference force field of the final step (diagnostics).
+    pub fn reference_forces_last_step(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut pos: Vec<f64> = (0..3 * n).map(|x| self.initial_pos(x / 3, x % 3)).collect();
+        let mut vel: Vec<f64> = (0..3 * n).map(|x| self.initial_vel(x / 3, x % 3)).collect();
+        let mut f = vec![0.0f64; 3 * n];
+        for _ in 0..self.steps {
+            f = vec![0.0f64; 3 * n];
+            for i in 0..n {
+                for j in self.partners(i) {
+                    let fv = pair_force(
+                        pos[3 * i] - pos[3 * j],
+                        pos[3 * i + 1] - pos[3 * j + 1],
+                        pos[3 * i + 2] - pos[3 * j + 2],
+                    );
+                    for a in 0..3 {
+                        f[3 * i + a] += fv[a];
+                        f[3 * j + a] -= fv[a];
+                    }
+                }
+            }
+            for k in 0..3 * n {
+                vel[k] += f[k];
+                pos[k] += vel[k];
+            }
+        }
+        f
+    }
+
+    /// Sequential reference (same force law, deterministic order).
+    fn reference(&self) -> (Vec<f64>, f64) {
+        let n = self.n;
+        let mut pos: Vec<f64> = (0..3 * n).map(|x| self.initial_pos(x / 3, x % 3)).collect();
+        let mut vel: Vec<f64> = (0..3 * n).map(|x| self.initial_vel(x / 3, x % 3)).collect();
+        let mut energy = 0.0;
+        for _ in 0..self.steps {
+            let mut f = vec![0.0f64; 3 * n];
+            energy = 0.0;
+            for i in 0..n {
+                for j in self.partners(i) {
+                    let dx = pos[3 * i] - pos[3 * j];
+                    let dy = pos[3 * i + 1] - pos[3 * j + 1];
+                    let dz = pos[3 * i + 2] - pos[3 * j + 2];
+                    let fv = pair_force(dx, dy, dz);
+                    for a in 0..3 {
+                        f[3 * i + a] += fv[a];
+                        f[3 * j + a] -= fv[a];
+                    }
+                    energy += pair_energy(dx, dy, dz);
+                }
+            }
+            for i in 0..n {
+                for a in 0..3 {
+                    vel[3 * i + a] += f[3 * i + a];
+                    pos[3 * i + a] += vel[3 * i + a];
+                }
+            }
+        }
+        (pos, energy)
+    }
+}
+
+/// Shared handles: positions, velocities, forces (all strided per
+/// molecule), and the potential-energy cell.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterNsqHandles {
+    pos: SharedVec<f64>,
+    vel: SharedVec<f64>,
+    force: SharedVec<f64>,
+    energy: SharedVec<f64>,
+}
+
+impl WaterNsqHandles {
+    /// The strided shared force array (exposed for diagnostics).
+    pub fn force_handle(&self) -> &SharedVec<f64> {
+        &self.force
+    }
+}
+
+impl DsmProgram for WaterNsqApp {
+    type Handles = WaterNsqHandles;
+
+    fn name(&self) -> String {
+        "WATER-NSQ".into()
+    }
+
+    fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+        WaterNsqHandles {
+            pos: heap.alloc(STRIDE * self.n, HomePolicy::Blocked),
+            vel: heap.alloc(STRIDE * self.n, HomePolicy::Blocked),
+            force: heap.alloc(STRIDE * self.n, HomePolicy::Blocked),
+            energy: heap.alloc(1, HomePolicy::Single(0)),
+        }
+    }
+
+    fn run(&self, ctx: &mut DsmCtx, h: &Self::Handles) {
+        let t = ctx.thread_id();
+        let nt = ctx.num_threads();
+        let n = self.n;
+        let (m0, m1) = block_range(n, t, nt);
+        let mine = m1 - m0;
+
+        if t == 0 {
+            let mut init = vec![0.0f64; STRIDE * n];
+            for i in 0..n {
+                for a in 0..3 {
+                    init[i * STRIDE + a] = self.initial_pos(i, a);
+                }
+            }
+            ctx.write_slice(&h.pos, 0, &init);
+            for i in 0..n {
+                for a in 0..3 {
+                    init[i * STRIDE + a] = self.initial_vel(i, a);
+                }
+            }
+            ctx.write_slice(&h.vel, 0, &init);
+            ctx.write(&h.energy, 0, 0.0);
+        }
+        ctx.barrier(BarrierId(0));
+
+        let mut bars = BarrierCycle::new();
+        for _ in 0..self.steps {
+            // Zero my block of the shared force array (and the energy
+            // cell, by thread 0). The position prefetch is issued here
+            // — before the barrier — so the fetches overlap the
+            // barrier round-trip (positions were invalidated by the
+            // previous integrate phase, so the notices are in hand).
+            ctx.prefetch(&h.pos, 0, STRIDE * n);
+            ctx.write_slice(&h.force, STRIDE * m0, &vec![0.0f64; STRIDE * mine]);
+            if t == 0 {
+                ctx.write(&h.energy, 0, 0.0);
+            }
+            bars.next(ctx);
+
+            // Pair forces: read all positions (prefetched), then walk
+            // each owned molecule's half shell. Partner (j) force
+            // updates go straight into the shared array under the
+            // per-block locks, *inline* with the computation — this is
+            // the SPLASH-2 structure: lock traffic is spread through
+            // the compute phase, the token stays local across
+            // consecutive same-block partners, and the non-binding
+            // prefetch is hoisted above each acquire (§3.2).
+            ctx.prefetch(&h.pos, 0, STRIDE * n);
+            let strided = ctx.read_vec(&h.pos, 0, STRIDE * n);
+            let pos: Vec<f64> = (0..n)
+                .flat_map(|i| {
+                    [
+                        strided[i * STRIDE],
+                        strided[i * STRIDE + 1],
+                        strided[i * STRIDE + 2],
+                    ]
+                })
+                .collect();
+            let mut local_e = 0.0f64;
+            let blocks = n.div_ceil(MOLS_PER_LOCK);
+            // Sweep partner blocks block-major: all of this thread's
+            // pair contributions into one block are accumulated
+            // privately and flushed under the block's lock exactly
+            // once per step (SPLASH-2 WATER batches its shared
+            // inter-molecular updates the same way; the prefetch is
+            // hoisted above each acquire, §3.2).
+            let mut f_i = vec![0.0f64; 3 * mine];
+            // Start the sweep at this thread's own block and wrap, so
+            // threads hit different locks at any instant (SPLASH-2
+            // staggers exactly this way to avoid convoys).
+            let start_blk = m0 / MOLS_PER_LOCK;
+            for blk_idx in 0..blocks {
+                let blk = (start_blk + blk_idx) % blocks;
+                let lo = blk * MOLS_PER_LOCK;
+                let hi = ((blk + 1) * MOLS_PER_LOCK).min(n);
+                let mut acc = vec![0.0f64; 3 * (hi - lo)];
+                let mut touched = false;
+                let mut pairs = 0u64;
+                for i in m0..m1 {
+                    for j in self.partners(i) {
+                        if j < lo || j >= hi {
+                            continue;
+                        }
+                        let dx = pos[3 * i] - pos[3 * j];
+                        let dy = pos[3 * i + 1] - pos[3 * j + 1];
+                        let dz = pos[3 * i + 2] - pos[3 * j + 2];
+                        let fv = pair_force(dx, dy, dz);
+                        pairs += 1;
+                        for a in 0..3 {
+                            f_i[3 * (i - m0) + a] += fv[a];
+                            acc[3 * (j - lo) + a] -= fv[a];
+                        }
+                        local_e += pair_energy(dx, dy, dz);
+                        touched = true;
+                    }
+                }
+                ctx.compute(SimDuration::from_nanos(pairs * NS_PER_PAIR));
+                if !touched {
+                    continue;
+                }
+                ctx.prefetch(&h.force, STRIDE * lo, STRIDE * hi);
+                ctx.acquire(LockId(LOCK_BASE + blk as u32));
+                let mut cur = ctx.read_vec(&h.force, STRIDE * lo, STRIDE * (hi - lo));
+                for m in lo..hi {
+                    for a in 0..3 {
+                        cur[(m - lo) * STRIDE + a] += acc[3 * (m - lo) + a];
+                    }
+                }
+                ctx.write_slice(&h.force, STRIDE * lo, &cur);
+                ctx.release(LockId(LOCK_BASE + blk as u32));
+            }
+            // Flush the accumulated forces of this thread's own
+            // molecules, block by block.
+            let my_first_blk = m0 / MOLS_PER_LOCK;
+            let my_last_blk = (m1 - 1) / MOLS_PER_LOCK;
+            for blk in my_first_blk..=my_last_blk {
+                let lo = (blk * MOLS_PER_LOCK).max(m0);
+                let hi = ((blk + 1) * MOLS_PER_LOCK).min(m1);
+                ctx.prefetch(&h.force, STRIDE * lo, STRIDE * hi);
+                ctx.acquire(LockId(LOCK_BASE + blk as u32));
+                let mut cur = ctx.read_vec(&h.force, STRIDE * lo, STRIDE * (hi - lo));
+                for m in lo..hi {
+                    for a in 0..3 {
+                        cur[(m - lo) * STRIDE + a] += f_i[3 * (m - m0) + a];
+                    }
+                }
+                ctx.write_slice(&h.force, STRIDE * lo, &cur);
+                ctx.release(LockId(LOCK_BASE + blk as u32));
+            }
+
+            // Potential energy under the global lock.
+            ctx.prefetch(&h.energy, 0, 1);
+            ctx.acquire(ENERGY_LOCK);
+            let e = ctx.read(&h.energy, 0);
+            ctx.write(&h.energy, 0, e + local_e);
+            ctx.release(ENERGY_LOCK);
+
+            bars.next(ctx);
+
+            // Integrate my molecules.
+            ctx.prefetch(&h.force, STRIDE * m0, STRIDE * m1);
+            let f = ctx.read_vec(&h.force, STRIDE * m0, STRIDE * mine);
+            let mut vel = ctx.read_vec(&h.vel, STRIDE * m0, STRIDE * mine);
+            let mut pos_mine = ctx.read_vec(&h.pos, STRIDE * m0, STRIDE * mine);
+            for i in 0..mine {
+                for a in 0..3 {
+                    vel[i * STRIDE + a] += f[i * STRIDE + a];
+                    pos_mine[i * STRIDE + a] += vel[i * STRIDE + a];
+                }
+            }
+            ctx.compute(SimDuration::from_nanos(mine as u64 * NS_PER_INTEGRATE));
+            ctx.write_slice(&h.vel, STRIDE * m0, &vel);
+            ctx.write_slice(&h.pos, STRIDE * m0, &pos_mine);
+            bars.next(ctx);
+        }
+    }
+
+    fn verify(&self, mem: &VerifyCtx, h: &Self::Handles) -> bool {
+        let (expect_pos, expect_e) = self.reference();
+        let strided = mem.read_vec(&h.pos, 0, STRIDE * self.n);
+        let mut worst = 0.0f64;
+        let pos_ok = (0..self.n).all(|i| {
+            (0..3).all(|a| {
+                let got = strided[i * STRIDE + a];
+                let want = expect_pos[3 * i + a];
+                worst = worst.max((got - want).abs());
+                (got - want).abs() <= 1e-6 * want.abs().max(1.0)
+            })
+        });
+        let e = mem.read(&h.energy, 0);
+        let e_ok = (e - expect_e).abs() <= 1e-6 * expect_e.abs().max(1e-12);
+        if std::env::var_os("RSDSM_TRACE").is_some() {
+            eprintln!(
+                "WATER-NSQ verify: worst pos delta {worst:e}, energy {e} vs {expect_e} (delta {:e})",
+                (e - expect_e).abs()
+            );
+            for i in 0..self.n {
+                for a in 0..3 {
+                    let d = (strided[i * STRIDE + a] - expect_pos[3 * i + a]).abs();
+                    if d > 1e-9 {
+                        eprintln!("  molecule {i} axis {a}: delta {d:e}");
+                    }
+                }
+            }
+        }
+        pos_ok && e_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_shell_covers_each_pair_once() {
+        for n in [8usize, 9, 12] {
+            let app = WaterNsqApp::new(n, 1);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                for j in app.partners(i) {
+                    let key = (i.min(j), i.max(j));
+                    assert!(seen.insert(key), "pair {key:?} visited twice (n={n})");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn forces_obey_newtons_third_law() {
+        let f = pair_force(1.0, 2.0, -1.0);
+        let g = pair_force(-1.0, -2.0, 1.0);
+        for a in 0..3 {
+            assert!((f[a] + g[a]).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn reference_conserves_momentum() {
+        let app = WaterNsqApp::new(16, 3);
+        let (pos, energy) = app.reference();
+        assert!(pos.iter().all(|v| v.is_finite()));
+        assert!(energy > 0.0);
+        let n = 16;
+        let init_p: f64 = (0..3 * n).map(|x| app.initial_vel(x / 3, x % 3)).sum();
+        let mut posv: Vec<f64> = (0..3 * n).map(|x| app.initial_pos(x / 3, x % 3)).collect();
+        let mut vel: Vec<f64> = (0..3 * n).map(|x| app.initial_vel(x / 3, x % 3)).collect();
+        for _ in 0..app.steps {
+            let mut f = vec![0.0f64; 3 * n];
+            for i in 0..n {
+                for j in app.partners(i) {
+                    let fv = pair_force(
+                        posv[3 * i] - posv[3 * j],
+                        posv[3 * i + 1] - posv[3 * j + 1],
+                        posv[3 * i + 2] - posv[3 * j + 2],
+                    );
+                    for a in 0..3 {
+                        f[3 * i + a] += fv[a];
+                        f[3 * j + a] -= fv[a];
+                    }
+                }
+            }
+            for k in 0..3 * n {
+                vel[k] += f[k];
+                posv[k] += vel[k];
+            }
+        }
+        let final_p: f64 = vel.iter().sum();
+        assert!((final_p - init_p).abs() < 1e-9, "momentum drifted");
+    }
+
+    #[test]
+    fn lock_blocks_do_not_straddle_pages() {
+        assert_eq!(rsdsm_core::PAGE_SIZE % (STRIDE * MOLS_PER_LOCK * 8), 0);
+    }
+}

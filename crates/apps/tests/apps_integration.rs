@@ -1,0 +1,77 @@
+//! End-to-end runs of every benchmark under every latency-tolerance
+//! mode, each verifying its numeric result.
+
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_core::{DsmConfig, PrefetchConfig, ThreadConfig};
+
+fn cfg(nodes: usize) -> DsmConfig {
+    DsmConfig::paper_cluster(nodes).with_seed(7)
+}
+
+fn check(b: Benchmark, cfg: DsmConfig) {
+    let report = b.run(Scale::Test, cfg).unwrap_or_else(|e| {
+        panic!("{b} failed: {e}");
+    });
+    assert!(report.verified, "{b} produced a wrong result");
+    assert!(report.net.total_msgs > 0, "{b} never communicated");
+}
+
+macro_rules! mode_tests {
+    ($($name:ident => $bench:expr),* $(,)?) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn original() {
+                check($bench, cfg(4));
+            }
+
+            #[test]
+            fn prefetch() {
+                check($bench, cfg(4).with_prefetch($bench.paper_prefetch()));
+            }
+
+            #[test]
+            fn multithreaded_2t() {
+                check($bench, cfg(2).with_threads(ThreadConfig::multithreaded(2)));
+            }
+
+            #[test]
+            fn combined_2tp() {
+                check(
+                    $bench,
+                    cfg(2)
+                        .with_threads(ThreadConfig::combined(2))
+                        .with_prefetch(PrefetchConfig {
+                            suppress_redundant: true,
+                            ..$bench.paper_prefetch()
+                        }),
+                );
+            }
+        }
+    )*};
+}
+
+mode_tests! {
+    fft => Benchmark::Fft,
+    lu_ncont => Benchmark::LuNcont,
+    lu_cont => Benchmark::LuCont,
+    ocean => Benchmark::Ocean,
+    radix => Benchmark::Radix,
+    sor => Benchmark::Sor,
+    water_nsq => Benchmark::WaterNsq,
+    water_sp => Benchmark::WaterSp,
+}
+
+#[test]
+fn all_benchmarks_deterministic() {
+    for b in Benchmark::ALL {
+        let r1 = b.run(Scale::Test, cfg(2)).expect("run 1");
+        let r2 = b.run(Scale::Test, cfg(2)).expect("run 2");
+        assert_eq!(r1.total_time, r2.total_time, "{b} not deterministic");
+        assert_eq!(
+            r1.net.total_bytes, r2.net.total_bytes,
+            "{b} traffic differs"
+        );
+    }
+}

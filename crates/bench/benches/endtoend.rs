@@ -1,0 +1,71 @@
+//! End-to-end simulation benchmarks: full DSM runs of applications at
+//! test scale, original vs prefetching vs multithreading. These
+//! measure the *simulator's* wall-clock throughput; the experiment
+//! binaries (`fig1` … `table2`) report the *simulated* results that
+//! reproduce the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_core::{DsmConfig, ThreadConfig};
+
+fn base() -> DsmConfig {
+    DsmConfig::paper_cluster(8).with_seed(1998)
+}
+
+fn bench_apps_original(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_original");
+    group.sample_size(10);
+    for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterSp] {
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let r = bench.run(Scale::Test, base()).expect("run");
+                assert!(r.verified);
+                black_box(r.total_time)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_fft_modes");
+    group.sample_size(10);
+    group.bench_function("original", |b| {
+        b.iter(|| {
+            black_box(
+                Benchmark::Fft
+                    .run(Scale::Test, base())
+                    .expect("run")
+                    .total_time,
+            )
+        })
+    });
+    group.bench_function("prefetch", |b| {
+        let cfg = base().with_prefetch(Benchmark::Fft.paper_prefetch());
+        b.iter(|| {
+            black_box(
+                Benchmark::Fft
+                    .run(Scale::Test, cfg.clone())
+                    .expect("run")
+                    .total_time,
+            )
+        })
+    });
+    group.bench_function("4_threads", |b| {
+        let cfg = base().with_threads(ThreadConfig::multithreaded(4));
+        b.iter(|| {
+            black_box(
+                Benchmark::Fft
+                    .run(Scale::Test, cfg.clone())
+                    .expect("run")
+                    .total_time,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps_original, bench_modes);
+criterion_main!(benches);

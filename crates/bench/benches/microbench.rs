@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the protocol and simulation substrates:
+//! twin/diff operations, vector clocks, the event queue, and the
+//! network model — the per-operation costs that bound how fast the
+//! simulator itself runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rsdsm_protocol::{Diff, NoticeBoard, Page, PageId, VectorClock, WriteNotice};
+use rsdsm_simnet::{EventQueue, NetConfig, Network, Reliability, SimTime};
+
+fn page_pair(stride: usize) -> (Page, Page) {
+    let twin = Page::new();
+    let mut current = twin.clone();
+    for off in (0..rsdsm_protocol::PAGE_SIZE - 8).step_by(stride) {
+        current.write_u64(off, off as u64 + 1);
+    }
+    (twin, current)
+}
+
+fn bench_diffs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff");
+    for (label, stride) in [("dense", 8), ("sparse", 256)] {
+        let (twin, current) = page_pair(stride);
+        group.bench_function(format!("create_{label}"), |b| {
+            b.iter(|| Diff::between(black_box(&twin), black_box(&current)))
+        });
+        let diff = Diff::between(&twin, &current);
+        group.bench_function(format!("apply_{label}"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut page| diff.apply(&mut page),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_clock");
+    let mut a = VectorClock::new(8);
+    let mut b = VectorClock::new(8);
+    for i in 0..8 {
+        for _ in 0..i {
+            a.tick(i);
+            b.tick(7 - i);
+        }
+    }
+    group.bench_function("dominates", |bch| {
+        bch.iter(|| black_box(&a).dominates(black_box(&b)))
+    });
+    group.bench_function("join", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| x.join(black_box(&b)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("hb_cmp", |bch| {
+        bch.iter(|| black_box(&a).hb_cmp(black_box(&b)))
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 4096), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network/send_page", |b| {
+        let mut net = Network::new(8, NetConfig::atm_155(1));
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += rsdsm_simnet::SimDuration::from_micros(100);
+            black_box(net.send(now, 0, 1, 4096, Reliability::Reliable, "bench"))
+        })
+    });
+}
+
+fn bench_notice_board(c: &mut Criterion) {
+    c.bench_function("notice_board/record_and_resolve", |b| {
+        b.iter(|| {
+            let mut board = NoticeBoard::new();
+            for origin in 0..8usize {
+                let mut stamp = VectorClock::new(8);
+                for _ in 0..origin + 1 {
+                    stamp.tick(origin);
+                }
+                board.record(WriteNotice {
+                    page: PageId::new(3),
+                    origin,
+                    stamp,
+                });
+            }
+            black_box(board.pending_by_origin(PageId::new(3)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_diffs,
+    bench_vector_clocks,
+    bench_event_queue,
+    bench_network,
+    bench_notice_board
+);
+criterion_main!(benches);

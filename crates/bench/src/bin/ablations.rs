@@ -1,0 +1,228 @@
+//! Ablation experiments for the design choices the paper discusses
+//! but does not plot:
+//!
+//! 1. **Naive combination** (§5): applying multithreading to *memory*
+//!    latency as well as synchronization while also prefetching —
+//!    the approach the paper tried first and rejected.
+//! 2. **Redundant-prefetch suppression** (§5.1): the per-node dynamic
+//!    flag that stops sibling threads re-prefetching the same pages.
+//! 3. **RADIX prefetch throttling** (§5.1).
+//! 4. **Reliable prefetches** (§3.1 footnote 3): what happens if
+//!    prefetch messages are never dropped.
+//! 5. **Context-switch cost sensitivity** (§4.3).
+
+use rsdsm_apps::Benchmark;
+use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_core::{PrefetchConfig, ThreadConfig};
+use rsdsm_stats::{speedup_label, Align, AsciiTable};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!("Ablations ({} nodes, {:?} scale)\n", opts.nodes, opts.scale);
+    naive_combination(&opts);
+    suppression(&opts);
+    radix_throttle(&opts);
+    reliable_prefetch(&opts);
+    switch_cost(&opts);
+    automatic_prefetch(&opts);
+}
+
+/// §3 / §6: hand-inserted prefetching vs a Bianchini-style
+/// history-based runtime prefetcher (the paper's claim: explicit
+/// insertion prefetches "more intelligently and more aggressively").
+fn automatic_prefetch(opts: &ExpOpts) {
+    println!("6. Hand-inserted vs automatic (history-based) prefetching");
+    let mut t = AsciiTable::new(
+        vec![
+            "App",
+            "O total",
+            "hand total",
+            "auto total",
+            "hand cover",
+            "auto cover",
+        ],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    for bench in [
+        Benchmark::Sor,
+        Benchmark::Fft,
+        Benchmark::WaterNsq,
+        Benchmark::Ocean,
+    ] {
+        let orig = run_variant(bench, Variant::Original, opts);
+        let hand = run_variant(bench, Variant::Prefetch, opts);
+        let auto_cfg = opts
+            .base_config()
+            .with_prefetch(PrefetchConfig::automatic());
+        let auto = bench.run(opts.scale, auto_cfg).expect("auto run");
+        assert!(auto.verified);
+        t.add_row(vec![
+            bench.name().into(),
+            orig.total_time.to_string(),
+            hand.total_time.to_string(),
+            auto.total_time.to_string(),
+            format!("{:.0}%", hand.prefetch.coverage() * 100.0),
+            format!("{:.0}%", auto.prefetch.coverage() * 100.0),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// §5: "we apply both prefetching and multithreading to memory
+/// latency" — the rejected design.
+fn naive_combination(opts: &ExpOpts) {
+    println!("1. Combined approach: switch on sync only (paper) vs switch on everything (naive)");
+    let mut t = AsciiTable::new(
+        vec![
+            "App",
+            "O total",
+            "4TP (paper)",
+            "4TP (naive)",
+            "paper speedup",
+            "naive speedup",
+        ],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    for bench in [Benchmark::Fft, Benchmark::WaterNsq, Benchmark::Sor] {
+        let orig = run_variant(bench, Variant::Original, opts);
+        let paper = run_variant(bench, Variant::Combined(4), opts);
+        let mut naive_cfg = Variant::Combined(4).config(bench, opts);
+        naive_cfg.threads = ThreadConfig {
+            switch_on_memory: true,
+            ..naive_cfg.threads
+        };
+        let naive = bench.run(opts.scale, naive_cfg).expect("naive run");
+        assert!(naive.verified);
+        t.add_row(vec![
+            bench.name().into(),
+            orig.total_time.to_string(),
+            paper.total_time.to_string(),
+            naive.total_time.to_string(),
+            speedup_label(orig.total_time, paper.total_time),
+            speedup_label(orig.total_time, naive.total_time),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// §5.1: value of the redundant-prefetch suppression flag.
+fn suppression(opts: &ExpOpts) {
+    println!("2. Redundant-prefetch suppression in combined mode (4 threads/node)");
+    let mut t = AsciiTable::new(
+        vec![
+            "App",
+            "pf msgs (on)",
+            "pf msgs (off)",
+            "total (on)",
+            "total (off)",
+        ],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    for bench in [Benchmark::WaterNsq, Benchmark::Ocean, Benchmark::Sor] {
+        let on = run_variant(bench, Variant::Combined(4), opts);
+        let mut off_cfg = Variant::Combined(4).config(bench, opts);
+        off_cfg.prefetch.suppress_redundant = false;
+        let off = bench.run(opts.scale, off_cfg).expect("run");
+        assert!(off.verified);
+        t.add_row(vec![
+            bench.name().into(),
+            on.prefetch.messages.to_string(),
+            off.prefetch.messages.to_string(),
+            on.total_time.to_string(),
+            off.total_time.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// §5.1: RADIX throttling (every other prefetch dropped).
+fn radix_throttle(opts: &ExpOpts) {
+    println!("3. RADIX prefetch throttling in combined mode (4 threads/node)");
+    let with = run_variant(Benchmark::Radix, Variant::Combined(4), opts);
+    let mut unthrottled_cfg = Variant::Combined(4).config(Benchmark::Radix, opts);
+    unthrottled_cfg.prefetch.throttle = 1;
+    let without = Benchmark::Radix
+        .run(opts.scale, unthrottled_cfg)
+        .expect("run");
+    assert!(without.verified);
+    println!(
+        "  throttled:   total {}  pf msgs {}  drops {}\n  unthrottled: total {}  pf msgs {}  drops {}\n",
+        with.total_time,
+        with.prefetch.messages,
+        with.net.drops,
+        without.total_time,
+        without.prefetch.messages,
+        without.net.drops,
+    );
+}
+
+/// §3.1 footnote 3: reliable vs droppable prefetch messages.
+fn reliable_prefetch(opts: &ExpOpts) {
+    println!("4. Reliable vs droppable prefetch messages (prefetch-only runs)");
+    let mut t = AsciiTable::new(
+        vec![
+            "App",
+            "droppable total",
+            "reliable total",
+            "drops (droppable)",
+        ],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right],
+    );
+    for bench in [Benchmark::Fft, Benchmark::Radix, Benchmark::Sor] {
+        let droppable = run_variant(bench, Variant::Prefetch, opts);
+        let reliable_cfg = opts.base_config().with_prefetch(PrefetchConfig {
+            reliable: true,
+            ..bench.paper_prefetch()
+        });
+        let reliable = bench.run(opts.scale, reliable_cfg).expect("run");
+        assert!(reliable.verified);
+        t.add_row(vec![
+            bench.name().into(),
+            droppable.total_time.to_string(),
+            reliable.total_time.to_string(),
+            droppable.net.drops.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// §4.3: sensitivity of multithreading to the context-switch cost.
+fn switch_cost(opts: &ExpOpts) {
+    println!("5. Context-switch cost sensitivity (WATER-SP, 2 threads/node)");
+    let mut t = AsciiTable::new(
+        vec!["switch cost", "total", "switches"],
+        vec![Align::Right, Align::Right, Align::Right],
+    );
+    for micros in [0u64, 55, 110, 220, 440] {
+        let mut cfg = Variant::Threads(2).config(Benchmark::WaterSp, opts);
+        cfg.costs.context_switch = rsdsm_simnet::SimDuration::from_micros(micros);
+        let r = Benchmark::WaterSp.run(opts.scale, cfg).expect("run");
+        assert!(r.verified);
+        t.add_row(vec![
+            format!("{micros}us"),
+            r.total_time.to_string(),
+            r.mt.switches.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,34 @@
+//! Figure 4: performance impact of multithreading with 2, 4, and 8
+//! threads per processor, normalized to the original run.
+
+use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_stats::{render_bars, speedup_label, Bar};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!(
+        "Figure 4: impact of multithreading (O = original, nT = n threads/processor) — {} nodes, {:?} scale\n",
+        opts.nodes, opts.scale
+    );
+    for bench in &opts.apps {
+        let orig = run_variant(*bench, Variant::Original, &opts);
+        let mut bars = vec![Bar::new("O", orig.breakdown)];
+        let mut best = (String::from("O"), orig.total_time);
+        for n in [2usize, 4, 8] {
+            let report = run_variant(*bench, Variant::Threads(n), &opts);
+            if report.total_time < best.1 {
+                best = (format!("{n}T"), report.total_time);
+            }
+            bars.push(Bar::new(format!("{n}T"), report.breakdown));
+        }
+        println!(
+            "{}",
+            render_bars(bench.name(), &bars, orig.breakdown.total())
+        );
+        println!(
+            "  best: {} (speedup {})\n",
+            best.0,
+            speedup_label(orig.total_time, best.1)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 5: combining prefetching and multithreading — O, nT, P,
+//! and nTP bars normalized to the original run, with the paper's
+//! best-variant summary.
+
+use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_stats::{render_bars, speedup_label, Bar};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!(
+        "Figure 5: combining prefetching and multithreading — {} nodes, {:?} scale\n\
+         (O = original, nT = threads only, P = prefetching only, nTP = combined)\n",
+        opts.nodes, opts.scale
+    );
+    for bench in &opts.apps {
+        let orig = run_variant(*bench, Variant::Original, &opts);
+        let mut bars = vec![Bar::new("O", orig.breakdown)];
+        let mut best = (String::from("O"), orig.total_time);
+        let mut track = |label: String, t: rsdsm_simnet::SimDuration| {
+            if t < best.1 {
+                best = (label, t);
+            }
+        };
+        for n in [2usize, 4, 8] {
+            let r = run_variant(*bench, Variant::Threads(n), &opts);
+            track(format!("{n}T"), r.total_time);
+            bars.push(Bar::new(format!("{n}T"), r.breakdown));
+        }
+        let p = run_variant(*bench, Variant::Prefetch, &opts);
+        track("P".into(), p.total_time);
+        bars.push(Bar::new("P", p.breakdown));
+        for n in [2usize, 4, 8] {
+            let r = run_variant(*bench, Variant::Combined(n), &opts);
+            track(format!("{n}TP"), r.total_time);
+            bars.push(Bar::new(format!("{n}TP"), r.breakdown));
+        }
+        println!(
+            "{}",
+            render_bars(bench.name(), &bars, orig.breakdown.total())
+        );
+        println!(
+            "  best: {} (speedup {})\n",
+            best.0,
+            speedup_label(orig.total_time, best.1)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Node scaling: speedup of each application from 1 to 8 nodes, with
+//! and without the latency tolerance techniques. Not a figure in the
+//! paper, but the context for its §1 claim that software DSMs can be
+//! competitive "for certain classes of applications" while others are
+//! communication-bound.
+
+use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_stats::{Align, AsciiTable};
+
+fn main() {
+    let mut opts = ExpOpts::from_args();
+    println!(
+        "Node scaling ({:?} scale): simulated time and self-relative speedup\n",
+        opts.scale
+    );
+    for bench in opts.apps.clone() {
+        let mut table = AsciiTable::new(
+            vec![
+                "nodes",
+                "O total",
+                "O speedup",
+                "best-technique total",
+                "best variant",
+            ],
+            vec![
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Left,
+            ],
+        );
+        let mut base_time = None;
+        for nodes in [1usize, 2, 4, 8] {
+            opts.nodes = nodes;
+            let orig = run_variant(bench, Variant::Original, &opts);
+            let base = *base_time.get_or_insert(orig.total_time);
+            // The paper's per-app winner: prefetching and modest
+            // multithreading are the candidates worth sweeping here.
+            let mut best = (orig.total_time, "O".to_string());
+            if nodes > 1 {
+                for variant in [Variant::Prefetch, Variant::Threads(2), Variant::Combined(2)] {
+                    let r = run_variant(bench, variant, &opts);
+                    if r.total_time < best.0 {
+                        best = (r.total_time, variant.label());
+                    }
+                }
+            }
+            table.add_row(vec![
+                nodes.to_string(),
+                orig.total_time.to_string(),
+                format!(
+                    "{:.2}x",
+                    base.as_nanos() as f64 / orig.total_time.as_nanos() as f64
+                ),
+                best.0.to_string(),
+                best.1,
+            ]);
+        }
+        println!("{}\n{table}", bench.name());
+    }
+}

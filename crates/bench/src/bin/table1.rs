@@ -1,0 +1,54 @@
+//! Table 1: prefetching statistics — unnecessary prefetches, coverage
+//! factor, total traffic, total misses, and average miss latency for
+//! the original and prefetching runs.
+
+use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_stats::{Align, AsciiTable};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!(
+        "Table 1: prefetching statistics (O = original, P = with prefetching) — {} nodes, {:?} scale\n",
+        opts.nodes, opts.scale
+    );
+    let mut table = AsciiTable::new(
+        vec![
+            "Benchmark",
+            "Unnecessary",
+            "Coverage",
+            "Traffic O (KB)",
+            "Traffic P (KB)",
+            "Misses O",
+            "Misses P",
+            "Avg Lat O (us)",
+            "Avg Lat P (us)",
+        ],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    for bench in &opts.apps {
+        let orig = run_variant(*bench, Variant::Original, &opts);
+        let pf = run_variant(*bench, Variant::Prefetch, &opts);
+        table.add_row(vec![
+            bench.name().to_string(),
+            format!("{:.2}%", pf.prefetch.unnecessary_fraction() * 100.0),
+            format!("{:.2}%", pf.prefetch.coverage() * 100.0),
+            (orig.net.total_bytes / 1024).to_string(),
+            (pf.net.total_bytes / 1024).to_string(),
+            orig.misses.misses.to_string(),
+            pf.misses.misses.to_string(),
+            orig.misses.avg_latency().as_micros().to_string(),
+            pf.misses.avg_latency().as_micros().to_string(),
+        ]);
+    }
+    println!("{table}");
+}

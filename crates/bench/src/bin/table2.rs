@@ -1,0 +1,71 @@
+//! Table 2: multithreading statistics — average stall time, average
+//! run length, message counts and volume, and per-category remote
+//! event counts with their stall times.
+
+use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_stats::{Align, AsciiTable};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!(
+        "Table 2: multithreading statistics (O = original, nT = n threads/processor) — {} nodes, {:?} scale\n",
+        opts.nodes, opts.scale
+    );
+    for bench in &opts.apps {
+        let mut table = AsciiTable::new(
+            vec![
+                "Cfg",
+                "Avg Stall (us)",
+                "Avg Run Len (us)",
+                "Msgs",
+                "Volume (KB)",
+                "Misses",
+                "Miss Stall (us)",
+                "Rem Locks",
+                "Lock Stall (us)",
+                "Barriers",
+                "Barr Stall (us)",
+            ],
+            vec![
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ],
+        );
+        for (label, variant) in [
+            ("O", Variant::Original),
+            ("2T", Variant::Threads(2)),
+            ("4T", Variant::Threads(4)),
+            ("8T", Variant::Threads(8)),
+        ] {
+            let r = run_variant(*bench, variant, &opts);
+            let avg_miss = if r.misses.misses == 0 {
+                0
+            } else {
+                (r.misses.stall_sum / r.misses.misses).as_micros()
+            };
+            table.add_row(vec![
+                label.to_string(),
+                r.mt.avg_stall().as_micros().to_string(),
+                r.mt.avg_run_length().as_micros().to_string(),
+                r.net.total_msgs.to_string(),
+                (r.net.total_bytes / 1024).to_string(),
+                r.misses.misses.to_string(),
+                avg_miss.to_string(),
+                r.locks.events.to_string(),
+                r.locks.avg_stall().as_micros().to_string(),
+                r.barriers.events.to_string(),
+                r.barriers.avg_stall().as_micros().to_string(),
+            ]);
+        }
+        println!("{}\n{table}", bench.name());
+    }
+}

@@ -1,0 +1,186 @@
+//! # rsdsm-bench
+//!
+//! The experiment harness that regenerates every figure and table of
+//! the HPCA-4 1998 paper. Each binary (`fig1` … `fig5`, `table1`,
+//! `table2`, `ablations`) sweeps the relevant configurations over the
+//! benchmark suite and prints paper-style output; this library holds
+//! the shared runner and command-line plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_core::{DsmConfig, PrefetchConfig, RunReport, ThreadConfig};
+
+/// Shared command-line options for the experiment binaries.
+///
+/// Usage: `[--paper-scale] [--nodes N] [--app NAME]... [--seed S]`
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Problem scale for all runs.
+    pub scale: Scale,
+    /// Cluster size (the paper uses 8).
+    pub nodes: usize,
+    /// Benchmarks to run (defaults to all eight).
+    pub apps: Vec<Benchmark>,
+    /// Seed for deterministic runs.
+    pub seed: u64,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            scale: Scale::Default,
+            nodes: 8,
+            apps: Benchmark::ALL.to_vec(),
+            seed: 1998,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn from_args() -> Self {
+        let mut opts = ExpOpts::default();
+        let mut apps = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper-scale" => opts.scale = Scale::Paper,
+                "--test-scale" => opts.scale = Scale::Test,
+                "--nodes" => {
+                    opts.nodes = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--nodes needs a number"));
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                }
+                "--app" => {
+                    let name = args.next().unwrap_or_else(|| usage("--app needs a name"));
+                    match Benchmark::from_name(&name) {
+                        Some(b) => apps.push(b),
+                        None => usage(&format!("unknown app {name}")),
+                    }
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown option {other}")),
+            }
+        }
+        if !apps.is_empty() {
+            opts.apps = apps;
+        }
+        opts
+    }
+
+    /// The baseline configuration for these options.
+    pub fn base_config(&self) -> DsmConfig {
+        DsmConfig::paper_cluster(self.nodes).with_seed(self.seed)
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// The experiment variants of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Unmodified TreadMarks ("O").
+    Original,
+    /// With prefetching ("P"), compiler-style for FFT and LU-NCONT.
+    Prefetch,
+    /// Multithreading with n threads/processor ("nT").
+    Threads(usize),
+    /// Combined: n threads for sync latency + prefetching ("nTP").
+    Combined(usize),
+}
+
+impl Variant {
+    /// The paper's bar label.
+    pub fn label(self) -> String {
+        match self {
+            Variant::Original => "O".into(),
+            Variant::Prefetch => "P".into(),
+            Variant::Threads(n) => format!("{n}T"),
+            Variant::Combined(n) => format!("{n}TP"),
+        }
+    }
+
+    /// Builds the configuration for `bench` under these options.
+    pub fn config(self, bench: Benchmark, opts: &ExpOpts) -> DsmConfig {
+        let base = opts.base_config();
+        match self {
+            Variant::Original => base,
+            Variant::Prefetch => base.with_prefetch(bench.paper_prefetch()),
+            Variant::Threads(n) => base.with_threads(ThreadConfig::multithreaded(n)),
+            Variant::Combined(n) => {
+                // §5.1: suppress redundant sibling prefetches; RADIX
+                // additionally throttles every other prefetch.
+                let throttle = if bench == Benchmark::Radix { 2 } else { 1 };
+                base.with_threads(ThreadConfig::combined(n))
+                    .with_prefetch(PrefetchConfig {
+                        suppress_redundant: true,
+                        throttle,
+                        ..bench.paper_prefetch()
+                    })
+            }
+        }
+    }
+}
+
+/// Runs `bench` under `variant`, panicking with context on failure
+/// (experiments must not silently drop bars).
+pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunReport {
+    let report = bench
+        .run(opts.scale, variant.config(bench, opts))
+        .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()));
+    assert!(
+        report.verified,
+        "{bench} [{}] produced a wrong result",
+        variant.label()
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(Variant::Original.label(), "O");
+        assert_eq!(Variant::Prefetch.label(), "P");
+        assert_eq!(Variant::Threads(4).label(), "4T");
+        assert_eq!(Variant::Combined(8).label(), "8TP");
+    }
+
+    #[test]
+    fn combined_config_throttles_radix_only() {
+        let opts = ExpOpts::default();
+        let radix = Variant::Combined(2).config(Benchmark::Radix, &opts);
+        assert_eq!(radix.prefetch.throttle, 2);
+        let fft = Variant::Combined(2).config(Benchmark::Fft, &opts);
+        assert_eq!(fft.prefetch.throttle, 1);
+        assert!(fft.prefetch.compiler_style);
+        assert!(!fft.threads.switch_on_memory);
+        assert!(fft.threads.switch_on_sync);
+    }
+
+    #[test]
+    fn default_opts_cover_all_apps() {
+        let opts = ExpOpts::default();
+        assert_eq!(opts.apps.len(), 8);
+        assert_eq!(opts.nodes, 8);
+    }
+}

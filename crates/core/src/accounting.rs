@@ -1,0 +1,393 @@
+//! Execution-time accounting.
+//!
+//! The paper's figures break normalized execution time into stacked
+//! categories. [`Category`] enumerates them, [`NodeAccount`] tracks a
+//! single node's CPU timeline (work charged per category plus idle
+//! gaps attributed to what the node was waiting for), and
+//! [`Breakdown`] aggregates across nodes for reporting.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use rsdsm_simnet::{SimDuration, SimTime};
+
+/// The execution-time categories of Figures 1–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Useful application computation.
+    Busy,
+    /// DSM system software: protocol processing, diff create/apply,
+    /// message send/receive, servicing remote requests.
+    DsmOverhead,
+    /// CPU idle, waiting for a remote memory access.
+    MemoryIdle,
+    /// CPU idle, waiting for synchronization (locks, barriers).
+    SyncIdle,
+    /// Software overhead of issuing prefetches (§3.3).
+    PrefetchOverhead,
+    /// Context switches between user-level threads (§4.3).
+    MtOverhead,
+}
+
+impl Category {
+    /// All categories, in the paper's stacking order (bottom to top).
+    pub const ALL: [Category; 6] = [
+        Category::Busy,
+        Category::DsmOverhead,
+        Category::MemoryIdle,
+        Category::SyncIdle,
+        Category::PrefetchOverhead,
+        Category::MtOverhead,
+    ];
+
+    /// The paper's label for this category.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Busy => "Busy",
+            Category::DsmOverhead => "DSM Overhead",
+            Category::MemoryIdle => "Memory Miss Idle",
+            Category::SyncIdle => "Synchronization Idle",
+            Category::PrefetchOverhead => "Prefetch Overhead",
+            Category::MtOverhead => "Multithreading Overhead",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a node's CPU is idle; used to attribute idle gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleReason {
+    /// Waiting on a remote memory fetch.
+    Memory,
+    /// Waiting on a lock or barrier.
+    Sync,
+}
+
+impl IdleReason {
+    fn category(self) -> Category {
+        match self {
+            IdleReason::Memory => Category::MemoryIdle,
+            IdleReason::Sync => Category::SyncIdle,
+        }
+    }
+}
+
+/// Per-category durations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    values: [SimDuration; 6],
+}
+
+impl Breakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Breakdown::default()
+    }
+
+    /// Sum of all categories.
+    pub fn total(&self) -> SimDuration {
+        self.values.iter().copied().sum()
+    }
+
+    /// Adds every category of `other` into `self`.
+    pub fn accumulate(&mut self, other: &Breakdown) {
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += *b;
+        }
+    }
+
+    /// Each category as a fraction of this breakdown's own total,
+    /// in [`Category::ALL`] order. All zeros if the total is zero.
+    pub fn normalized_to_self(&self) -> NormalizedBreakdown {
+        self.normalized_to(self.total())
+    }
+
+    /// Each category as a fraction of `base` (the paper normalizes
+    /// each experiment to the *original* run's total).
+    pub fn normalized_to(&self, base: SimDuration) -> NormalizedBreakdown {
+        let base_ns = base.as_nanos();
+        let mut fractions = [0.0; 6];
+        if base_ns > 0 {
+            for (f, v) in fractions.iter_mut().zip(&self.values) {
+                *f = v.as_nanos() as f64 / base_ns as f64;
+            }
+        }
+        NormalizedBreakdown { fractions }
+    }
+}
+
+impl Index<Category> for Breakdown {
+    type Output = SimDuration;
+    fn index(&self, c: Category) -> &SimDuration {
+        &self.values[Category::ALL.iter().position(|&x| x == c).unwrap()]
+    }
+}
+
+impl IndexMut<Category> for Breakdown {
+    fn index_mut(&mut self, c: Category) -> &mut SimDuration {
+        &mut self.values[Category::ALL.iter().position(|&x| x == c).unwrap()]
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in Category::ALL {
+            writeln!(f, "{:<26} {}", c.label(), self[c])?;
+        }
+        write!(f, "{:<26} {}", "Total", self.total())
+    }
+}
+
+/// A breakdown expressed as fractions of a base time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedBreakdown {
+    fractions: [f64; 6],
+}
+
+impl NormalizedBreakdown {
+    /// Fraction for one category.
+    pub fn fraction(&self, c: Category) -> f64 {
+        self.fractions[Category::ALL.iter().position(|&x| x == c).unwrap()]
+    }
+
+    /// Percentage (0–100+) for one category.
+    pub fn percent(&self, c: Category) -> f64 {
+        self.fraction(c) * 100.0
+    }
+
+    /// Sum of all fractions (1.0 when normalized to self).
+    pub fn total_fraction(&self) -> f64 {
+        self.fractions.iter().sum()
+    }
+}
+
+impl fmt::Display for NormalizedBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in Category::ALL {
+            let pct = self.percent(c);
+            if pct >= 0.05 {
+                writeln!(f, "{:<26} {:5.1}%", c.label(), pct)?;
+            }
+        }
+        write!(f, "{:<26} {:5.1}%", "Total", self.total_fraction() * 100.0)
+    }
+}
+
+/// One node's CPU timeline and per-category account.
+///
+/// The CPU is busy until [`NodeAccount::cpu_free`]; consuming time
+/// from an instant later than that first attributes the idle gap to
+/// the node's current [`IdleReason`].
+#[derive(Debug, Clone)]
+pub struct NodeAccount {
+    breakdown: Breakdown,
+    cpu_free: SimTime,
+}
+
+impl NodeAccount {
+    /// A fresh account starting at time zero.
+    pub fn new() -> Self {
+        NodeAccount {
+            breakdown: Breakdown::new(),
+            cpu_free: SimTime::ZERO,
+        }
+    }
+
+    /// When the CPU finishes its currently-charged work.
+    pub fn cpu_free(&self) -> SimTime {
+        self.cpu_free
+    }
+
+    /// Charges `dur` of CPU work in category `cat`, starting no
+    /// earlier than `at` and no earlier than the CPU is free. A gap
+    /// between the CPU becoming free and the work starting is
+    /// attributed to `idle` (if given). Returns when the work ends.
+    pub fn consume(
+        &mut self,
+        at: SimTime,
+        dur: SimDuration,
+        cat: Category,
+        idle: Option<IdleReason>,
+    ) -> SimTime {
+        let start = at.max(self.cpu_free);
+        let gap = start.saturating_since(self.cpu_free);
+        if !gap.is_zero() {
+            if let Some(reason) = idle {
+                self.breakdown[reason.category()] += gap;
+            } else {
+                // Unattributed gaps default to sync idle: the only way
+                // a node CPU waits without a designated reason is
+                // between program phases (startup / final barrier).
+                self.breakdown[Category::SyncIdle] += gap;
+            }
+        }
+        self.breakdown[cat] += dur;
+        self.cpu_free = start + dur;
+        self.cpu_free
+    }
+
+    /// Closes the account at `end` (normally the run's finish time),
+    /// attributing any trailing idle to `idle`.
+    pub fn finish(&mut self, end: SimTime, idle: IdleReason) {
+        let gap = end.saturating_since(self.cpu_free);
+        if !gap.is_zero() {
+            self.breakdown[idle.category()] += gap;
+            self.cpu_free = end;
+        }
+    }
+
+    /// The per-category totals so far.
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
+    }
+}
+
+impl Default for NodeAccount {
+    fn default() -> Self {
+        NodeAccount::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_accumulates_categories() {
+        let mut a = NodeAccount::new();
+        a.consume(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            Category::Busy,
+            None,
+        );
+        a.consume(
+            a.cpu_free(),
+            SimDuration::from_micros(5),
+            Category::DsmOverhead,
+            None,
+        );
+        assert_eq!(a.breakdown()[Category::Busy], SimDuration::from_micros(10));
+        assert_eq!(
+            a.breakdown()[Category::DsmOverhead],
+            SimDuration::from_micros(5)
+        );
+        assert_eq!(a.cpu_free(), SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn idle_gap_attributed_to_reason() {
+        let mut a = NodeAccount::new();
+        a.consume(
+            SimTime::from_micros(100),
+            SimDuration::from_micros(1),
+            Category::Busy,
+            Some(IdleReason::Memory),
+        );
+        assert_eq!(
+            a.breakdown()[Category::MemoryIdle],
+            SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn unattributed_gap_defaults_to_sync() {
+        let mut a = NodeAccount::new();
+        a.consume(
+            SimTime::from_micros(7),
+            SimDuration::ZERO,
+            Category::Busy,
+            None,
+        );
+        assert_eq!(
+            a.breakdown()[Category::SyncIdle],
+            SimDuration::from_micros(7)
+        );
+    }
+
+    #[test]
+    fn overlapping_consume_queues_without_idle() {
+        let mut a = NodeAccount::new();
+        a.consume(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            Category::Busy,
+            None,
+        );
+        // Requested at t=3 but CPU busy until t=10: no idle, runs 10..14.
+        let end = a.consume(
+            SimTime::from_micros(3),
+            SimDuration::from_micros(4),
+            Category::DsmOverhead,
+            Some(IdleReason::Memory),
+        );
+        assert_eq!(end, SimTime::from_micros(14));
+        assert_eq!(a.breakdown()[Category::MemoryIdle], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn finish_pads_with_idle() {
+        let mut a = NodeAccount::new();
+        a.consume(
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            Category::Busy,
+            None,
+        );
+        a.finish(SimTime::from_micros(25), IdleReason::Sync);
+        assert_eq!(
+            a.breakdown()[Category::SyncIdle],
+            SimDuration::from_micros(15)
+        );
+        assert_eq!(a.breakdown().total(), SimDuration::from_micros(25));
+    }
+
+    #[test]
+    fn breakdown_total_is_category_sum() {
+        let mut b = Breakdown::new();
+        b[Category::Busy] = SimDuration::from_micros(3);
+        b[Category::SyncIdle] = SimDuration::from_micros(7);
+        assert_eq!(b.total(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn normalization() {
+        let mut b = Breakdown::new();
+        b[Category::Busy] = SimDuration::from_micros(25);
+        b[Category::MemoryIdle] = SimDuration::from_micros(75);
+        let n = b.normalized_to_self();
+        assert!((n.fraction(Category::Busy) - 0.25).abs() < 1e-12);
+        assert!((n.total_fraction() - 1.0).abs() < 1e-12);
+
+        let half = b.normalized_to(SimDuration::from_micros(200));
+        assert!((half.total_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_of_zero_total_is_zero() {
+        let n = Breakdown::new().normalized_to_self();
+        assert_eq!(n.total_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_nodes() {
+        let mut a = Breakdown::new();
+        a[Category::Busy] = SimDuration::from_micros(1);
+        let mut b = Breakdown::new();
+        b[Category::Busy] = SimDuration::from_micros(2);
+        a.accumulate(&b);
+        assert_eq!(a[Category::Busy], SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Breakdown::new().to_string().is_empty());
+        assert!(!Breakdown::new().normalized_to_self().to_string().is_empty());
+        assert_eq!(Category::Busy.to_string(), "Busy");
+    }
+}

@@ -1,0 +1,213 @@
+//! Barriers with local combining and a central manager.
+//!
+//! TreadMarks barriers are centrally managed: each node sends one
+//! arrival message carrying its new intervals; the manager, once all
+//! nodes arrive, broadcasts a release redistributing every interval.
+//! With multithreading the paper combines locally (§4.1): only the
+//! *last* local thread to arrive generates the remote arrival message.
+
+use std::collections::HashMap;
+
+use rsdsm_simnet::NodeId;
+
+use crate::msg::{BarrierId, IntervalRecord};
+use crate::thread::ThreadId;
+
+/// Per-node barrier state: counts local arrivals so only the last
+/// thread triggers the remote message.
+#[derive(Debug, Clone)]
+pub struct NodeBarrier {
+    threads_on_node: usize,
+    arrived: HashMap<BarrierId, Vec<ThreadId>>,
+}
+
+impl NodeBarrier {
+    /// State for a node running `threads_on_node` application threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads_on_node` is zero.
+    pub fn new(threads_on_node: usize) -> Self {
+        assert!(threads_on_node > 0, "a node runs at least one thread");
+        NodeBarrier {
+            threads_on_node,
+            arrived: HashMap::new(),
+        }
+    }
+
+    /// Records a local arrival. Returns true when this was the last
+    /// local thread — the caller must then send the node's arrival to
+    /// the manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread arrives twice at the same barrier episode.
+    pub fn arrive(&mut self, id: BarrierId, tid: ThreadId) -> bool {
+        let list = self.arrived.entry(id).or_default();
+        assert!(!list.contains(&tid), "double arrival at {id:?}");
+        list.push(tid);
+        list.len() == self.threads_on_node
+    }
+
+    /// Consumes the arrival list on release; the returned threads are
+    /// woken.
+    pub fn release(&mut self, id: BarrierId) -> Vec<ThreadId> {
+        self.arrived.remove(&id).unwrap_or_default()
+    }
+
+    /// Local threads currently waiting at `id`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn waiting(&self, id: BarrierId) -> usize {
+        self.arrived.get(&id).map_or(0, Vec::len)
+    }
+}
+
+/// Manager-side barrier state (lives on node 0).
+#[derive(Debug, Clone)]
+pub struct BarrierManager {
+    nodes: usize,
+    pending: HashMap<BarrierId, Episode>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Episode {
+    arrived: Vec<NodeId>,
+    intervals: Vec<IntervalRecord>,
+}
+
+impl BarrierManager {
+    /// A manager for a cluster of `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        BarrierManager {
+            nodes,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Records a node's arrival with its intervals. When every node
+    /// has arrived, returns the deduplicated union of intervals to
+    /// broadcast (and resets the episode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node arrives twice in one episode.
+    pub fn node_arrived(
+        &mut self,
+        id: BarrierId,
+        from: NodeId,
+        intervals: Vec<IntervalRecord>,
+    ) -> Option<Vec<IntervalRecord>> {
+        let ep = self.pending.entry(id).or_default();
+        assert!(!ep.arrived.contains(&from), "node {from} arrived twice");
+        ep.arrived.push(from);
+        for rec in intervals {
+            let dup = ep
+                .intervals
+                .iter()
+                .any(|r| r.origin == rec.origin && r.stamp == rec.stamp);
+            if !dup {
+                ep.intervals.push(rec);
+            }
+        }
+        if ep.arrived.len() == self.nodes {
+            let ep = self.pending.remove(&id).expect("episode exists");
+            Some(ep.intervals)
+        } else {
+            None
+        }
+    }
+
+    /// Nodes currently arrived at `id`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn arrived_count(&self, id: BarrierId) -> usize {
+        self.pending.get(&id).map_or(0, |e| e.arrived.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsdsm_protocol::{PageId, VectorClock};
+
+    fn rec(origin: NodeId, tick: usize) -> IntervalRecord {
+        let mut stamp = VectorClock::new(4);
+        for _ in 0..tick {
+            stamp.tick(origin);
+        }
+        IntervalRecord {
+            origin,
+            stamp,
+            pages: vec![PageId::new(0)],
+        }
+    }
+
+    #[test]
+    fn last_local_thread_triggers_arrival() {
+        let mut nb = NodeBarrier::new(3);
+        assert!(!nb.arrive(BarrierId(0), ThreadId(0)));
+        assert!(!nb.arrive(BarrierId(0), ThreadId(1)));
+        assert_eq!(nb.waiting(BarrierId(0)), 2);
+        assert!(nb.arrive(BarrierId(0), ThreadId(2)));
+    }
+
+    #[test]
+    fn release_returns_all_waiters_and_resets() {
+        let mut nb = NodeBarrier::new(2);
+        nb.arrive(BarrierId(1), ThreadId(0));
+        nb.arrive(BarrierId(1), ThreadId(1));
+        let woken = nb.release(BarrierId(1));
+        assert_eq!(woken, vec![ThreadId(0), ThreadId(1)]);
+        assert_eq!(nb.waiting(BarrierId(1)), 0);
+        // The barrier id can be reused for the next episode.
+        assert!(!nb.arrive(BarrierId(1), ThreadId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double arrival")]
+    fn double_local_arrival_panics() {
+        let mut nb = NodeBarrier::new(2);
+        nb.arrive(BarrierId(0), ThreadId(0));
+        nb.arrive(BarrierId(0), ThreadId(0));
+    }
+
+    #[test]
+    fn manager_releases_when_all_nodes_arrive() {
+        let mut m = BarrierManager::new(3);
+        assert!(m.node_arrived(BarrierId(0), 0, vec![rec(0, 1)]).is_none());
+        assert!(m.node_arrived(BarrierId(0), 2, vec![rec(2, 1)]).is_none());
+        assert_eq!(m.arrived_count(BarrierId(0)), 2);
+        let released = m
+            .node_arrived(BarrierId(0), 1, vec![rec(1, 1)])
+            .expect("all arrived");
+        assert_eq!(released.len(), 3);
+        assert_eq!(m.arrived_count(BarrierId(0)), 0);
+    }
+
+    #[test]
+    fn manager_dedupes_intervals() {
+        let mut m = BarrierManager::new(2);
+        // Both nodes report the same interval (origin 0, tick 1) —
+        // possible when it propagated through a lock first.
+        assert!(m
+            .node_arrived(BarrierId(0), 0, vec![rec(0, 1), rec(0, 2)])
+            .is_none());
+        let released = m
+            .node_arrived(BarrierId(0), 1, vec![rec(0, 1)])
+            .expect("all arrived");
+        assert_eq!(released.len(), 2);
+    }
+
+    #[test]
+    fn distinct_barrier_ids_are_independent_episodes() {
+        let mut m = BarrierManager::new(2);
+        assert!(m.node_arrived(BarrierId(0), 0, vec![]).is_none());
+        assert!(m.node_arrived(BarrierId(1), 0, vec![]).is_none());
+        assert!(m.node_arrived(BarrierId(1), 1, vec![]).is_some());
+        assert!(m.node_arrived(BarrierId(0), 1, vec![]).is_some());
+    }
+}

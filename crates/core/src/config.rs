@@ -1,0 +1,248 @@
+//! Simulation configuration.
+//!
+//! [`DsmConfig`] gathers everything that varies between the paper's
+//! experiments: cluster size, network parameters, software costs, the
+//! prefetch mode, and the multithreading mode. The figure/table
+//! binaries construct one config per bar of each figure.
+
+use rsdsm_simnet::{NetConfig, SimDuration};
+
+use crate::costs::CostModel;
+
+/// How prefetching is enabled for a run (§3, §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchConfig {
+    /// Whether `DsmCtx::prefetch` calls issue messages at all.
+    /// When false, prefetch calls are free no-ops, giving the
+    /// "original" bars of the figures.
+    pub enabled: bool,
+    /// Issue only every k-th message-generating prefetch (the RADIX
+    /// throttling optimization, §5.1). `1` means no throttling.
+    pub throttle: u32,
+    /// Suppress prefetches for pages a sibling thread on the same
+    /// node has already prefetched this barrier epoch — the dynamic
+    /// flag optimization of §5.1.
+    pub suppress_redundant: bool,
+    /// Fully runtime-driven prefetching: instead of the
+    /// application's explicit annotations, the DSM records which
+    /// pages fault after each synchronization point and automatically
+    /// prefetches that history at the next acquisition of the same
+    /// object — the alternative design of Bianchini et al. that the
+    /// paper argues hand insertion beats (§3, §6). When set,
+    /// application prefetch calls are ignored.
+    pub automatic: bool,
+    /// Send prefetch requests and replies reliably instead of
+    /// droppable — the design alternative the paper rejects in §3.1
+    /// footnote 3 (retrying under congestion worsens congestion).
+    /// Exposed for the ablation experiments.
+    pub reliable: bool,
+    /// Emulate compiler-inserted prefetching by also issuing the
+    /// prefetch checks for private (thread-local) data the compiler
+    /// cannot classify (inflates unnecessary-prefetch counts the way
+    /// Table 1 shows for FFT and LU-NCONT).
+    pub compiler_style: bool,
+}
+
+impl PrefetchConfig {
+    /// Prefetching disabled (the "O" bars).
+    pub fn off() -> Self {
+        PrefetchConfig {
+            enabled: false,
+            throttle: 1,
+            suppress_redundant: false,
+            automatic: false,
+            reliable: false,
+            compiler_style: false,
+        }
+    }
+
+    /// Hand-inserted prefetching as in §3.2 (the "P" bars).
+    pub fn hand() -> Self {
+        PrefetchConfig {
+            enabled: true,
+            throttle: 1,
+            suppress_redundant: false,
+            automatic: false,
+            reliable: false,
+            compiler_style: false,
+        }
+    }
+
+    /// Compiler-style prefetching (FFT, LU-NCONT in the paper).
+    pub fn compiler() -> Self {
+        PrefetchConfig {
+            compiler_style: true,
+            ..PrefetchConfig::hand()
+        }
+    }
+
+    /// History-based automatic runtime prefetching (the Bianchini
+    /// et al. style the paper compares against).
+    pub fn automatic() -> Self {
+        PrefetchConfig {
+            automatic: true,
+            ..PrefetchConfig::hand()
+        }
+    }
+}
+
+/// How multithreading is configured for a run (§4, §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// User-level threads per node (1 = the paper's "O"/"P" bars).
+    pub threads_per_node: usize,
+    /// Switch threads on a remote memory miss. True in pure
+    /// multithreading (§4); false in the combined approach (§5),
+    /// where prefetching owns memory latency and a miss simply stalls.
+    pub switch_on_memory: bool,
+    /// Switch threads on a remote synchronization stall.
+    pub switch_on_sync: bool,
+}
+
+impl ThreadConfig {
+    /// Single-threaded nodes (no multithreading machinery active).
+    pub fn single() -> Self {
+        ThreadConfig {
+            threads_per_node: 1,
+            switch_on_memory: false,
+            switch_on_sync: false,
+        }
+    }
+
+    /// Pure multithreading with `n` threads per node (§4): switch on
+    /// both memory and synchronization stalls.
+    pub fn multithreaded(n: usize) -> Self {
+        ThreadConfig {
+            threads_per_node: n,
+            switch_on_memory: true,
+            switch_on_sync: true,
+        }
+    }
+
+    /// The combined approach of §5: `n` threads per node, switching
+    /// only on synchronization stalls (prefetching hides memory).
+    pub fn combined(n: usize) -> Self {
+        ThreadConfig {
+            threads_per_node: n,
+            switch_on_memory: false,
+            switch_on_sync: true,
+        }
+    }
+
+    /// True when more than one thread runs per node, which activates
+    /// asynchronous message handling and its fixed overhead (§4.3).
+    pub fn is_multithreaded(&self) -> bool {
+        self.threads_per_node > 1
+    }
+}
+
+/// Complete configuration of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsmConfig {
+    /// Number of workstations.
+    pub nodes: usize,
+    /// Network model parameters.
+    pub net: NetConfig,
+    /// Software cost constants.
+    pub costs: CostModel,
+    /// Prefetch mode.
+    pub prefetch: PrefetchConfig,
+    /// Multithreading mode.
+    pub threads: ThreadConfig,
+    /// Diff/interval storage (in encoded bytes) that triggers a
+    /// garbage-collection pass at the next barrier.
+    pub gc_threshold_bytes: usize,
+    /// Seed for all deterministic randomness (network drops).
+    pub seed: u64,
+    /// Safety limit on simulated time; a run exceeding it aborts with
+    /// an error rather than looping forever.
+    pub max_sim_time: SimDuration,
+}
+
+impl DsmConfig {
+    /// The paper's cluster: `nodes` workstations on a 155 Mbps ATM
+    /// switch with 1998-calibrated software costs, prefetching off,
+    /// single-threaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn paper_cluster(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        DsmConfig {
+            nodes,
+            net: NetConfig::atm_155(0x5D5),
+            costs: CostModel::paper_1998(),
+            prefetch: PrefetchConfig::off(),
+            threads: ThreadConfig::single(),
+            gc_threshold_bytes: 8 << 20,
+            seed: 0x5D5,
+            max_sim_time: SimDuration::from_secs(36_000),
+        }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.net.seed = seed;
+        self
+    }
+
+    /// Enables a prefetch mode (builder style).
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the thread mode (builder style).
+    pub fn with_threads(mut self, threads: ThreadConfig) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Total application threads in the run.
+    pub fn total_threads(&self) -> usize {
+        self.nodes * self.threads.threads_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_defaults() {
+        let c = DsmConfig::paper_cluster(8);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.total_threads(), 8);
+        assert!(!c.prefetch.enabled);
+        assert!(!c.threads.is_multithreaded());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DsmConfig::paper_cluster(4)
+            .with_seed(9)
+            .with_prefetch(PrefetchConfig::hand())
+            .with_threads(ThreadConfig::multithreaded(4));
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.net.seed, 9);
+        assert!(c.prefetch.enabled);
+        assert_eq!(c.total_threads(), 16);
+        assert!(c.threads.switch_on_memory);
+    }
+
+    #[test]
+    fn combined_mode_switches_only_on_sync() {
+        let t = ThreadConfig::combined(4);
+        assert!(!t.switch_on_memory);
+        assert!(t.switch_on_sync);
+        assert!(t.is_multithreaded());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        DsmConfig::paper_cluster(0);
+    }
+}

@@ -1,0 +1,1934 @@
+//! The simulation engine: event loop, protocol handlers, and the
+//! conductor that runs application threads in deterministic lockstep.
+//!
+//! The engine is the meeting point of every substrate: it owns the
+//! event queue and network from `rsdsm-simnet`, drives the LRC
+//! machinery from `rsdsm-protocol` inside each [`NodeState`], executes
+//! application threads through the [`conductor`](crate::conductor)
+//! handshake, and charges every software cost from the
+//! [`CostModel`](crate::CostModel) to the per-node accounts that
+//! become the paper's execution-time breakdowns.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use rsdsm_protocol::{CachedDiff, Diff, Page, PageId, VectorClock, WriteNotice};
+use rsdsm_simnet::{EventQueue, Network, NodeId, Reliability, SimTime};
+
+use crate::accounting::{Category, IdleReason};
+use crate::barrier::BarrierManager;
+use crate::conductor::{CallMsg, Charges, DsmCtx, Syscall};
+use crate::config::DsmConfig;
+use crate::heap::Heap;
+use crate::lock::{AcquireOutcome, ForwardOutcome, GrantOutcome, ReleaseOutcome, RemoteWaiter};
+use crate::msg::{BarrierId, BasePayload, DiffPayload, IntervalRecord, LockId, Msg, MsgBody};
+use crate::node::{Fetch, MissClass, NodeMem, NodeState, SyncKey};
+use crate::program::{DsmProgram, VerifyCtx};
+use crate::report::{fold_counters, NetSummary, RunReport, SimError};
+use crate::thread::{BlockReason, ThreadId, ThreadState};
+
+/// Events processed by the engine.
+#[derive(Debug)]
+enum Event {
+    /// Initial activation of a thread.
+    Start(ThreadId),
+    /// A running thread's compute burst matured into its syscall.
+    SyscallReady(ThreadId),
+    /// A protocol message arrived at its destination.
+    Arrival(Msg),
+}
+
+/// Engine-side handle to one application thread.
+struct ThreadPeer {
+    resume_tx: Sender<()>,
+    call_rx: Receiver<CallMsg>,
+    state: ThreadState,
+    pending_syscall: Option<Syscall>,
+    run_busy: rsdsm_simnet::SimDuration,
+    last_block: Option<BlockReason>,
+}
+
+/// A configured simulation, ready to run programs.
+///
+/// See [`DsmProgram`] for a complete end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cfg: DsmConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation with the given configuration.
+    pub fn new(cfg: DsmConfig) -> Self {
+        Simulation { cfg }
+    }
+
+    /// The configuration this simulation runs with.
+    pub fn config(&self) -> &DsmConfig {
+        &self.cfg
+    }
+
+    /// Runs `app` to completion and reports every measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if an application thread panics, the
+    /// simulated-time safety limit is exceeded, or the protocol
+    /// deadlocks (which indicates an application synchronization bug,
+    /// e.g. mismatched barrier arrivals).
+    pub fn run<P: DsmProgram>(&self, app: &P) -> Result<RunReport, SimError> {
+        let cfg = &self.cfg;
+        let mut heap = Heap::new(cfg.nodes);
+        let handles = app.allocate(&mut heap);
+        let total_pages = heap.page_count();
+        let tpn = cfg.threads.threads_per_node;
+        let total_threads = cfg.total_threads();
+
+        let mem: Arc<Mutex<Vec<NodeMem>>> = Arc::new(Mutex::new(
+            (0..cfg.nodes)
+                .map(|n| NodeMem::new(total_pages, |p| heap.home(PageId::new(p as u32)) == n))
+                .collect(),
+        ));
+        let panic_note: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+
+        let mut peers = Vec::with_capacity(total_threads);
+        let mut ctxs = Vec::with_capacity(total_threads);
+        for t in 0..total_threads {
+            let (resume_tx, resume_rx) = mpsc::channel();
+            let (call_tx, call_rx) = mpsc::channel();
+            peers.push(ThreadPeer {
+                resume_tx,
+                call_rx,
+                state: ThreadState::Ready,
+                pending_syscall: None,
+                run_busy: rsdsm_simnet::SimDuration::ZERO,
+                last_block: None,
+            });
+            ctxs.push(DsmCtx::new(
+                ThreadId(t),
+                t / tpn,
+                total_threads,
+                Arc::clone(&mem),
+                cfg.costs.clone(),
+                cfg.prefetch.clone(),
+                resume_rx,
+                call_tx,
+            ));
+        }
+
+        let scope_result = thread::scope(|s| {
+            for mut ctx in ctxs {
+                let note = Arc::clone(&panic_note);
+                let h = handles.clone();
+                s.spawn(move || {
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ctx.wait_start();
+                        app.run(&mut ctx, &h);
+                        ctx.exit();
+                    }));
+                    if let Err(payload) = res {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        let mut slot = note.lock().expect("panic note mutex");
+                        slot.get_or_insert(msg);
+                    }
+                });
+            }
+            let mut core = Core::new(cfg, &heap, Arc::clone(&mem), peers);
+            match core.run_loop() {
+                Ok(finish) => {
+                    core.finish_accounts(finish);
+                    Ok((finish, core.nodes, core.net))
+                }
+                Err(e) => {
+                    // Dropping the core drops the resume channels,
+                    // unblocking (and terminating) any stuck threads
+                    // so the scope join below completes.
+                    drop(core);
+                    Err(e)
+                }
+            }
+        });
+
+        let (finish, nodes, net) = scope_result.map_err(|e| {
+            if let SimError::AppThread(_) = e {
+                let note = panic_note.lock().expect("panic note mutex").take();
+                SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
+            } else {
+                e
+            }
+        })?;
+        if let Some(msg) = panic_note.lock().expect("panic note mutex").take() {
+            return Err(SimError::AppThread(msg));
+        }
+
+        let mem_guard = mem.lock().expect("mem mutex");
+        let pages = materialize(&heap, &nodes, &mem_guard);
+        let verified = app.verify(&VerifyCtx::new(pages), &handles);
+
+        let node_breakdowns: Vec<_> = nodes.iter().map(|n| *n.account.breakdown()).collect();
+        let mut breakdown = crate::accounting::Breakdown::new();
+        for b in &node_breakdowns {
+            breakdown.accumulate(b);
+        }
+        let (misses, locks, barriers, prefetch, mt, gc_passes) = fold_counters(
+            nodes
+                .iter()
+                .zip(mem_guard.iter())
+                .map(|(n, m)| (n.counters, m.counters)),
+        );
+
+        Ok(RunReport {
+            app: app.name(),
+            config: cfg.clone(),
+            total_time: finish.saturating_since(SimTime::ZERO),
+            node_breakdowns,
+            breakdown,
+            verified,
+            net: NetSummary::from_stats(net.stats()),
+            misses,
+            locks,
+            barriers,
+            prefetch,
+            mt,
+            gc_passes,
+        })
+    }
+}
+
+/// The running engine.
+struct Core<'a> {
+    cfg: &'a DsmConfig,
+    heap: &'a Heap,
+    mem: Arc<Mutex<Vec<NodeMem>>>,
+    nodes: Vec<NodeState>,
+    net: Network,
+    queue: EventQueue<Event>,
+    threads: Vec<ThreadPeer>,
+    barrier_mgr: BarrierManager,
+    barrier_vcs: std::collections::HashMap<BarrierId, VectorClock>,
+    done: usize,
+    finish: SimTime,
+    /// Event tracing to stderr, enabled by the RSDSM_TRACE env var.
+    trace: bool,
+    /// Byte-range watch (RSDSM_WATCH="page,lo,hi"), for diagnostics.
+    watch: Option<(usize, usize, usize)>,
+}
+
+/// The barrier manager lives on node 0, as in TreadMarks.
+const MANAGER: NodeId = 0;
+
+impl<'a> Core<'a> {
+    fn new(
+        cfg: &'a DsmConfig,
+        heap: &'a Heap,
+        mem: Arc<Mutex<Vec<NodeMem>>>,
+        threads: Vec<ThreadPeer>,
+    ) -> Self {
+        let tpn = cfg.threads.threads_per_node;
+        let mut queue = EventQueue::new();
+        for t in 0..threads.len() {
+            queue.push(SimTime::ZERO, Event::Start(ThreadId(t)));
+        }
+        Core {
+            cfg,
+            heap,
+            mem,
+            nodes: (0..cfg.nodes)
+                .map(|n| NodeState::new(n, cfg.nodes, tpn))
+                .collect(),
+            net: Network::new(cfg.nodes, cfg.net.clone()),
+            queue,
+            threads,
+            barrier_mgr: BarrierManager::new(cfg.nodes),
+            barrier_vcs: std::collections::HashMap::new(),
+            done: 0,
+            finish: SimTime::ZERO,
+            trace: std::env::var_os("RSDSM_TRACE").is_some(),
+            watch: std::env::var("RSDSM_WATCH").ok().and_then(|v| {
+                let mut it = v.split(',').map(|x| x.parse().ok());
+                Some((it.next()??, it.next()??, it.next()??))
+            }),
+        }
+    }
+
+    fn tpn(&self) -> usize {
+        self.cfg.threads.threads_per_node
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn run_loop(&mut self) -> Result<SimTime, SimError> {
+        let limit = SimTime::ZERO + self.cfg.max_sim_time;
+        while self.done < self.threads.len() {
+            let Some((now, event)) = self.queue.pop() else {
+                return Err(SimError::Deadlock(self.describe_blocked()));
+            };
+            if now > limit {
+                return Err(SimError::TimeLimit);
+            }
+            match event {
+                Event::Start(tid) => {
+                    let n = tid.node(self.tpn());
+                    self.nodes[n].sched.make_ready(tid);
+                    self.maybe_dispatch(n, now)?;
+                }
+                Event::SyscallReady(tid) => self.on_syscall_ready(tid, now)?,
+                Event::Arrival(msg) => self.on_arrival(msg, now)?,
+            }
+            if self.trace {
+                self.check_token_uniqueness(now);
+            }
+        }
+        Ok(self.finish)
+    }
+
+    /// Debug invariant: at most one node holds any lock's token.
+    fn check_token_uniqueness(&self, now: SimTime) {
+        let mut holders: std::collections::HashMap<LockId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for node in &self.nodes {
+            for lock in node.locks.tokens_held() {
+                holders.entry(lock).or_default().push(node.id);
+            }
+        }
+        for (lock, nodes) in holders {
+            if nodes.len() > 1 {
+                eprintln!("[{now}] TOKEN DUPLICATED for {lock:?}: nodes {nodes:?}");
+            }
+        }
+    }
+
+    fn describe_blocked(&self) -> String {
+        let blocked: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, p)| match p.state {
+                ThreadState::Blocked(reason, since) => {
+                    Some(format!("thread {t} blocked on {reason:?} since {since}"))
+                }
+                _ => None,
+            })
+            .collect();
+        format!(
+            "event queue empty with {} threads stuck: {}",
+            blocked.len(),
+            blocked.join("; ")
+        )
+    }
+
+    fn finish_accounts(&mut self, finish: SimTime) {
+        for node in &mut self.nodes {
+            node.account.finish(finish, IdleReason::Sync);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU accounting
+    // ------------------------------------------------------------------
+
+    /// Charges `dur` of CPU work on node `n` starting around `at`.
+    /// If an application burst is in progress, the work preempts it
+    /// (interrupt-driven servicing): the burst is pushed back and the
+    /// work completes at `at + dur`. Otherwise the work queues on the
+    /// CPU normally, attributing any idle gap to `idle`.
+    fn charge(
+        &mut self,
+        n: NodeId,
+        at: SimTime,
+        dur: rsdsm_simnet::SimDuration,
+        cat: Category,
+        idle: Option<IdleReason>,
+    ) -> SimTime {
+        let node = &mut self.nodes[n];
+        if let Some(burst) = &mut node.burst {
+            if at < burst.end + burst.penalty {
+                let cpu_free = node.account.cpu_free();
+                node.account.consume(cpu_free, dur, cat, None);
+                burst.penalty += dur;
+                return at + dur;
+            }
+        }
+        node.account.consume(at, dur, cat, idle)
+    }
+
+    /// Why node `n`'s CPU is idle right now, judged by its blocked
+    /// threads (memory takes precedence over sync).
+    fn idle_reason(&self, n: NodeId) -> Option<IdleReason> {
+        let tpn = self.tpn();
+        let mut reason = None;
+        for t in n * tpn..(n + 1) * tpn {
+            if let ThreadState::Blocked(r, _) = self.threads[t].state {
+                if r == BlockReason::Memory {
+                    return Some(IdleReason::Memory);
+                }
+                reason = Some(IdleReason::Sync);
+            }
+        }
+        reason
+    }
+
+    // ------------------------------------------------------------------
+    // Thread scheduling
+    // ------------------------------------------------------------------
+
+    fn maybe_dispatch(&mut self, n: NodeId, now: SimTime) -> Result<(), SimError> {
+        if self.nodes[n].burst.is_some()
+            || self.nodes[n].pinned.is_some()
+            || !self.nodes[n].sched.can_dispatch()
+        {
+            return Ok(());
+        }
+        let (tid, is_switch) = self.nodes[n].sched.dispatch();
+        let idle = self.threads[tid.0].last_block.map(|r| match r {
+            BlockReason::Memory => IdleReason::Memory,
+            _ => IdleReason::Sync,
+        });
+        let mut at = now;
+        if is_switch {
+            self.nodes[n].counters.switches += 1;
+            at = self.charge(
+                n,
+                now,
+                self.cfg.costs.context_switch,
+                Category::MtOverhead,
+                idle,
+            );
+        }
+        self.threads[tid.0].state = ThreadState::Running;
+        self.run_thread(tid, at, idle)
+    }
+
+    /// Resumes thread `tid`, receives its next syscall, books its
+    /// accumulated charges as a burst starting at `at`, and schedules
+    /// the syscall's maturity.
+    fn run_thread(
+        &mut self,
+        tid: ThreadId,
+        at: SimTime,
+        idle: Option<IdleReason>,
+    ) -> Result<(), SimError> {
+        let n = tid.node(self.tpn());
+        let call = {
+            let peer = &mut self.threads[tid.0];
+            peer.resume_tx
+                .send(())
+                .map_err(|_| SimError::AppThread(String::new()))?;
+            peer.call_rx
+                .recv()
+                .map_err(|_| SimError::AppThread(String::new()))?
+        };
+        let Charges {
+            busy,
+            dsm,
+            prefetch,
+        } = call.charges;
+        let mut end = self.charge(n, at, busy, Category::Busy, idle);
+        if !dsm.is_zero() {
+            end = self.charge(n, end, dsm, Category::DsmOverhead, None);
+        }
+        if !prefetch.is_zero() {
+            end = self.charge(n, end, prefetch, Category::PrefetchOverhead, None);
+        }
+        let peer = &mut self.threads[tid.0];
+        peer.run_busy += busy;
+        peer.pending_syscall = Some(call.syscall);
+        self.nodes[n].burst = Some(crate::node::Burst {
+            tid,
+            end,
+            penalty: rsdsm_simnet::SimDuration::ZERO,
+        });
+        self.queue.push(end, Event::SyscallReady(tid));
+        Ok(())
+    }
+
+    fn on_syscall_ready(&mut self, tid: ThreadId, now: SimTime) -> Result<(), SimError> {
+        let n = tid.node(self.tpn());
+        {
+            let node = &mut self.nodes[n];
+            let burst = node.burst.as_mut().expect("burst for maturing syscall");
+            assert_eq!(burst.tid, tid, "burst/thread mismatch");
+            if !burst.penalty.is_zero() {
+                // Interrupt servicing pushed the burst back; try again
+                // at the extended end.
+                burst.end += burst.penalty;
+                burst.penalty = rsdsm_simnet::SimDuration::ZERO;
+                let end = burst.end;
+                self.queue.push(end, Event::SyscallReady(tid));
+                return Ok(());
+            }
+            node.burst = None;
+        }
+        let syscall = self.threads[tid.0]
+            .pending_syscall
+            .take()
+            .expect("pending syscall");
+        self.handle_syscall(tid, n, syscall, now)
+    }
+
+    /// Blocks `tid` with `reason`, recording its run length and
+    /// triggering a context switch when the configuration allows one
+    /// for this kind of stall.
+    fn block(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        reason: BlockReason,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let peer = &mut self.threads[tid.0];
+        self.nodes[n].counters.run_length_sum += peer.run_busy;
+        self.nodes[n].counters.run_length_count += 1;
+        peer.run_busy = rsdsm_simnet::SimDuration::ZERO;
+        peer.state = ThreadState::Blocked(reason, now);
+        peer.last_block = Some(reason);
+        self.nodes[n].sched.yield_cpu(tid);
+        let switch_allowed = if reason == BlockReason::Memory {
+            self.cfg.threads.switch_on_memory
+        } else {
+            self.cfg.threads.switch_on_sync
+        };
+        if switch_allowed {
+            self.maybe_dispatch(n, now)?;
+        } else if self.cfg.threads.is_multithreaded() {
+            self.nodes[n].pinned = Some(tid);
+        }
+        Ok(())
+    }
+
+    /// Wakes a blocked thread, accounting its stall.
+    fn wake(&mut self, tid: ThreadId, now: SimTime) -> Result<(), SimError> {
+        let n = tid.node(self.tpn());
+        let peer = &mut self.threads[tid.0];
+        let ThreadState::Blocked(reason, since) = peer.state else {
+            panic!("waking thread {tid:?} that is not blocked");
+        };
+        let stall = now.saturating_since(since);
+        let counters = &mut self.nodes[n].counters;
+        match reason {
+            BlockReason::Memory => counters.miss_stall += stall,
+            BlockReason::Lock => {
+                counters.lock_stall += stall;
+                counters.lock_waits += 1;
+            }
+            BlockReason::Barrier => {
+                counters.barrier_stall += stall;
+                counters.barrier_waits += 1;
+            }
+        }
+        peer.state = ThreadState::Ready;
+        if self.nodes[n].pinned == Some(tid) {
+            self.nodes[n].pinned = None;
+            self.nodes[n].sched.make_ready_front(tid);
+        } else {
+            self.nodes[n].sched.make_ready(tid);
+        }
+        self.maybe_dispatch(n, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Syscall handling
+    // ------------------------------------------------------------------
+
+    fn handle_syscall(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        syscall: Syscall,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        if self.trace {
+            eprintln!("[{now}] syscall t{} n{n}: {syscall:?}", tid.0);
+        }
+        match syscall {
+            Syscall::Exit => {
+                let peer = &mut self.threads[tid.0];
+                peer.state = ThreadState::Done;
+                self.nodes[n].counters.run_length_sum += peer.run_busy;
+                self.nodes[n].counters.run_length_count += 1;
+                self.done += 1;
+                self.finish = self.finish.max(now);
+                self.nodes[n].sched.yield_cpu(tid);
+                self.maybe_dispatch(n, now)
+            }
+            Syscall::Fault { page, write } => self.handle_fault(tid, n, page, write, now),
+            Syscall::Acquire(lock) => self.handle_acquire(tid, n, lock, now),
+            Syscall::Release(lock) => self.handle_release(tid, n, lock, now),
+            Syscall::Barrier(id) => self.handle_barrier_arrive(tid, n, id, now),
+            Syscall::Prefetch(pages) => {
+                let end = self.handle_prefetch(n, &pages, now);
+                self.run_thread(tid, end, None)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Page faults and fetches
+    // ------------------------------------------------------------------
+
+    fn handle_fault(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        page: PageId,
+        _write: bool,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let end = self.charge(
+            n,
+            now,
+            self.cfg.costs.fault_entry,
+            Category::DsmOverhead,
+            None,
+        );
+        self.nodes[n].counters.faults += 1;
+
+        // Request combining: join an in-flight fetch.
+        if let Some(f) = self.nodes[n].fetches.get_mut(&page) {
+            f.waiters.push(tid);
+            return self.block(tid, n, BlockReason::Memory, end);
+        }
+
+        let (missing, need_base) = self.missing_for(n, page);
+        if self.trace {
+            eprintln!("[{now}] fault n{n} {page}: missing {missing:?} base {need_base}");
+        }
+        if missing.is_empty() && !need_base {
+            // Everything needed is already local (prefetched).
+            let had_pf = self.nodes[n].pf_meta.contains_key(&page);
+            let apply_end = self.apply_local(n, page, end);
+            self.validate_page(n, page);
+            self.nodes[n].counters.classify(if had_pf {
+                MissClass::Hit
+            } else {
+                MissClass::NoPf
+            });
+            return self.run_thread(tid, apply_end, None);
+        }
+
+        // A real remote miss.
+        self.nodes[n].counters.misses += 1;
+        if self.cfg.prefetch.enabled && self.cfg.prefetch.automatic {
+            self.nodes[n].current_faults.push(page);
+        }
+        let class = match self.nodes[n].pf_meta.get(&page) {
+            None => MissClass::NoPf,
+            Some(meta) => {
+                let all_requested = missing.iter().all(|(origin, stamps)| {
+                    stamps
+                        .iter()
+                        .all(|s| meta.requested.contains(&(*origin, s.get(*origin))))
+                }) && (!need_base || meta.wanted_base);
+                if all_requested {
+                    MissClass::TooLate
+                } else {
+                    MissClass::Invalidated
+                }
+            }
+        };
+        self.nodes[n].counters.classify(class);
+
+        let end = self
+            .send_fetch_requests(n, page, &missing, need_base, end, false)
+            .0;
+        let outstanding = self.count_requests(&missing, need_base, page);
+        self.nodes[n].fetches.insert(
+            page,
+            Fetch {
+                outstanding,
+                waiters: vec![tid],
+                collected: Vec::new(),
+                base: None,
+                base_pending: need_base,
+                started: now,
+            },
+        );
+        self.block(tid, n, BlockReason::Memory, end)
+    }
+
+    /// The (origin → stamps) diffs node `n` still needs for `page`
+    /// (pending notices minus the prefetch cache), plus whether a
+    /// base copy is needed.
+    fn missing_for(&self, n: NodeId, page: PageId) -> (Vec<(NodeId, Vec<VectorClock>)>, bool) {
+        let node = &self.nodes[n];
+        let missing: Vec<(NodeId, Vec<VectorClock>)> = node
+            .board
+            .pending_by_origin(page)
+            .into_iter()
+            .filter_map(|(origin, stamps)| {
+                let remaining: Vec<VectorClock> = stamps
+                    .into_iter()
+                    .filter(|s| !node.cache.has_diff(page, origin, s))
+                    .collect();
+                if remaining.is_empty() {
+                    None
+                } else {
+                    Some((origin, remaining))
+                }
+            })
+            .collect();
+        let mem = self.mem.lock().expect("mem mutex");
+        let need_base =
+            !mem[n].pages[page.index()].ever_valid && !node.base_cache.contains_key(&page);
+        (missing, need_base)
+    }
+
+    fn count_requests(
+        &self,
+        missing: &[(NodeId, Vec<VectorClock>)],
+        need_base: bool,
+        page: PageId,
+    ) -> usize {
+        let home = self.heap.home(page);
+        let home_covered = missing.iter().any(|(o, _)| *o == home);
+        missing.len() + usize::from(need_base && !home_covered)
+    }
+
+    /// Sends diff/base requests; returns the CPU end time and the
+    /// number of messages actually delivered (prefetch requests may
+    /// drop).
+    fn send_fetch_requests(
+        &mut self,
+        n: NodeId,
+        page: PageId,
+        missing: &[(NodeId, Vec<VectorClock>)],
+        need_base: bool,
+        mut end: SimTime,
+        prefetch: bool,
+    ) -> (SimTime, usize) {
+        let home = self.heap.home(page);
+        let mut delivered = 0;
+        let send_cost = if prefetch {
+            self.cfg.costs.prefetch_issue
+        } else {
+            self.cfg.costs.msg_send
+        };
+        let send_cat = if prefetch {
+            Category::PrefetchOverhead
+        } else {
+            Category::DsmOverhead
+        };
+        for (origin, stamps) in missing {
+            end = self.charge(n, end, send_cost, send_cat, None);
+            let body = MsgBody::DiffRequest {
+                page,
+                stamps: stamps.clone(),
+                want_base: need_base && *origin == home,
+                prefetch,
+                droppable: prefetch && !self.cfg.prefetch.reliable,
+                vc: self.nodes[n].vc.clone(),
+            };
+            if self.post(end, n, *origin, body) {
+                delivered += 1;
+            } else {
+                self.nodes[n].counters.pf_send_drops += 1;
+            }
+            if prefetch {
+                self.nodes[n].counters.pf_messages += 1;
+            }
+        }
+        if need_base && !missing.iter().any(|(o, _)| *o == home) {
+            assert_ne!(home, n, "home node never needs a base copy");
+            end = self.charge(n, end, send_cost, send_cat, None);
+            let body = MsgBody::DiffRequest {
+                page,
+                stamps: Vec::new(),
+                want_base: true,
+                prefetch,
+                droppable: prefetch && !self.cfg.prefetch.reliable,
+                vc: self.nodes[n].vc.clone(),
+            };
+            if self.post(end, n, home, body) {
+                delivered += 1;
+            } else {
+                self.nodes[n].counters.pf_send_drops += 1;
+            }
+            if prefetch {
+                self.nodes[n].counters.pf_messages += 1;
+            }
+        }
+        (end, delivered)
+    }
+
+    /// Applies everything locally available for `page` (cached base,
+    /// cached prefetch diffs, collected fetch diffs), marking notices
+    /// applied. Does not validate the page.
+    fn apply_with(
+        &mut self,
+        n: NodeId,
+        page: PageId,
+        extra: Vec<DiffPayload>,
+        base: Option<BasePayload>,
+        mut end: SimTime,
+    ) -> SimTime {
+        let node = &mut self.nodes[n];
+        let base = base.or_else(|| node.base_cache.remove(&page));
+        let mut diffs: Vec<CachedDiff> = node
+            .cache
+            .take(page)
+            .into_iter()
+            .chain(extra.into_iter().map(|p| CachedDiff {
+                origin: p.origin,
+                stamp: p.stamp,
+                diff: p.diff,
+            }))
+            .collect();
+        // Order consistently with happens-before-1 (concurrent diffs
+        // are disjoint, so any topological order is correct).
+        diffs.sort_by(|a, b| {
+            let sum = |vc: &VectorClock| -> u64 { (0..vc.len()).map(|i| vc.get(i) as u64).sum() };
+            sum(&a.stamp).cmp(&sum(&b.stamp)).then_with(|| {
+                (0..a.stamp.len())
+                    .map(|i| a.stamp.get(i))
+                    .cmp((0..b.stamp.len()).map(|i| b.stamp.get(i)))
+            })
+        });
+
+        if self.trace {
+            // Paranoid race detector: concurrent diffs must touch
+            // disjoint bytes, or the multiple-writer merge is unsound.
+            for (x, a) in diffs.iter().enumerate() {
+                for b in &diffs[x + 1..] {
+                    if a.stamp.hb_cmp(&b.stamp).is_none() && a.diff.overlaps(&b.diff) {
+                        eprintln!(
+                            "RACE at n{n} {page}: concurrent diffs overlap: n{} {} vs n{} {}",
+                            a.origin, a.stamp, b.origin, b.stamp
+                        );
+                    }
+                }
+            }
+        }
+        let mut mem = self.mem.lock().expect("mem mutex");
+        let entry = &mut mem[n].pages[page.index()];
+        let mut apply_cost = rsdsm_simnet::SimDuration::ZERO;
+        // Diffs already incorporated in an applied base copy must NOT
+        // be re-applied: the base may also contain *newer* intervals
+        // (the home can be ahead of this node), and replaying an older
+        // diff over it would roll those bytes back.
+        let mut skip: std::collections::HashSet<(NodeId, u32)> = std::collections::HashSet::new();
+        if let Some(b) = base {
+            if !entry.ever_valid {
+                entry.data.copy_from(&b.page);
+                entry.ever_valid = true;
+                for (origin, stamp) in &b.incorporated {
+                    node.board.mark_applied(page, *origin, stamp);
+                    skip.insert((*origin, stamp.get(*origin)));
+                }
+                apply_cost += self.cfg.costs.diff_apply(rsdsm_protocol::PAGE_SIZE);
+            }
+        }
+        let watch = self.watch;
+        for cached in &diffs {
+            if let Some((wp, lo, hi)) = watch {
+                if page.index() == wp && cached.diff.covers(lo, hi) {
+                    let skipped = skip.contains(&(cached.origin, cached.stamp.get(cached.origin)))
+                        || node.board.is_applied(page, cached.origin, &cached.stamp);
+                    eprintln!(
+                        "WATCH apply n{n}: diff n{} {} skipped={skipped}",
+                        cached.origin, cached.stamp
+                    );
+                }
+            }
+            if skip.contains(&(cached.origin, cached.stamp.get(cached.origin)))
+                || node.board.is_applied(page, cached.origin, &cached.stamp)
+            {
+                // Already incorporated (via the base or an earlier
+                // fetch); re-applying a byte-sparse diff over newer
+                // data would roll those bytes back.
+                node.board.mark_applied(page, cached.origin, &cached.stamp);
+                continue;
+            }
+            cached.diff.apply(&mut entry.data);
+            // Keep the twin consistent so our own diff stays minimal
+            // (incoming concurrent diffs touch disjoint bytes).
+            if let Some(twin) = &mut entry.twin {
+                cached.diff.apply(twin);
+            }
+            node.board.mark_applied(page, cached.origin, &cached.stamp);
+            apply_cost += self.cfg.costs.diff_apply(cached.diff.payload_bytes());
+        }
+        if let Some((wp, lo, _hi)) = watch {
+            if page.index() == wp {
+                let val = f64::from_bits(u64::from_le_bytes(
+                    mem[n].pages[page.index()].data.bytes()[lo..lo + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                ));
+                eprintln!("WATCH value n{n} after apply batch: {val}");
+            }
+        }
+        drop(mem);
+        if !apply_cost.is_zero() {
+            end = self.charge(n, end, apply_cost, Category::DsmOverhead, None);
+        }
+        end
+    }
+
+    fn apply_local(&mut self, n: NodeId, page: PageId, end: SimTime) -> SimTime {
+        self.apply_with(n, page, Vec::new(), None, end)
+    }
+
+    /// Marks `page` valid and clears its prefetch bookkeeping.
+    fn validate_page(&mut self, n: NodeId, page: PageId) {
+        let mut mem = self.mem.lock().expect("mem mutex");
+        mem[n].pages[page.index()].valid = true;
+        mem[n].prefetch_inflight.remove(&page);
+        drop(mem);
+        self.nodes[n].pf_meta.remove(&page);
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetching (§3)
+    // ------------------------------------------------------------------
+
+    fn handle_prefetch(&mut self, n: NodeId, pages: &[PageId], now: SimTime) -> SimTime {
+        let mut end = now;
+        for &page in pages {
+            {
+                let mem = self.mem.lock().expect("mem mutex");
+                if mem[n].pages[page.index()].valid {
+                    continue;
+                }
+            }
+            if self.nodes[n].fetches.contains_key(&page) {
+                continue;
+            }
+            let (missing, need_base) = self.missing_for(n, page);
+            if missing.is_empty() && !need_base {
+                // Diffs already cached: the data is locally available.
+                let mut mem = self.mem.lock().expect("mem mutex");
+                mem[n].counters.pf_unnecessary += 1;
+                continue;
+            }
+            {
+                let node = &mut self.nodes[n];
+                let meta = node.pf_meta.entry(page).or_default();
+                for (origin, stamps) in &missing {
+                    for s in stamps {
+                        meta.requested.insert((*origin, s.get(*origin)));
+                    }
+                }
+                if need_base {
+                    meta.wanted_base = true;
+                }
+            }
+            let (new_end, _delivered) =
+                self.send_fetch_requests(n, page, &missing, need_base, end, true);
+            end = new_end;
+            let requests = self.count_requests(&missing, need_base, page);
+            let mut mem = self.mem.lock().expect("mem mutex");
+            *mem[n].prefetch_inflight.entry(page).or_insert(0) += requests as u32;
+        }
+        end
+    }
+
+    /// Automatic-prefetch mode (Bianchini-style): a synchronization
+    /// point was reached on node `n`. The pages that faulted since
+    /// the previous sync point become the history of that point's
+    /// sync object, and the history recorded for `key` is prefetched
+    /// now. Returns the CPU end time.
+    fn auto_prefetch_at_sync(&mut self, n: NodeId, key: SyncKey, now: SimTime) -> SimTime {
+        if !self.cfg.prefetch.enabled || !self.cfg.prefetch.automatic {
+            return now;
+        }
+        let node = &mut self.nodes[n];
+        let faults = std::mem::take(&mut node.current_faults);
+        if let Some(prev) = node.current_sync.replace(key) {
+            node.sync_history.insert(prev, faults);
+        }
+        let history = node.sync_history.get(&key).cloned().unwrap_or_default();
+        if history.is_empty() {
+            return now;
+        }
+        {
+            let mut mem = self.mem.lock().expect("mem mutex");
+            mem[n].counters.pf_calls += history.len() as u64;
+            mem[n].counters.pf_unnecessary += history
+                .iter()
+                .filter(|p| mem[n].pages[p.index()].valid)
+                .count() as u64;
+        }
+        let end = self.charge(
+            n,
+            now,
+            self.cfg.costs.prefetch_check * history.len() as u64,
+            Category::PrefetchOverhead,
+            None,
+        );
+        self.handle_prefetch(n, &history, end)
+    }
+
+    // ------------------------------------------------------------------
+    // Interval management
+    // ------------------------------------------------------------------
+
+    /// Closes node `n`'s open interval: encodes a diff for every dirty
+    /// page, logs the interval, and advances the vector clock. No-op
+    /// when nothing is dirty.
+    fn close_interval(&mut self, n: NodeId, at: SimTime) -> SimTime {
+        let mut mem = self.mem.lock().expect("mem mutex");
+        let m = &mut mem[n];
+        let dirty: Vec<PageId> = std::mem::take(&mut m.dirty)
+            .into_iter()
+            .filter(|p| m.pages[p.index()].twin.is_some())
+            .collect();
+        if dirty.is_empty() {
+            return at;
+        }
+        let watch = self.watch;
+        let node = &mut self.nodes[n];
+        node.vc.tick(n);
+        let stamp = node.vc.clone();
+        let seq = stamp.get(n);
+        let mut cost = rsdsm_simnet::SimDuration::ZERO;
+        let mut seen = std::collections::HashSet::new();
+        let mut pages_list = Vec::new();
+        for page in dirty {
+            if !seen.insert(page) {
+                continue;
+            }
+            let entry = &mut m.pages[page.index()];
+            let twin = entry.twin.take().expect("twin present");
+            let diff = Diff::between(&twin, &entry.data);
+            if let Some((wp, lo, hi)) = watch {
+                if page.index() == wp && diff.covers(lo, hi) {
+                    let val = f64::from_bits(u64::from_le_bytes(
+                        entry.data.bytes()[lo..lo + 8].try_into().unwrap(),
+                    ));
+                    eprintln!("WATCH close n{n}: stamp {} seq {seq} val {val}", node.vc);
+                }
+            }
+            cost += self.cfg.costs.diff_create(diff.payload_bytes());
+            node.own_diff_bytes += diff.encoded_bytes();
+            node.own_diffs.insert((page.index(), seq), diff);
+            pages_list.push(page);
+        }
+        drop(mem);
+        let rec = IntervalRecord {
+            origin: n,
+            stamp,
+            pages: pages_list,
+        };
+        if self.trace {
+            eprintln!(
+                "[{at}] close n{n}: stamp {} pages {:?}",
+                rec.stamp, rec.pages
+            );
+        }
+        self.nodes[n].learn_interval(&rec);
+        self.charge(n, at, cost, Category::DsmOverhead, None)
+    }
+
+    /// Records the write notices of `rec` at node `n`, invalidating
+    /// affected pages (skipping the node's own intervals).
+    fn record_interval(&mut self, n: NodeId, rec: &IntervalRecord) {
+        self.nodes[n].learn_interval(rec);
+        if rec.origin == n {
+            return;
+        }
+        for &page in &rec.pages {
+            let is_new = self.nodes[n].board.record(WriteNotice {
+                page,
+                origin: rec.origin,
+                stamp: rec.stamp.clone(),
+            });
+            if !is_new && self.trace {
+                eprintln!(
+                    "notice DUP at n{n}: {page} from n{} stamp {}",
+                    rec.origin, rec.stamp
+                );
+            }
+            if is_new {
+                if self.trace {
+                    eprintln!(
+                        "notice at n{n}: {page} from n{} stamp {}",
+                        rec.origin, rec.stamp
+                    );
+                }
+                let mut mem = self.mem.lock().expect("mem mutex");
+                mem[n].pages[page.index()].valid = false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Locks (§4.1 request combining, distributed token passing)
+    // ------------------------------------------------------------------
+
+    fn handle_acquire(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        lock: LockId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        match self.nodes[n].locks.acquire(lock, tid) {
+            AcquireOutcome::Granted => {
+                let end = self.charge(
+                    n,
+                    now,
+                    self.cfg.costs.lock_local_pass,
+                    Category::DsmOverhead,
+                    None,
+                );
+                self.run_thread(tid, end, None)
+            }
+            AcquireOutcome::QueuedLocal => self.block(tid, n, BlockReason::Lock, now),
+            AcquireOutcome::NeedToken => {
+                self.nodes[n].counters.lock_events += 1;
+                let end = self.charge(n, now, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+                let manager = self.nodes[n].locks.manager(lock);
+                let vc = self.nodes[n].vc.clone();
+                if manager == n {
+                    // We manage the lock but do not hold the token.
+                    self.route_as_manager(n, lock, RemoteWaiter { node: n, vc }, end);
+                } else {
+                    self.post(
+                        end,
+                        n,
+                        manager,
+                        MsgBody::LockRequest {
+                            lock,
+                            requester: n,
+                            vc,
+                        },
+                    );
+                }
+                self.block(tid, n, BlockReason::Lock, end)
+            }
+        }
+    }
+
+    fn handle_release(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        lock: LockId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        match self.nodes[n].locks.release(lock, tid) {
+            ReleaseOutcome::PassedLocal(next) => {
+                let end = self.charge(
+                    n,
+                    now,
+                    self.cfg.costs.lock_local_pass,
+                    Category::DsmOverhead,
+                    None,
+                );
+                self.wake(next, end)?;
+                self.run_thread(tid, end, None)
+            }
+            ReleaseOutcome::GrantRemote(waiter) => {
+                let end = self.grant_lock(n, lock, waiter, now);
+                self.run_thread(tid, end, None)
+            }
+            ReleaseOutcome::Idle => self.run_thread(tid, now, None),
+        }
+    }
+
+    /// Closes the interval and sends the token (with piggybacked
+    /// notices) to `waiter`.
+    fn grant_lock(
+        &mut self,
+        n: NodeId,
+        lock: LockId,
+        waiter: RemoteWaiter,
+        at: SimTime,
+    ) -> SimTime {
+        if waiter.node == n {
+            // Degenerate self-grant (the manager routed our own
+            // request back to us): no messaging, no new notices.
+            if let GrantOutcome::WakeLocal(tid) = self.nodes[n].locks.handle_grant(lock) {
+                // Propagate errors as panics here would be wrong; a
+                // wake failure only occurs on engine teardown.
+                let _ = self.wake(tid, at);
+            }
+            return at;
+        }
+        let end = self.close_interval(n, at);
+        let intervals = self.nodes[n].intervals_unknown_to(&waiter.vc);
+        let mut end = self.charge(n, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+        let vc = self.nodes[n].vc.clone();
+        let new_owner = waiter.node;
+        self.post(
+            end,
+            n,
+            new_owner,
+            MsgBody::LockGrant {
+                lock,
+                intervals,
+                vc,
+            },
+        );
+        // Any other queued requests chase the token to its new holder.
+        for leftover in self.nodes[n].locks.drain_remote_queue(lock) {
+            end = self.charge(n, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+            self.post(
+                end,
+                n,
+                new_owner,
+                MsgBody::LockForward {
+                    lock,
+                    requester: leftover.node,
+                    vc: leftover.vc,
+                },
+            );
+        }
+        end
+    }
+
+    /// Manager-side routing of an acquire request.
+    fn route_as_manager(&mut self, m: NodeId, lock: LockId, waiter: RemoteWaiter, at: SimTime) {
+        match self.nodes[m].locks.manager_route(lock, waiter.node) {
+            None => self.handle_forward_arrival(m, lock, waiter, at),
+            Some(owner) => {
+                let end = self.charge(m, at, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+                self.post(
+                    end,
+                    m,
+                    owner,
+                    MsgBody::LockForward {
+                        lock,
+                        requester: waiter.node,
+                        vc: waiter.vc,
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers (§4.1 local combining, central manager)
+    // ------------------------------------------------------------------
+
+    fn handle_barrier_arrive(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        id: BarrierId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let mut end = self.close_interval(n, now);
+        let last_local = self.nodes[n].barrier.arrive(id, tid);
+        if !last_local {
+            return self.block(tid, n, BlockReason::Barrier, end);
+        }
+        self.nodes[n].counters.barrier_events += 1;
+        let horizon = self.nodes[n].last_release_vc.clone();
+        let intervals = self.nodes[n].intervals_unknown_to(&horizon);
+        let vc = self.nodes[n].vc.clone();
+        if n == MANAGER {
+            end = self.charge(
+                n,
+                end,
+                self.cfg.costs.sync_process,
+                Category::DsmOverhead,
+                None,
+            );
+            // Block first: when this is the last arrival cluster-wide,
+            // the release below wakes this very thread.
+            self.block(tid, n, BlockReason::Barrier, end)?;
+            self.manager_collect(id, n, vc, intervals, end)
+        } else {
+            end = self.charge(n, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+            self.post(
+                end,
+                n,
+                MANAGER,
+                MsgBody::BarrierArrive {
+                    id,
+                    from: n,
+                    vc,
+                    intervals,
+                },
+            );
+            self.block(tid, n, BlockReason::Barrier, end)
+        }
+    }
+
+    /// Manager-side collection of one node's arrival.
+    fn manager_collect(
+        &mut self,
+        id: BarrierId,
+        from: NodeId,
+        vc: VectorClock,
+        intervals: Vec<IntervalRecord>,
+        at: SimTime,
+    ) -> Result<(), SimError> {
+        let joined = self
+            .barrier_vcs
+            .entry(id)
+            .or_insert_with(|| VectorClock::new(self.cfg.nodes));
+        joined.join(&vc);
+        if let Some(union) = self.barrier_mgr.node_arrived(id, from, intervals) {
+            let joined = self.barrier_vcs.remove(&id).expect("joined clock");
+            let mut end = at;
+            for node in 1..self.cfg.nodes {
+                end = self.charge(
+                    MANAGER,
+                    end,
+                    self.cfg.costs.msg_send,
+                    Category::DsmOverhead,
+                    None,
+                );
+                self.post(
+                    end,
+                    MANAGER,
+                    node,
+                    MsgBody::BarrierRelease {
+                        id,
+                        vc: joined.clone(),
+                        intervals: union.clone(),
+                    },
+                );
+            }
+            self.process_barrier_release(MANAGER, id, &joined, &union, end)?;
+        }
+        Ok(())
+    }
+
+    fn process_barrier_release(
+        &mut self,
+        n: NodeId,
+        id: BarrierId,
+        vc: &VectorClock,
+        intervals: &[IntervalRecord],
+        at: SimTime,
+    ) -> Result<(), SimError> {
+        let mut end = self.charge(
+            n,
+            at,
+            self.cfg.costs.sync_process,
+            Category::DsmOverhead,
+            None,
+        );
+        for rec in intervals {
+            self.record_interval(n, rec);
+        }
+        self.nodes[n].vc.join(vc);
+        self.nodes[n].last_release_vc = self.nodes[n].vc.clone();
+
+        // Garbage collection point: charge the pass's CPU time (the
+        // cost TreadMarks pays to validate and reclaim diff storage).
+        // The applied-notice records themselves are deliberately NOT
+        // pruned: base copies advertise their contents via the
+        // applied set (`incorporated`), and forgetting old applied
+        // entries makes that advertisement partial — a requester
+        // would then re-apply an old diff over newer incorporated
+        // bytes and roll them back. Memory is not a constraint for
+        // the simulator the way 1998's 96 MB nodes were.
+        if self.nodes[n].own_diff_bytes > self.cfg.gc_threshold_bytes {
+            let cost = self.cfg.costs.gc_per_diff * self.nodes[n].own_diffs.len() as u64;
+            end = self.charge(n, end, cost, Category::DsmOverhead, None);
+            self.nodes[n].counters.gc_passes += 1;
+            self.nodes[n].own_diff_bytes = 0;
+        }
+        {
+            let mut mem = self.mem.lock().expect("mem mutex");
+            mem[n].epoch_prefetched.clear();
+        }
+        let end = self.auto_prefetch_at_sync(n, SyncKey::Barrier(id), end);
+        let woken = self.nodes[n].barrier.release(id);
+        for tid in woken {
+            self.wake(tid, end)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Message arrivals
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, msg: Msg, now: SimTime) -> Result<(), SimError> {
+        let n = msg.dst;
+        let idle = self.idle_reason(n);
+        let mut recv = self.cfg.costs.msg_recv;
+        if self.cfg.threads.is_multithreaded() {
+            // All arrivals are handled asynchronously (signals) when
+            // multithreading is on — the fixed cost of §4.3.
+            recv += self.cfg.costs.async_arrival;
+        }
+        if self.trace {
+            eprintln!(
+                "[{now}] arrival at n{n} from {}: {:?}",
+                msg.src,
+                msg.body.kind()
+            );
+        }
+        let end = self.charge(n, now, recv, Category::DsmOverhead, idle);
+        match msg.body {
+            MsgBody::DiffRequest {
+                page,
+                stamps,
+                want_base,
+                prefetch,
+                droppable,
+                vc,
+            } => {
+                self.serve_diff_request(
+                    n, msg.src, page, &stamps, want_base, prefetch, droppable, &vc, end,
+                );
+                Ok(())
+            }
+            MsgBody::DiffReply {
+                page,
+                diffs,
+                base,
+                prefetch,
+                intervals,
+                ..
+            } => {
+                // Learn the piggybacked notices FIRST: the diffs may
+                // come from intervals causally after ones we have not
+                // heard about yet.
+                for rec in &intervals {
+                    self.record_interval(n, rec);
+                }
+                self.handle_diff_reply(n, page, diffs, base, prefetch, end)
+            }
+            MsgBody::LockRequest {
+                lock,
+                requester,
+                vc,
+            } => {
+                let end = self.charge(
+                    n,
+                    end,
+                    self.cfg.costs.sync_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                self.route_as_manager(
+                    n,
+                    lock,
+                    RemoteWaiter {
+                        node: requester,
+                        vc,
+                    },
+                    end,
+                );
+                Ok(())
+            }
+            MsgBody::LockForward {
+                lock,
+                requester,
+                vc,
+            } => {
+                let end = self.charge(
+                    n,
+                    end,
+                    self.cfg.costs.sync_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                self.handle_forward_arrival(
+                    n,
+                    lock,
+                    RemoteWaiter {
+                        node: requester,
+                        vc,
+                    },
+                    end,
+                );
+                Ok(())
+            }
+            MsgBody::LockGrant {
+                lock,
+                intervals,
+                vc,
+            } => {
+                let end = self.charge(
+                    n,
+                    end,
+                    self.cfg.costs.sync_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                for rec in &intervals {
+                    self.record_interval(n, rec);
+                }
+                self.nodes[n].vc.join(&vc);
+                match self.nodes[n].locks.handle_grant(lock) {
+                    GrantOutcome::WakeLocal(tid) => {
+                        let end = self.auto_prefetch_at_sync(n, SyncKey::Lock(lock), end);
+                        self.wake(tid, end)
+                    }
+                    GrantOutcome::TokenParked => {
+                        // Never strand remote requesters behind a
+                        // parked token.
+                        if let Some(w) = self.nodes[n].locks.take_remote_if_free(lock) {
+                            self.grant_lock(n, lock, w, end);
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            MsgBody::BarrierArrive {
+                id,
+                from,
+                vc,
+                intervals,
+            } => {
+                let end = self.charge(
+                    n,
+                    end,
+                    self.cfg.costs.sync_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                debug_assert_eq!(n, MANAGER);
+                self.manager_collect(id, from, vc, intervals, end)
+            }
+            MsgBody::BarrierRelease { id, vc, intervals } => {
+                self.process_barrier_release(n, id, &vc, &intervals, end)
+            }
+        }
+    }
+
+    /// Handles a lock forward at arrival (with messaging for chains).
+    fn handle_forward_arrival(
+        &mut self,
+        o: NodeId,
+        lock: LockId,
+        waiter: RemoteWaiter,
+        at: SimTime,
+    ) {
+        let requester = waiter.node;
+        let vc = waiter.vc.clone();
+        match self.nodes[o].locks.handle_forward(lock, waiter) {
+            ForwardOutcome::Grant(w) => {
+                self.grant_lock(o, lock, w, at);
+            }
+            ForwardOutcome::Queued => {}
+            ForwardOutcome::Chain(next) => {
+                let end = self.charge(o, at, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+                self.post(
+                    end,
+                    o,
+                    next,
+                    MsgBody::LockForward {
+                        lock,
+                        requester,
+                        vc,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Services a diff (or prefetch) request at node `m`.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_diff_request(
+        &mut self,
+        m: NodeId,
+        requester: NodeId,
+        page: PageId,
+        stamps: &[VectorClock],
+        want_base: bool,
+        prefetch: bool,
+        droppable: bool,
+        requester_vc: &VectorClock,
+        at: SimTime,
+    ) {
+        let mut end = at;
+        let mut reply_diffs = Vec::new();
+
+        if prefetch {
+            // §3.1: servicing a prefetch for a dirty page splits the
+            // open interval so later writes are distinguishable, and
+            // the fresh diff rides along in the reply.
+            let split = {
+                let mem = self.mem.lock().expect("mem mutex");
+                mem[m].pages[page.index()].twin.is_some()
+            };
+            if split {
+                let node = &mut self.nodes[m];
+                node.vc.tick(m);
+                let stamp = node.vc.clone();
+                let seq = stamp.get(m);
+                let mut mem = self.mem.lock().expect("mem mutex");
+                let entry = &mut mem[m].pages[page.index()];
+                let twin = entry.twin.take().expect("twin present");
+                let diff = Diff::between(&twin, &entry.data);
+                drop(mem);
+                end = self.charge(
+                    m,
+                    end,
+                    self.cfg.costs.diff_create(diff.payload_bytes())
+                        + self.cfg.costs.prefetch_service_extra,
+                    Category::DsmOverhead,
+                    None,
+                );
+                if let Some((wp, lo, hi)) = self.watch {
+                    if page.index() == wp && diff.covers(lo, hi) {
+                        let mem2 = self.mem.lock().expect("mem mutex");
+                        let val = f64::from_bits(u64::from_le_bytes(
+                            mem2[m].pages[page.index()].data.bytes()[lo..lo + 8]
+                                .try_into()
+                                .expect("8 bytes"),
+                        ));
+                        eprintln!("WATCH splitclose n{m}: stamp {stamp} seq {seq} val {val}");
+                    }
+                }
+                let node = &mut self.nodes[m];
+                node.own_diff_bytes += diff.encoded_bytes();
+                node.own_diffs.insert((page.index(), seq), diff.clone());
+                let rec = IntervalRecord {
+                    origin: m,
+                    stamp: stamp.clone(),
+                    pages: vec![page],
+                };
+                self.nodes[m].learn_interval(&rec);
+                reply_diffs.push(DiffPayload {
+                    origin: m,
+                    stamp,
+                    diff,
+                });
+            }
+        }
+
+        for stamp in stamps {
+            let seq = stamp.get(m);
+            let diff = self.nodes[m]
+                .own_diffs
+                .get(&(page.index(), seq))
+                .unwrap_or_else(|| panic!("requested diff ({page}, seq {seq}) missing at node {m}"))
+                .clone();
+            reply_diffs.push(DiffPayload {
+                origin: m,
+                stamp: stamp.clone(),
+                diff,
+            });
+        }
+
+        let base = if want_base {
+            let mem = self.mem.lock().expect("mem mutex");
+            let entry = &mem[m].pages[page.index()];
+            // Serve from the twin when the page is dirty: the base
+            // must not leak this node's *open-interval* writes.
+            // Closed diffs are byte-sparse relative to the writer's
+            // twin, so a requester holding uncommitted mid-interval
+            // bytes would end up with a mix of two values once the
+            // interval's diff arrives.
+            let data = match &entry.twin {
+                Some(twin) => (**twin).clone(),
+                None => entry.data.clone(),
+            };
+            drop(mem);
+            let mut incorporated = self.nodes[m].board.applied_for(page);
+            for rec in &self.nodes[m].known_intervals {
+                if rec.origin == m && rec.pages.contains(&page) {
+                    incorporated.push((m, rec.stamp.clone()));
+                }
+            }
+            Some(BasePayload {
+                page: data,
+                incorporated,
+            })
+        } else {
+            None
+        };
+
+        let intervals = self.nodes[m].intervals_unknown_to(requester_vc);
+        end = self.charge(m, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+        self.post(
+            end,
+            m,
+            requester,
+            MsgBody::DiffReply {
+                page,
+                diffs: reply_diffs,
+                base,
+                prefetch,
+                droppable,
+                intervals,
+            },
+        );
+    }
+
+    fn handle_diff_reply(
+        &mut self,
+        n: NodeId,
+        page: PageId,
+        diffs: Vec<DiffPayload>,
+        base: Option<BasePayload>,
+        prefetch: bool,
+        end: SimTime,
+    ) -> Result<(), SimError> {
+        if prefetch {
+            // Store in the prefetch heap; consumed at access time.
+            // Diffs that a faster fault path already applied are
+            // dropped — replaying them later would corrupt the page.
+            let node = &mut self.nodes[n];
+            for d in diffs {
+                if node.board.is_applied(page, d.origin, &d.stamp) {
+                    continue;
+                }
+                node.cache.insert(
+                    page,
+                    CachedDiff {
+                        origin: d.origin,
+                        stamp: d.stamp,
+                        diff: d.diff,
+                    },
+                );
+            }
+            if let Some(b) = base {
+                node.base_cache.insert(page, b);
+            }
+            let mut mem = self.mem.lock().expect("mem mutex");
+            if let Some(count) = mem[n].prefetch_inflight.get_mut(&page) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    mem[n].prefetch_inflight.remove(&page);
+                }
+            }
+            return Ok(());
+        }
+
+        let Some(fetch) = self.nodes[n].fetches.get_mut(&page) else {
+            // A straggler reply for a fetch that already completed
+            // (e.g. a duplicate path); keep only still-unapplied diffs.
+            for d in diffs {
+                if self.nodes[n].board.is_applied(page, d.origin, &d.stamp) {
+                    continue;
+                }
+                self.nodes[n].cache.insert(
+                    page,
+                    CachedDiff {
+                        origin: d.origin,
+                        stamp: d.stamp,
+                        diff: d.diff,
+                    },
+                );
+            }
+            return Ok(());
+        };
+        fetch.collected.extend(diffs);
+        if base.is_some() {
+            fetch.base = base;
+            fetch.base_pending = false;
+        }
+        fetch.outstanding -= 1;
+        if fetch.outstanding > 0 {
+            return Ok(());
+        }
+        let fetch = self.nodes[n].fetches.remove(&page).expect("fetch exists");
+        let end = self.apply_with(n, page, fetch.collected, fetch.base, end);
+
+        // New notices may have arrived while fetching; keep going.
+        let (missing, need_base) = self.missing_for(n, page);
+        if !missing.is_empty() || need_base {
+            let (end2, _) = self.send_fetch_requests(n, page, &missing, need_base, end, false);
+            let outstanding = self.count_requests(&missing, need_base, page);
+            self.nodes[n].fetches.insert(
+                page,
+                Fetch {
+                    outstanding,
+                    waiters: fetch.waiters,
+                    collected: Vec::new(),
+                    base: None,
+                    base_pending: need_base,
+                    started: fetch.started,
+                },
+            );
+            let _ = end2;
+            return Ok(());
+        }
+
+        self.validate_page(n, page);
+        self.nodes[n].counters.miss_latency_sum += end.saturating_since(fetch.started);
+        for tid in fetch.waiters {
+            self.wake(tid, end)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Networking
+    // ------------------------------------------------------------------
+
+    /// Sends a message; returns false if the network dropped it.
+    fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, body: MsgBody) -> bool {
+        let reliability = if body.droppable() {
+            Reliability::Droppable
+        } else {
+            Reliability::Reliable
+        };
+        match self.net.send(
+            at,
+            src,
+            dst,
+            body.wire_bytes() as u32,
+            reliability,
+            body.kind(),
+        ) {
+            rsdsm_simnet::SendOutcome::Delivered { arrival } => {
+                self.queue
+                    .push(arrival, Event::Arrival(Msg { src, dst, body }));
+                true
+            }
+            rsdsm_simnet::SendOutcome::Dropped => false,
+        }
+    }
+}
+
+/// Builds the authoritative final memory image: for every page, the
+/// home node's copy plus every diff it has not incorporated (in
+/// happens-before order), plus any still-open modifications.
+fn materialize(heap: &Heap, nodes: &[NodeState], mem: &[NodeMem]) -> Vec<Page> {
+    let total_pages = heap.page_count();
+    let mut out = Vec::with_capacity(total_pages);
+    for p in 0..total_pages {
+        let page = PageId::new(p as u32);
+        let home = heap.home(page);
+        let mut data = mem[home].pages[p].data.clone();
+
+        let applied: std::collections::HashSet<(usize, u32)> = nodes[home]
+            .board
+            .applied_for(page)
+            .into_iter()
+            .map(|(o, s)| (o, s.get(o)))
+            .collect();
+
+        // Closed intervals not yet incorporated at the home.
+        let mut pendings: Vec<(&VectorClock, &Diff)> = Vec::new();
+        for node in nodes {
+            for rec in &node.known_intervals {
+                if rec.origin != node.id || !rec.pages.contains(&page) {
+                    continue;
+                }
+                let seq = rec.stamp.get(node.id);
+                if node.id == home || applied.contains(&(node.id, seq)) {
+                    continue;
+                }
+                if let Some(diff) = node.own_diffs.get(&(p, seq)) {
+                    pendings.push((&rec.stamp, diff));
+                }
+            }
+        }
+        pendings.sort_by(|(a, _), (b, _)| {
+            let sum = |vc: &VectorClock| -> u64 { (0..vc.len()).map(|i| vc.get(i) as u64).sum() };
+            sum(a).cmp(&sum(b)).then_with(|| {
+                (0..a.len())
+                    .map(|i| a.get(i))
+                    .cmp((0..b.len()).map(|i| b.get(i)))
+            })
+        });
+        for (_, diff) in pendings {
+            diff.apply(&mut data);
+        }
+
+        // Open (never-closed) modifications are the latest by program
+        // order; apply them last.
+        for (m, node_mem) in mem.iter().enumerate() {
+            if m == home {
+                continue;
+            }
+            let entry = &node_mem.pages[p];
+            if let Some(twin) = &entry.twin {
+                Diff::between(twin, &entry.data).apply(&mut data);
+            }
+        }
+        // The home's own open modifications are already in its data.
+        out.push(data);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HomePolicy;
+
+    /// Builds a minimal cluster state for materialize(): 2 nodes, one
+    /// page homed on node 0.
+    fn tiny_cluster() -> (Heap, Vec<NodeState>, Vec<NodeMem>) {
+        let mut heap = Heap::new(2);
+        let _v: crate::heap::SharedVec<u64> = heap.alloc(512, HomePolicy::Single(0));
+        let nodes = vec![NodeState::new(0, 2, 1), NodeState::new(1, 2, 1)];
+        let mem = vec![NodeMem::new(1, |_| true), NodeMem::new(1, |_| false)];
+        (heap, nodes, mem)
+    }
+
+    #[test]
+    fn materialize_uses_home_copy() {
+        let (heap, nodes, mut mem) = tiny_cluster();
+        mem[0].pages[0].data.write_u64(0, 77);
+        let pages = materialize(&heap, &nodes, &mem);
+        assert_eq!(pages[0].read_u64(0), 77);
+    }
+
+    #[test]
+    fn materialize_applies_unincorporated_closed_diffs() {
+        let (heap, mut nodes, mut mem) = tiny_cluster();
+        mem[0].pages[0].data.write_u64(0, 1);
+
+        // Node 1 closed an interval writing offset 8 = 42.
+        let mut twin = Page::new();
+        twin.write_u64(0, 1);
+        let mut data = twin.clone();
+        data.write_u64(8, 42);
+        let diff = Diff::between(&twin, &data);
+        nodes[1].vc.tick(1);
+        let stamp = nodes[1].vc.clone();
+        nodes[1].own_diffs.insert((0, 1), diff);
+        nodes[1].learn_interval(&IntervalRecord {
+            origin: 1,
+            stamp,
+            pages: vec![PageId::new(0)],
+        });
+
+        let pages = materialize(&heap, &nodes, &mem);
+        assert_eq!(pages[0].read_u64(0), 1, "home bytes preserved");
+        assert_eq!(pages[0].read_u64(8), 42, "closed diff applied");
+    }
+
+    #[test]
+    fn materialize_skips_diffs_already_incorporated_at_home() {
+        let (heap, mut nodes, mut mem) = tiny_cluster();
+        // Home already applied node 1's interval: data has the NEW
+        // value; the diff would "re-apply" an identical value, but a
+        // *later* home-local overwrite must not be clobbered.
+        mem[0].pages[0].data.write_u64(8, 99); // newer than the diff below
+
+        let twin = Page::new();
+        let mut data = Page::new();
+        data.write_u64(8, 42);
+        let diff = Diff::between(&twin, &data);
+        nodes[1].vc.tick(1);
+        let stamp = nodes[1].vc.clone();
+        nodes[1].own_diffs.insert((0, 1), diff);
+        nodes[1].learn_interval(&IntervalRecord {
+            origin: 1,
+            stamp: stamp.clone(),
+            pages: vec![PageId::new(0)],
+        });
+        // Mark it applied at the home.
+        nodes[0].board.mark_applied(PageId::new(0), 1, &stamp);
+
+        let pages = materialize(&heap, &nodes, &mem);
+        assert_eq!(pages[0].read_u64(8), 99, "incorporated diff not re-applied");
+    }
+
+    #[test]
+    fn materialize_applies_open_twins_last() {
+        let (heap, nodes, mut mem) = tiny_cluster();
+        // Node 1 has an open interval: twin captures the pre-state,
+        // data has uncommitted writes.
+        let twin = Page::new();
+        let mut data = Page::new();
+        data.write_u64(16, 5);
+        mem[1].pages[0].twin = Some(Box::new(twin));
+        mem[1].pages[0].data = data;
+
+        let pages = materialize(&heap, &nodes, &mem);
+        assert_eq!(pages[0].read_u64(16), 5, "open writes visible");
+    }
+}

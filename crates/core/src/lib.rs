@@ -1,0 +1,61 @@
+//! # rsdsm-core
+//!
+//! A TreadMarks-style page-based software distributed shared memory
+//! runtime with the two latency tolerance techniques studied in
+//! *Comparative Evaluation of Latency Tolerance Techniques for
+//! Software Distributed Shared Memory* (Mowry, Chan, Lo — HPCA-4,
+//! 1998):
+//!
+//! - **Non-binding software-controlled prefetching** (§3): explicit
+//!   [`DsmCtx::prefetch`] calls consult local write notices, send
+//!   unreliable prefetch requests, cache diff replies in a separate
+//!   heap, and apply them at access time — never violating coherence.
+//! - **Multithreading** (§4): several user-level threads per node,
+//!   switching on long-latency events, with request combining for
+//!   pages, locks, and barriers.
+//! - **The combined approach** (§5): multithreading for
+//!   synchronization latency plus prefetching for memory latency, with
+//!   redundant-prefetch suppression and throttling.
+//!
+//! The cluster itself (8 workstations on a 155 Mbps ATM LAN in the
+//! paper) is simulated deterministically by `rsdsm-simnet`; the
+//! coherence machinery (vector clocks, intervals, twins, diffs) comes
+//! from `rsdsm-protocol`.
+//!
+//! # Examples
+//!
+//! See [`DsmProgram`] for a complete program, and the `examples/`
+//! directory of the repository for realistic applications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod barrier;
+mod conductor;
+mod config;
+mod costs;
+mod engine;
+mod heap;
+mod lock;
+mod msg;
+mod node;
+mod program;
+mod report;
+mod thread;
+
+pub use accounting::{Breakdown, Category, IdleReason, NodeAccount, NormalizedBreakdown};
+pub use conductor::DsmCtx;
+pub use config::{DsmConfig, PrefetchConfig, ThreadConfig};
+pub use costs::CostModel;
+pub use engine::Simulation;
+pub use heap::{Heap, HomePolicy, Pod, SharedVec};
+pub use msg::{BarrierId, LockId};
+pub use node::{AccessCounters, MissClass, NodeCounters};
+pub use program::{DsmProgram, VerifyCtx};
+pub use report::{
+    MissSummary, MtSummary, NetSummary, PrefetchSummary, RunReport, SimError, SyncSummary,
+    TrafficRow,
+};
+pub use rsdsm_protocol::PAGE_SIZE;
+pub use thread::ThreadId;

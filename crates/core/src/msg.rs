@@ -1,0 +1,334 @@
+//! DSM protocol messages.
+//!
+//! Every remote interaction in the system is one of these messages.
+//! Wire sizes are estimated from the logical content so the network
+//! model charges realistic transfer times (the paper's Table 1 and
+//! Table 2 report total traffic in bytes).
+
+use rsdsm_protocol::{Diff, Page, PageId, VectorClock, NOTICE_WIRE_BYTES, PAGE_SIZE};
+use rsdsm_simnet::NodeId;
+
+/// Identifies an application-level lock. The lock's manager node is
+/// `id % nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// Identifies an application-level barrier. Barriers are managed
+/// centrally by node 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BarrierId(pub u32);
+
+/// A closed interval: `origin` modified `pages` during the interval
+/// stamped `stamp`. This is the unit of write-notice propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRecord {
+    /// The writing processor.
+    pub origin: NodeId,
+    /// Vector timestamp at the interval's close.
+    pub stamp: VectorClock,
+    /// Pages dirtied during the interval.
+    pub pages: Vec<PageId>,
+}
+
+impl IntervalRecord {
+    /// Wire size of the encoded record.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 4 * self.stamp.len() + NOTICE_WIRE_BYTES * self.pages.len()
+    }
+}
+
+/// One diff payload in a reply: the writer's interval stamp plus the
+/// encoded modifications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffPayload {
+    /// The processor whose interval produced the diff.
+    pub origin: NodeId,
+    /// The interval's timestamp.
+    pub stamp: VectorClock,
+    /// The run-length-encoded modifications.
+    pub diff: Diff,
+}
+
+impl DiffPayload {
+    fn wire_bytes(&self) -> usize {
+        8 + 4 * self.stamp.len() + self.diff.encoded_bytes()
+    }
+}
+
+/// A full page copy sent on first-touch fetches, along with the set
+/// of (origin, stamp) modifications already incorporated in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasePayload {
+    /// The page contents at the sender.
+    pub page: Page,
+    /// Modifications already applied into `page` by the sender.
+    pub incorporated: Vec<(NodeId, VectorClock)>,
+}
+
+impl BasePayload {
+    fn wire_bytes(&self) -> usize {
+        PAGE_SIZE + self.incorporated.len() * 12
+    }
+}
+
+/// Message bodies of the DSM protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MsgBody {
+    /// Request diffs (and possibly a base copy) for a page. Sent on a
+    /// page fault, or — with `prefetch` set — by the prefetch engine,
+    /// in which case it travels unreliably.
+    DiffRequest {
+        /// The faulted/prefetched page.
+        page: PageId,
+        /// Interval stamps whose diffs are wanted from the recipient.
+        stamps: Vec<VectorClock>,
+        /// Also send a full page copy (first-touch fetch).
+        want_base: bool,
+        /// This is a prefetch request (servicing may split an open
+        /// interval).
+        prefetch: bool,
+        /// Whether the network may drop this message (prefetch
+        /// traffic is droppable unless configured reliable).
+        droppable: bool,
+        /// The requester's vector clock, so the reply can piggyback
+        /// the write notices the requester lacks.
+        vc: VectorClock,
+    },
+    /// Response to a [`MsgBody::DiffRequest`].
+    DiffReply {
+        /// The page in question.
+        page: PageId,
+        /// Requested (and possibly interval-split) diffs.
+        diffs: Vec<DiffPayload>,
+        /// Full page copy when requested.
+        base: Option<BasePayload>,
+        /// Mirrors the request's prefetch flag.
+        prefetch: bool,
+        /// Mirrors the request's droppable flag.
+        droppable: bool,
+        /// Write notices the requester did not have. Piggybacking
+        /// them preserves happens-before: a reply may carry a diff
+        /// from a freshly split interval, and the requester must
+        /// learn of every causally-prior interval before applying it,
+        /// or a later fetch of an older overlapping diff would roll
+        /// the page back.
+        intervals: Vec<IntervalRecord>,
+    },
+    /// Acquire request sent to the lock's manager node.
+    LockRequest {
+        /// The lock.
+        lock: LockId,
+        /// The acquiring node.
+        requester: NodeId,
+        /// The acquirer's vector clock, so the granter can select the
+        /// write notices the acquirer lacks.
+        vc: VectorClock,
+    },
+    /// Manager (or stale owner) forwarding an acquire request toward
+    /// the current token holder.
+    LockForward {
+        /// The lock.
+        lock: LockId,
+        /// The acquiring node.
+        requester: NodeId,
+        /// The acquirer's vector clock.
+        vc: VectorClock,
+    },
+    /// The token plus piggybacked write notices, sent by the previous
+    /// holder directly to the new one.
+    LockGrant {
+        /// The lock.
+        lock: LockId,
+        /// Intervals the acquirer did not know about.
+        intervals: Vec<IntervalRecord>,
+        /// The granter's vector clock.
+        vc: VectorClock,
+    },
+    /// A node's last local thread reached the barrier.
+    BarrierArrive {
+        /// The barrier.
+        id: BarrierId,
+        /// The arriving node.
+        from: NodeId,
+        /// The arriver's vector clock.
+        vc: VectorClock,
+        /// Intervals the manager may not know about.
+        intervals: Vec<IntervalRecord>,
+    },
+    /// The manager releases all nodes from the barrier, redistributing
+    /// every interval gathered from the arrivals.
+    BarrierRelease {
+        /// The barrier.
+        id: BarrierId,
+        /// Joined vector clock of all participants.
+        vc: VectorClock,
+        /// Union of intervals from all arrivals.
+        intervals: Vec<IntervalRecord>,
+    },
+}
+
+/// A protocol message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg {
+    /// Sender node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload.
+    pub body: MsgBody,
+}
+
+/// Fixed per-message body framing (op code, page/lock ids, flags).
+const BODY_HEADER_BYTES: usize = 16;
+
+impl MsgBody {
+    /// Estimated wire size of the encoded body in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        BODY_HEADER_BYTES
+            + match self {
+                MsgBody::DiffRequest { stamps, vc, .. } => {
+                    4 * vc.len() + stamps.iter().map(|s| 4 * s.len()).sum::<usize>()
+                }
+                MsgBody::DiffReply {
+                    diffs,
+                    base,
+                    intervals,
+                    ..
+                } => {
+                    diffs.iter().map(DiffPayload::wire_bytes).sum::<usize>()
+                        + base.as_ref().map_or(0, BasePayload::wire_bytes)
+                        + intervals
+                            .iter()
+                            .map(IntervalRecord::wire_bytes)
+                            .sum::<usize>()
+                }
+                MsgBody::LockRequest { vc, .. } | MsgBody::LockForward { vc, .. } => 4 * vc.len(),
+                MsgBody::LockGrant { intervals, vc, .. } => {
+                    4 * vc.len()
+                        + intervals
+                            .iter()
+                            .map(IntervalRecord::wire_bytes)
+                            .sum::<usize>()
+                }
+                MsgBody::BarrierArrive { intervals, vc, .. }
+                | MsgBody::BarrierRelease { intervals, vc, .. } => {
+                    4 * vc.len()
+                        + intervals
+                            .iter()
+                            .map(IntervalRecord::wire_bytes)
+                            .sum::<usize>()
+                }
+            }
+    }
+
+    /// Statistics label for the network layer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MsgBody::DiffRequest { prefetch: true, .. } => "prefetch_request",
+            MsgBody::DiffRequest {
+                prefetch: false, ..
+            } => "diff_request",
+            MsgBody::DiffReply { prefetch: true, .. } => "prefetch_reply",
+            MsgBody::DiffReply {
+                prefetch: false, ..
+            } => "diff_reply",
+            MsgBody::LockRequest { .. } => "lock_request",
+            MsgBody::LockForward { .. } => "lock_forward",
+            MsgBody::LockGrant { .. } => "lock_grant",
+            MsgBody::BarrierArrive { .. } => "barrier_arrive",
+            MsgBody::BarrierRelease { .. } => "barrier_release",
+        }
+    }
+
+    /// True for messages the network may drop (prefetch traffic,
+    /// unless the run configures reliable prefetches).
+    pub fn droppable(&self) -> bool {
+        matches!(
+            self,
+            MsgBody::DiffRequest {
+                droppable: true,
+                ..
+            } | MsgBody::DiffReply {
+                droppable: true,
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc() -> VectorClock {
+        VectorClock::new(4)
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = MsgBody::DiffRequest {
+            page: PageId::new(0),
+            stamps: vec![vc()],
+            want_base: false,
+            prefetch: false,
+            droppable: false,
+            vc: vc(),
+        };
+        let large = MsgBody::DiffRequest {
+            page: PageId::new(0),
+            stamps: vec![vc(); 4],
+            want_base: false,
+            prefetch: false,
+            droppable: false,
+            vc: vc(),
+        };
+        assert!(large.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn reply_with_base_is_page_sized() {
+        let body = MsgBody::DiffReply {
+            page: PageId::new(1),
+            diffs: vec![],
+            base: Some(BasePayload {
+                page: Page::new(),
+                incorporated: vec![],
+            }),
+            prefetch: false,
+            droppable: false,
+            intervals: vec![],
+        };
+        assert!(body.wire_bytes() >= PAGE_SIZE);
+    }
+
+    #[test]
+    fn only_prefetch_traffic_is_droppable() {
+        let pf = MsgBody::DiffRequest {
+            page: PageId::new(0),
+            stamps: vec![],
+            want_base: false,
+            prefetch: true,
+            droppable: true,
+            vc: vc(),
+        };
+        assert!(pf.droppable());
+        assert_eq!(pf.kind(), "prefetch_request");
+        let normal = MsgBody::LockRequest {
+            lock: LockId(0),
+            requester: 1,
+            vc: vc(),
+        };
+        assert!(!normal.droppable());
+        assert_eq!(normal.kind(), "lock_request");
+    }
+
+    #[test]
+    fn interval_record_wire_bytes() {
+        let rec = IntervalRecord {
+            origin: 0,
+            stamp: vc(),
+            pages: vec![PageId::new(0), PageId::new(1)],
+        };
+        assert_eq!(rec.wire_bytes(), 8 + 16 + 2 * NOTICE_WIRE_BYTES);
+    }
+}

@@ -1,0 +1,395 @@
+//! Per-node runtime state.
+//!
+//! Node state is split in two:
+//!
+//! - [`NodeMem`] is the part application threads touch directly on the
+//!   fast path (page data, validity, twins, prefetch bookkeeping); it
+//!   lives behind a mutex shared with the per-thread contexts.
+//! - [`NodeState`] is the engine-only protocol state: vector clock,
+//!   notice board, diff storage, in-flight fetches, locks, barriers,
+//!   scheduler and accounting.
+
+use std::collections::HashMap;
+
+use rsdsm_protocol::{Diff, DiffCache, NoticeBoard, Page, PageId, VectorClock};
+use rsdsm_simnet::{NodeId, SimDuration, SimTime};
+
+use crate::accounting::NodeAccount;
+use crate::barrier::NodeBarrier;
+use crate::lock::LockTable;
+use crate::msg::{BasePayload, DiffPayload, IntervalRecord};
+use crate::thread::{Scheduler, ThreadId};
+
+/// One page slot in a node's memory.
+#[derive(Debug, Clone)]
+pub(crate) struct PageEntry {
+    /// The node's copy of the page contents (possibly stale when
+    /// invalid).
+    pub data: Page,
+    /// Whether the copy may be accessed.
+    pub valid: bool,
+    /// Whether the node ever held a valid copy; first-touch fetches
+    /// need a full base copy from the home node.
+    pub ever_valid: bool,
+    /// Clean pre-modification copy; present exactly while the page is
+    /// dirty in the node's open interval.
+    pub twin: Option<Box<Page>>,
+}
+
+impl PageEntry {
+    fn new(valid: bool) -> Self {
+        PageEntry {
+            data: Page::new(),
+            valid,
+            ever_valid: valid,
+            twin: None,
+        }
+    }
+}
+
+/// Fast-path counters incremented by application threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessCounters {
+    /// Prefetch operations executed (per page named).
+    pub pf_calls: u64,
+    /// Prefetches that found their data locally (Table 1
+    /// "unnecessary prefetches").
+    pub pf_unnecessary: u64,
+    /// Prefetches dropped because a request was already in flight.
+    pub pf_suppressed_inflight: u64,
+    /// Prefetches suppressed by the §5.1 redundant-prefetch flag.
+    pub pf_suppressed_flag: u64,
+    /// Prefetches dropped by throttling (§5.1).
+    pub pf_throttled: u64,
+    /// Wasted checks emulating compiler-issued prefetches on private
+    /// data (FFT / LU-NCONT in Table 1).
+    pub pf_private_checks: u64,
+    /// Shared-memory accesses that took the fast path.
+    pub fast_accesses: u64,
+}
+
+/// The application-visible memory of one node.
+#[derive(Debug)]
+pub(crate) struct NodeMem {
+    /// Page slots indexed by global page id.
+    pub pages: Vec<PageEntry>,
+    /// Pages with outstanding prefetch requests (count per page).
+    pub prefetch_inflight: HashMap<PageId, u32>,
+    /// Pages prefetched this barrier epoch (redundant-prefetch flag).
+    pub epoch_prefetched: std::collections::HashSet<PageId>,
+    /// Rolling sequence for prefetch throttling.
+    pub throttle_seq: u64,
+    /// Pages twinned since the last interval close, in twin-creation
+    /// order (may contain stale entries whose twin was already
+    /// dropped by a prefetch-induced interval split).
+    pub dirty: Vec<PageId>,
+    /// Fast-path counters.
+    pub counters: AccessCounters,
+}
+
+impl NodeMem {
+    /// Memory for a node in a heap of `total_pages`, where
+    /// `is_home(p)` says whether the node homes page `p` (homed pages
+    /// start valid and zero-filled).
+    pub fn new(total_pages: usize, is_home: impl Fn(usize) -> bool) -> Self {
+        NodeMem {
+            pages: (0..total_pages)
+                .map(|p| PageEntry::new(is_home(p)))
+                .collect(),
+            prefetch_inflight: HashMap::new(),
+            epoch_prefetched: std::collections::HashSet::new(),
+            throttle_seq: 0,
+            dirty: Vec::new(),
+            counters: AccessCounters::default(),
+        }
+    }
+}
+
+/// A synchronization object, as the key of the automatic
+/// prefetcher's access-pattern history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKey {
+    /// A lock acquisition point.
+    Lock(crate::msg::LockId),
+    /// A barrier release point.
+    Barrier(crate::msg::BarrierId),
+}
+
+/// How a page fault relates to prefetching — the categories of
+/// Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissClass {
+    /// The page had not been prefetched.
+    NoPf,
+    /// Prefetched data fully covered the fault (no messages needed).
+    Hit,
+    /// Prefetch issued but replies had not arrived (or were dropped).
+    TooLate,
+    /// Prefetched data was invalidated by notices that arrived after
+    /// the prefetch was issued.
+    Invalidated,
+}
+
+/// An in-progress remote page fetch (fault-driven).
+#[derive(Debug)]
+pub(crate) struct Fetch {
+    /// Replies still outstanding.
+    pub outstanding: usize,
+    /// Threads blocked on this page.
+    pub waiters: Vec<ThreadId>,
+    /// Diffs collected so far.
+    pub collected: Vec<DiffPayload>,
+    /// Base page copy, when this is a first-touch fetch.
+    pub base: Option<BasePayload>,
+    /// Whether a base copy is still expected.
+    pub base_pending: bool,
+    /// When the fault occurred (for miss latency accounting).
+    pub started: SimTime,
+}
+
+/// Prefetch bookkeeping for one page (engine side).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PfMeta {
+    /// (origin, origin-sequence) pairs whose diffs were requested.
+    pub requested: std::collections::HashSet<(NodeId, u32)>,
+    /// Whether a base copy was requested.
+    pub wanted_base: bool,
+}
+
+/// Engine-side statistics counters for one node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeCounters {
+    /// Page faults entering the protocol (any class).
+    pub faults: u64,
+    /// Faults requiring remote messages ("remote misses").
+    pub misses: u64,
+    /// Sum of fault-to-completion latencies for remote misses.
+    pub miss_latency_sum: SimDuration,
+    /// Per-thread memory stall time (block to wake).
+    pub miss_stall: SimDuration,
+    /// Remote lock acquisitions (token requested over the network).
+    pub lock_events: u64,
+    /// Per-thread lock stall time.
+    pub lock_stall: SimDuration,
+    /// Lock stall occurrences (blocked acquires, local or remote).
+    pub lock_waits: u64,
+    /// Barrier episodes participated in.
+    pub barrier_events: u64,
+    /// Per-thread barrier stall time.
+    pub barrier_stall: SimDuration,
+    /// Barrier stall occurrences.
+    pub barrier_waits: u64,
+    /// Context switches taken.
+    pub switches: u64,
+    /// Sum of busy run lengths between stalls.
+    pub run_length_sum: SimDuration,
+    /// Number of runs measured.
+    pub run_length_count: u64,
+    /// Fault classification tallies (Figure 3).
+    pub pf_hit: u64,
+    /// See [`MissClass::TooLate`].
+    pub pf_too_late: u64,
+    /// See [`MissClass::Invalidated`].
+    pub pf_invalidated: u64,
+    /// See [`MissClass::NoPf`].
+    pub pf_no_pf: u64,
+    /// Prefetch request messages sent.
+    pub pf_messages: u64,
+    /// Prefetch requests dropped at send time by the network.
+    pub pf_send_drops: u64,
+    /// Garbage collection passes performed.
+    pub gc_passes: u64,
+}
+
+impl NodeCounters {
+    /// Records a fault classification.
+    pub fn classify(&mut self, class: MissClass) {
+        match class {
+            MissClass::NoPf => self.pf_no_pf += 1,
+            MissClass::Hit => self.pf_hit += 1,
+            MissClass::TooLate => self.pf_too_late += 1,
+            MissClass::Invalidated => self.pf_invalidated += 1,
+        }
+    }
+}
+
+/// Engine-side state of one node.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    /// This node's id.
+    pub id: NodeId,
+    /// The node's vector clock.
+    pub vc: VectorClock,
+    /// Write notices known locally.
+    pub board: NoticeBoard,
+    /// Prefetched diff replies awaiting use.
+    pub cache: DiffCache,
+    /// Prefetched base copies awaiting use.
+    pub base_cache: HashMap<PageId, BasePayload>,
+    /// Diffs this node created, keyed by (page index, own sequence).
+    pub own_diffs: HashMap<(usize, u32), Diff>,
+    /// Encoded bytes held in `own_diffs` (GC trigger).
+    pub own_diff_bytes: usize,
+    /// Every interval this node knows about (its own and received).
+    pub known_intervals: Vec<IntervalRecord>,
+    /// Dedup index over `known_intervals`: (origin, origin-sequence).
+    pub known_set: std::collections::HashSet<(NodeId, u32)>,
+    /// Vector clock at the last barrier release (bounds what must be
+    /// sent to the barrier manager).
+    pub last_release_vc: VectorClock,
+    /// In-flight fault-driven fetches.
+    pub fetches: HashMap<PageId, Fetch>,
+    /// Per-page prefetch bookkeeping.
+    pub pf_meta: HashMap<PageId, PfMeta>,
+    /// Automatic-prefetch mode: pages that faulted after each
+    /// synchronization point, keyed by the sync object — the access
+    /// pattern history of the Bianchini-style runtime prefetcher.
+    pub sync_history: HashMap<SyncKey, Vec<PageId>>,
+    /// Automatic-prefetch mode: the sync object whose epoch is
+    /// currently being recorded.
+    pub current_sync: Option<SyncKey>,
+    /// Automatic-prefetch mode: pages faulted in the current epoch.
+    pub current_faults: Vec<PageId>,
+    /// Lock state.
+    pub locks: LockTable,
+    /// Barrier local-combining state.
+    pub barrier: NodeBarrier,
+    /// Thread scheduler.
+    pub sched: Scheduler,
+    /// A thread stalled without switching pins the CPU (combined
+    /// mode memory stalls, §5).
+    pub pinned: Option<ThreadId>,
+    /// CPU time account.
+    pub account: NodeAccount,
+    /// Statistics.
+    pub counters: NodeCounters,
+    /// The burst of app computation currently on the CPU.
+    pub burst: Option<Burst>,
+}
+
+/// An application compute burst committed to the CPU.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Burst {
+    /// The running thread.
+    pub tid: ThreadId,
+    /// When the burst's syscall matures.
+    pub end: SimTime,
+    /// Extra delay accumulated from interrupt servicing during the
+    /// burst.
+    pub penalty: SimDuration,
+}
+
+impl NodeState {
+    /// Fresh state for node `id` of `nodes`, with `threads_on_node`
+    /// application threads.
+    pub fn new(id: NodeId, nodes: usize, threads_on_node: usize) -> Self {
+        NodeState {
+            id,
+            vc: VectorClock::new(nodes),
+            board: NoticeBoard::new(),
+            cache: DiffCache::new(),
+            base_cache: HashMap::new(),
+            own_diffs: HashMap::new(),
+            own_diff_bytes: 0,
+            known_intervals: Vec::new(),
+            known_set: std::collections::HashSet::new(),
+            last_release_vc: VectorClock::new(nodes),
+            fetches: HashMap::new(),
+            pf_meta: HashMap::new(),
+            sync_history: HashMap::new(),
+            current_sync: None,
+            current_faults: Vec::new(),
+            locks: LockTable::new(id, nodes),
+            barrier: NodeBarrier::new(threads_on_node),
+            sched: Scheduler::new(),
+            pinned: None,
+            account: NodeAccount::new(),
+            counters: NodeCounters::default(),
+            burst: None,
+        }
+    }
+
+    /// Intervals this node knows that `vc` does not dominate —
+    /// the write notices to piggyback on a grant or barrier message.
+    pub fn intervals_unknown_to(&self, vc: &VectorClock) -> Vec<IntervalRecord> {
+        self.known_intervals
+            .iter()
+            .filter(|rec| !vc.dominates(&rec.stamp))
+            .cloned()
+            .collect()
+    }
+
+    /// Records an interval in the knowledge log (deduplicated).
+    /// Returns true if it was new.
+    pub fn learn_interval(&mut self, rec: &IntervalRecord) -> bool {
+        let key = (rec.origin, rec.stamp.get(rec.origin));
+        if self.known_set.contains(&key) {
+            return false;
+        }
+        self.known_set.insert(key);
+        self.known_intervals.push(rec.clone());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(origin: NodeId, ticks: u32, nodes: usize) -> IntervalRecord {
+        let mut stamp = VectorClock::new(nodes);
+        for _ in 0..ticks {
+            stamp.tick(origin);
+        }
+        IntervalRecord {
+            origin,
+            stamp,
+            pages: vec![PageId::new(0)],
+        }
+    }
+
+    #[test]
+    fn node_mem_homes_start_valid() {
+        let mem = NodeMem::new(4, |p| p % 2 == 0);
+        assert!(mem.pages[0].valid && mem.pages[0].ever_valid);
+        assert!(!mem.pages[1].valid && !mem.pages[1].ever_valid);
+        assert!(mem.pages[2].twin.is_none());
+    }
+
+    #[test]
+    fn learn_interval_dedupes() {
+        let mut n = NodeState::new(0, 2, 1);
+        let rec = record(1, 1, 2);
+        assert!(n.learn_interval(&rec));
+        assert!(!n.learn_interval(&rec));
+        assert_eq!(n.known_intervals.len(), 1);
+    }
+
+    #[test]
+    fn intervals_unknown_to_filters_by_domination() {
+        let mut n = NodeState::new(0, 2, 1);
+        n.learn_interval(&record(1, 1, 2));
+        n.learn_interval(&record(1, 2, 2));
+        let mut knows_one = VectorClock::new(2);
+        knows_one.tick(1);
+        let unknown = n.intervals_unknown_to(&knows_one);
+        assert_eq!(unknown.len(), 1);
+        assert_eq!(unknown[0].stamp.get(1), 2);
+        let knows_none = VectorClock::new(2);
+        assert_eq!(n.intervals_unknown_to(&knows_none).len(), 2);
+    }
+
+    #[test]
+    fn classify_tallies() {
+        let mut c = NodeCounters::default();
+        c.classify(MissClass::Hit);
+        c.classify(MissClass::Hit);
+        c.classify(MissClass::TooLate);
+        c.classify(MissClass::Invalidated);
+        c.classify(MissClass::NoPf);
+        assert_eq!(c.pf_hit, 2);
+        assert_eq!(c.pf_too_late, 1);
+        assert_eq!(c.pf_invalidated, 1);
+        assert_eq!(c.pf_no_pf, 1);
+    }
+}

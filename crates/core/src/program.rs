@@ -1,0 +1,115 @@
+//! The application programming model.
+//!
+//! A benchmark is a type implementing [`DsmProgram`]: it allocates its
+//! shared arrays up front, then every simulated thread executes
+//! [`DsmProgram::run`] with its own [`DsmCtx`]. After the run the
+//! engine materializes the authoritative final memory image and calls
+//! [`DsmProgram::verify`] so every experiment double-checks its
+//! numeric result.
+
+use rsdsm_protocol::Page;
+
+use crate::conductor::DsmCtx;
+use crate::heap::{Heap, Pod, SharedVec};
+
+/// A parallel application runnable on the simulated DSM.
+///
+/// # Examples
+///
+/// A two-thread program that sums a shared array:
+///
+/// ```
+/// use rsdsm_core::{
+///     BarrierId, DsmConfig, DsmCtx, DsmProgram, Heap, HomePolicy, SharedVec, Simulation,
+///     VerifyCtx,
+/// };
+///
+/// struct Sum;
+///
+/// impl DsmProgram for Sum {
+///     type Handles = (SharedVec<f64>, SharedVec<f64>);
+///
+///     fn name(&self) -> String {
+///         "sum".into()
+///     }
+///
+///     fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+///         (
+///             heap.alloc(1024, HomePolicy::Single(0)),
+///             heap.alloc(2, HomePolicy::Single(0)),
+///         )
+///     }
+///
+///     fn run(&self, ctx: &mut DsmCtx, (data, partial): &Self::Handles) {
+///         let t = ctx.thread_id();
+///         let n = ctx.num_threads();
+///         let chunk = data.len() / n;
+///         if t == 0 {
+///             for i in 0..data.len() {
+///                 ctx.write(data, i, 1.0);
+///             }
+///         }
+///         ctx.barrier(BarrierId(0));
+///         let mine: f64 = ctx.read_vec(data, t * chunk, chunk).iter().sum();
+///         ctx.write(partial, t, mine);
+///         ctx.barrier(BarrierId(1));
+///     }
+///
+///     fn verify(&self, mem: &VerifyCtx, (_, partial): &Self::Handles) -> bool {
+///         (mem.read(partial, 0) + mem.read(partial, 1) - 1024.0).abs() < 1e-9
+///     }
+/// }
+///
+/// let report = Simulation::new(DsmConfig::paper_cluster(2))
+///     .run(&Sum)
+///     .expect("run succeeds");
+/// assert!(report.verified);
+/// ```
+pub trait DsmProgram: Sync {
+    /// Handles to the program's shared allocations, cloned into every
+    /// thread.
+    type Handles: Clone + Send + Sync;
+
+    /// Human-readable benchmark name.
+    fn name(&self) -> String;
+
+    /// Allocates the program's shared arrays.
+    fn allocate(&self, heap: &mut Heap) -> Self::Handles;
+
+    /// The body executed by every application thread.
+    fn run(&self, ctx: &mut DsmCtx, handles: &Self::Handles);
+
+    /// Checks the final memory image. The default accepts anything.
+    fn verify(&self, mem: &VerifyCtx, handles: &Self::Handles) -> bool {
+        let _ = (mem, handles);
+        true
+    }
+}
+
+/// Zero-cost read access to the authoritative final memory image,
+/// for result verification.
+#[derive(Debug)]
+pub struct VerifyCtx {
+    pages: Vec<Page>,
+}
+
+impl VerifyCtx {
+    pub(crate) fn new(pages: Vec<Page>) -> Self {
+        VerifyCtx { pages }
+    }
+
+    /// Reads element `i` of a shared array from the final image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn read<T: Pod>(&self, v: &SharedVec<T>, i: usize) -> T {
+        let (page, off) = v.locate(i);
+        T::read_le(&self.pages[page.index()].bytes()[off..off + T::BYTES])
+    }
+
+    /// Reads a range of elements from the final image.
+    pub fn read_vec<T: Pod>(&self, v: &SharedVec<T>, start: usize, len: usize) -> Vec<T> {
+        (start..start + len).map(|i| self.read(v, i)).collect()
+    }
+}

@@ -1,0 +1,377 @@
+//! Run results: the measurements behind every figure and table.
+
+use std::fmt;
+
+use rsdsm_simnet::{NetStats, SimDuration};
+
+use crate::accounting::Breakdown;
+use crate::config::DsmConfig;
+use crate::node::{AccessCounters, NodeCounters};
+
+/// Errors a simulation run can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An application thread panicked (message included when known).
+    AppThread(String),
+    /// The simulated-time safety limit was exceeded.
+    TimeLimit,
+    /// The event queue drained while threads were still blocked.
+    Deadlock(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::AppThread(msg) => write!(f, "application thread panicked: {msg}"),
+            SimError::TimeLimit => write!(f, "simulated time limit exceeded"),
+            SimError::Deadlock(what) => write!(f, "deadlock: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-kind network traffic row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficRow {
+    /// Message kind label.
+    pub kind: &'static str,
+    /// Messages delivered.
+    pub msgs: u64,
+    /// Bytes delivered (payload + headers).
+    pub bytes: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+}
+
+/// Network totals for a run (Table 1 / Table 2 columns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetSummary {
+    /// Messages delivered.
+    pub total_msgs: u64,
+    /// Bytes delivered, including headers.
+    pub total_bytes: u64,
+    /// Droppable messages lost to congestion.
+    pub drops: u64,
+    /// Mean queueing delay per delivered message.
+    pub mean_queue_delay: SimDuration,
+    /// Worst queueing delay.
+    pub max_queue_delay: SimDuration,
+    /// Per-kind rows, in kind order.
+    pub per_kind: Vec<TrafficRow>,
+}
+
+impl NetSummary {
+    pub(crate) fn from_stats(stats: &NetStats) -> Self {
+        NetSummary {
+            total_msgs: stats.total_msgs(),
+            total_bytes: stats.total_bytes(),
+            drops: stats.drops(),
+            mean_queue_delay: stats.mean_queue_delay(),
+            max_queue_delay: stats.max_queue_delay(),
+            per_kind: stats
+                .kinds()
+                .map(|(kind, k)| TrafficRow {
+                    kind,
+                    msgs: k.msgs,
+                    bytes: k.bytes,
+                    dropped: k.dropped,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Remote memory miss measurements (Table 1 right-hand columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissSummary {
+    /// Page faults that entered the protocol.
+    pub faults: u64,
+    /// Faults that required remote messages.
+    pub misses: u64,
+    /// Sum of miss latencies.
+    pub latency_sum: SimDuration,
+    /// Per-thread memory stall time.
+    pub stall_sum: SimDuration,
+}
+
+impl MissSummary {
+    /// Average latency of a remote miss.
+    pub fn avg_latency(&self) -> SimDuration {
+        if self.misses == 0 {
+            SimDuration::ZERO
+        } else {
+            self.latency_sum / self.misses
+        }
+    }
+}
+
+/// Lock or barrier stall measurements (Table 2 columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncSummary {
+    /// Remote events (token requests / barrier episodes).
+    pub events: u64,
+    /// Stall occurrences (threads that actually blocked).
+    pub waits: u64,
+    /// Sum of per-thread stall time.
+    pub stall_sum: SimDuration,
+}
+
+impl SyncSummary {
+    /// Average stall per blocking occurrence.
+    pub fn avg_stall(&self) -> SimDuration {
+        if self.waits == 0 {
+            SimDuration::ZERO
+        } else {
+            self.stall_sum / self.waits
+        }
+    }
+}
+
+/// Prefetch effectiveness measurements (Table 1 and Figure 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchSummary {
+    /// Prefetch operations executed (page granularity).
+    pub calls: u64,
+    /// Prefetches that found their data locally.
+    pub unnecessary: u64,
+    /// Prefetches suppressed because a request was in flight.
+    pub suppressed_inflight: u64,
+    /// Prefetches suppressed by the §5.1 redundancy flag.
+    pub suppressed_flag: u64,
+    /// Prefetches dropped by throttling.
+    pub throttled: u64,
+    /// Emulated compiler checks on private data.
+    pub private_checks: u64,
+    /// Prefetch request messages sent.
+    pub messages: u64,
+    /// Prefetch requests dropped by the network at send time.
+    pub send_drops: u64,
+    /// Faults fully covered by prefetched data (Figure 3 "pf-hit").
+    pub hits: u64,
+    /// Prefetched but not arrived in time ("pf-miss: too late").
+    pub too_late: u64,
+    /// Prefetched but invalidated before use ("pf-miss: invalidated").
+    pub invalidated: u64,
+    /// Faults on pages never prefetched ("no pf").
+    pub no_pf: u64,
+}
+
+impl PrefetchSummary {
+    /// The coverage factor: the fraction of original misses that were
+    /// prefetched at all (Table 1).
+    pub fn coverage(&self) -> f64 {
+        let covered = self.hits + self.too_late + self.invalidated;
+        let total = covered + self.no_pf;
+        if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+
+    /// Fraction of prefetch operations that were unnecessary (Table 1).
+    pub fn unnecessary_fraction(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.unnecessary as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Multithreading measurements (Table 2 left columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MtSummary {
+    /// Context switches taken.
+    pub switches: u64,
+    /// Sum of busy run lengths between long-latency events.
+    pub run_length_sum: SimDuration,
+    /// Number of runs measured.
+    pub run_length_count: u64,
+    /// Sum of all per-thread stalls (memory + locks + barriers).
+    pub stall_sum: SimDuration,
+    /// Number of stalls.
+    pub stall_count: u64,
+}
+
+impl MtSummary {
+    /// Average busy run length between stalls.
+    pub fn avg_run_length(&self) -> SimDuration {
+        if self.run_length_count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.run_length_sum / self.run_length_count
+        }
+    }
+
+    /// Average stall time across all long-latency events.
+    pub fn avg_stall(&self) -> SimDuration {
+        if self.stall_count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.stall_sum / self.stall_count
+        }
+    }
+}
+
+/// Everything measured in one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Benchmark name.
+    pub app: String,
+    /// The configuration that produced this run.
+    pub config: DsmConfig,
+    /// Wall-clock (simulated) completion time.
+    pub total_time: SimDuration,
+    /// Per-node execution-time breakdowns.
+    pub node_breakdowns: Vec<Breakdown>,
+    /// Sum of all nodes' breakdowns (the paper's normalized bars are
+    /// derived from this).
+    pub breakdown: Breakdown,
+    /// Whether the application's verification accepted the result.
+    pub verified: bool,
+    /// Network traffic.
+    pub net: NetSummary,
+    /// Remote memory misses.
+    pub misses: MissSummary,
+    /// Lock behaviour.
+    pub locks: SyncSummary,
+    /// Barrier behaviour.
+    pub barriers: SyncSummary,
+    /// Prefetch behaviour.
+    pub prefetch: PrefetchSummary,
+    /// Multithreading behaviour.
+    pub mt: MtSummary,
+    /// Garbage-collection passes across all nodes.
+    pub gc_passes: u64,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a baseline total time
+    /// (e.g. `orig.total_time`); greater than 1 means faster.
+    pub fn speedup_vs(&self, baseline: SimDuration) -> f64 {
+        if self.total_time.is_zero() {
+            0.0
+        } else {
+            baseline.as_nanos() as f64 / self.total_time.as_nanos() as f64
+        }
+    }
+}
+
+pub(crate) fn fold_counters(
+    counters: impl Iterator<Item = (NodeCounters, AccessCounters)>,
+) -> (
+    MissSummary,
+    SyncSummary,
+    SyncSummary,
+    PrefetchSummary,
+    MtSummary,
+    u64,
+) {
+    let mut miss = MissSummary::default();
+    let mut locks = SyncSummary::default();
+    let mut barriers = SyncSummary::default();
+    let mut pf = PrefetchSummary::default();
+    let mut mt = MtSummary::default();
+    let mut gc = 0;
+    for (c, a) in counters {
+        miss.faults += c.faults;
+        miss.misses += c.misses;
+        miss.latency_sum += c.miss_latency_sum;
+        miss.stall_sum += c.miss_stall;
+        locks.events += c.lock_events;
+        locks.waits += c.lock_waits;
+        locks.stall_sum += c.lock_stall;
+        barriers.events += c.barrier_events;
+        barriers.waits += c.barrier_waits;
+        barriers.stall_sum += c.barrier_stall;
+        pf.calls += a.pf_calls;
+        pf.unnecessary += a.pf_unnecessary;
+        pf.suppressed_inflight += a.pf_suppressed_inflight;
+        pf.suppressed_flag += a.pf_suppressed_flag;
+        pf.throttled += a.pf_throttled;
+        pf.private_checks += a.pf_private_checks;
+        pf.messages += c.pf_messages;
+        pf.send_drops += c.pf_send_drops;
+        pf.hits += c.pf_hit;
+        pf.too_late += c.pf_too_late;
+        pf.invalidated += c.pf_invalidated;
+        pf.no_pf += c.pf_no_pf;
+        mt.switches += c.switches;
+        mt.run_length_sum += c.run_length_sum;
+        mt.run_length_count += c.run_length_count;
+        mt.stall_sum += c.miss_stall + c.lock_stall + c.barrier_stall;
+        mt.stall_count += c.misses + c.lock_waits + c.barrier_waits;
+        gc += c.gc_passes;
+    }
+    (miss, locks, barriers, pf, mt, gc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_avg_latency() {
+        let m = MissSummary {
+            faults: 10,
+            misses: 4,
+            latency_sum: SimDuration::from_micros(400),
+            stall_sum: SimDuration::from_micros(500),
+        };
+        assert_eq!(m.avg_latency(), SimDuration::from_micros(100));
+        assert_eq!(MissSummary::default().avg_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn prefetch_coverage() {
+        let p = PrefetchSummary {
+            hits: 6,
+            too_late: 2,
+            invalidated: 2,
+            no_pf: 10,
+            calls: 100,
+            unnecessary: 25,
+            ..PrefetchSummary::default()
+        };
+        assert!((p.coverage() - 0.5).abs() < 1e-12);
+        assert!((p.unnecessary_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(PrefetchSummary::default().coverage(), 0.0);
+    }
+
+    #[test]
+    fn sync_avg_stall() {
+        let s = SyncSummary {
+            events: 2,
+            waits: 4,
+            stall_sum: SimDuration::from_micros(100),
+        };
+        assert_eq!(s.avg_stall(), SimDuration::from_micros(25));
+        assert_eq!(SyncSummary::default().avg_stall(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mt_averages() {
+        let m = MtSummary {
+            switches: 3,
+            run_length_sum: SimDuration::from_micros(90),
+            run_length_count: 9,
+            stall_sum: SimDuration::from_micros(50),
+            stall_count: 5,
+        };
+        assert_eq!(m.avg_run_length(), SimDuration::from_micros(10));
+        assert_eq!(m.avg_stall(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SimError::TimeLimit.to_string().contains("time limit"));
+        assert!(SimError::AppThread("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(SimError::Deadlock("x".into())
+            .to_string()
+            .contains("deadlock"));
+    }
+}

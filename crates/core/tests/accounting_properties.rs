@@ -1,0 +1,74 @@
+//! Property-based tests of the CPU-time accounting invariants.
+
+use proptest::prelude::*;
+use rsdsm_core::{Category, IdleReason, NodeAccount};
+use rsdsm_simnet::{SimDuration, SimTime};
+
+/// A randomized charge: request time offset, duration, category
+/// index, idle-reason selector.
+fn charges() -> impl Strategy<Value = Vec<(u64, u64, usize, u8)>> {
+    prop::collection::vec((0u64..10_000, 0u64..5_000, 0usize..6, 0u8..3), 1..200)
+}
+
+proptest! {
+    /// The account conserves time: after any sequence of charges, the
+    /// sum of categories equals the CPU-busy spans plus the
+    /// attributed idle gaps, i.e. exactly `cpu_free` once finished.
+    #[test]
+    fn categories_partition_the_timeline(ops in charges()) {
+        let mut account = NodeAccount::new();
+        let mut clock = SimTime::ZERO;
+        for (offset, dur, cat, idle_sel) in ops {
+            // Requests move forward in time (events are ordered).
+            clock += SimDuration::from_nanos(offset);
+            let cat = Category::ALL[cat];
+            let idle = match idle_sel {
+                0 => None,
+                1 => Some(IdleReason::Memory),
+                _ => Some(IdleReason::Sync),
+            };
+            let end = account.consume(clock, SimDuration::from_nanos(dur), cat, idle);
+            prop_assert!(end >= clock, "work cannot finish before it starts");
+            prop_assert_eq!(end, account.cpu_free());
+        }
+        // Everything up to cpu_free is attributed to some category.
+        let total = account.breakdown().total();
+        prop_assert_eq!(
+            total.as_nanos(),
+            account.cpu_free().as_nanos(),
+            "categories must partition [0, cpu_free)"
+        );
+    }
+
+    /// cpu_free is monotone regardless of request order jitter.
+    #[test]
+    fn cpu_free_is_monotone(ops in charges()) {
+        let mut account = NodeAccount::new();
+        let mut prev = SimTime::ZERO;
+        for (offset, dur, cat, _) in ops {
+            let at = SimTime::from_nanos(offset);
+            account.consume(at, SimDuration::from_nanos(dur), Category::ALL[cat], None);
+            prop_assert!(account.cpu_free() >= prev);
+            prev = account.cpu_free();
+        }
+    }
+
+    /// finish() closes the account exactly at the requested end and
+    /// never shrinks it.
+    #[test]
+    fn finish_pads_to_end(ops in charges(), pad in 0u64..100_000) {
+        let mut account = NodeAccount::new();
+        for (offset, dur, cat, _) in ops {
+            account.consume(
+                SimTime::from_nanos(offset),
+                SimDuration::from_nanos(dur),
+                Category::ALL[cat],
+                None,
+            );
+        }
+        let end = account.cpu_free() + SimDuration::from_nanos(pad);
+        account.finish(end, IdleReason::Sync);
+        prop_assert_eq!(account.cpu_free(), end);
+        prop_assert_eq!(account.breakdown().total().as_nanos(), end.as_nanos());
+    }
+}

@@ -1,0 +1,227 @@
+//! Protocol fuzzing: randomized (but race-free) programs run through
+//! the full DSM engine, with in-run assertions on every cross-thread
+//! read and a final check of the materialized memory. Slots are small
+//! enough that many threads share each page, so the multiple-writer
+//! twin/diff machinery, notice propagation, prefetching, and lock
+//! token movement all get exercised under false sharing.
+
+use proptest::prelude::*;
+use rsdsm_core::{
+    BarrierId, DsmConfig, DsmCtx, DsmProgram, Heap, HomePolicy, LockId, PrefetchConfig, SharedVec,
+    Simulation, ThreadConfig, VerifyCtx,
+};
+use rsdsm_simnet::{DetRng, SimDuration};
+
+/// The deterministic value thread `t` writes to its slot `k` in phase
+/// `p` for a given fuzz seed.
+fn pattern(seed: u64, phase: usize, thread: usize, k: usize) -> u64 {
+    DetRng::new(seed ^ (phase as u64) << 40 ^ (thread as u64) << 20 ^ k as u64).next_u64()
+}
+
+#[derive(Debug, Clone)]
+struct FuzzProgram {
+    seed: u64,
+    phases: usize,
+    slots_per_thread: usize,
+    counter_rounds: usize,
+    prefetch_ratio: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FuzzHandles {
+    slots: SharedVec<u64>,
+    counters: SharedVec<u64>,
+}
+
+const NUM_COUNTERS: usize = 3;
+
+impl DsmProgram for FuzzProgram {
+    type Handles = FuzzHandles;
+
+    fn name(&self) -> String {
+        format!("fuzz-{:x}", self.seed)
+    }
+
+    fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+        // Allocation sized for up to 16 threads; slots are 8 bytes so
+        // hundreds share a page.
+        FuzzHandles {
+            slots: heap.alloc(16 * self.slots_per_thread, HomePolicy::Blocked),
+            counters: heap.alloc(NUM_COUNTERS, HomePolicy::Single(0)),
+        }
+    }
+
+    fn run(&self, ctx: &mut DsmCtx, h: &Self::Handles) {
+        let t = ctx.thread_id();
+        let n = ctx.num_threads();
+        let mut rng = DetRng::new(self.seed ^ 0xF022 ^ t as u64);
+        let my_base = t * self.slots_per_thread;
+
+        if t == 0 {
+            ctx.write_slice(&h.counters, 0, &[0u64; NUM_COUNTERS]);
+        }
+        ctx.barrier(BarrierId(0));
+
+        for phase in 0..self.phases {
+            // Write my slots for this phase (sub-page, false shared).
+            for k in 0..self.slots_per_thread {
+                ctx.write(&h.slots, my_base + k, pattern(self.seed, phase, t, k));
+            }
+            ctx.compute(SimDuration::from_micros(rng.next_range(10, 200)));
+
+            // Lock-protected shared counters.
+            for _ in 0..self.counter_rounds {
+                let c = rng.next_below(NUM_COUNTERS as u64) as usize;
+                if rng.chance(0.5) {
+                    ctx.prefetch(&h.counters, c, c + 1);
+                }
+                ctx.acquire(LockId(40 + c as u32));
+                let v = ctx.read(&h.counters, c);
+                ctx.compute(SimDuration::from_micros(3));
+                ctx.write(&h.counters, c, v + 1);
+                ctx.release(LockId(40 + c as u32));
+            }
+
+            ctx.barrier(BarrierId(1 + 2 * phase as u32));
+
+            // Read a random selection of other threads' slots; every
+            // value must be this phase's pattern (release consistency
+            // guarantees it after the barrier).
+            for _ in 0..2 * self.slots_per_thread {
+                let other = rng.next_below(n as u64) as usize;
+                let k = rng.next_below(self.slots_per_thread as u64) as usize;
+                if rng.chance(self.prefetch_ratio) {
+                    let idx = other * self.slots_per_thread + k;
+                    ctx.prefetch(&h.slots, idx, idx + 1);
+                }
+                let got = ctx.read(&h.slots, other * self.slots_per_thread + k);
+                let want = pattern(self.seed, phase, other, k);
+                assert_eq!(
+                    got, want,
+                    "phase {phase}: thread {t} read slot ({other},{k}) stale"
+                );
+            }
+            ctx.barrier(BarrierId(2 + 2 * phase as u32));
+        }
+    }
+
+    fn verify(&self, mem: &VerifyCtx, h: &Self::Handles) -> bool {
+        // Final slots hold the last phase's pattern; we cannot know
+        // the thread count here, so check the counters instead: each
+        // increment ran under a lock, so the totals must add up.
+        let total: u64 = (0..NUM_COUNTERS).map(|c| mem.read(&h.counters, c)).sum();
+        let _ = total; // checked precisely in the test harness below
+        true
+    }
+}
+
+fn run_fuzz(
+    seed: u64,
+    nodes: usize,
+    threads_per_node: usize,
+    prefetch: bool,
+    phases: usize,
+    counter_rounds: usize,
+) {
+    let program = FuzzProgram {
+        seed,
+        phases,
+        slots_per_thread: 24,
+        counter_rounds,
+        prefetch_ratio: 0.6,
+    };
+    let mut cfg = DsmConfig::paper_cluster(nodes).with_seed(seed);
+    if threads_per_node > 1 {
+        cfg = cfg.with_threads(ThreadConfig::multithreaded(threads_per_node));
+    }
+    // Cycle the prefetch style by seed so every mode gets fuzzed.
+    if prefetch {
+        cfg = cfg.with_prefetch(if seed.is_multiple_of(3) {
+            PrefetchConfig::automatic()
+        } else {
+            PrefetchConfig::hand()
+        });
+    }
+    let total_threads = cfg.total_threads();
+    let report = Simulation::new(cfg)
+        .run(&program)
+        .unwrap_or_else(|e| panic!("fuzz seed {seed}: {e}"));
+    assert!(report.verified);
+    // Counter conservation: every lock-protected increment landed.
+    let expected = (total_threads * phases * counter_rounds) as u64;
+    assert_eq!(
+        counter_total(&program, &report),
+        expected,
+        "fuzz seed {seed}: lost counter increments"
+    );
+}
+
+/// Re-runs verification to read the final counters (the report does
+/// not carry raw memory, so the program stores what it needs via the
+/// verify hook — here we recompute through a second deterministic run
+/// at identical configuration, which must agree by determinism).
+fn counter_total(program: &FuzzProgram, report: &rsdsm_core::RunReport) -> u64 {
+    // The sum of lock-protected increments equals threads*phases*rounds
+    // iff no increment was lost; we detect loss through the in-run
+    // assertions plus this recount using a verifying wrapper.
+    struct Recount<'a>(&'a FuzzProgram, std::sync::Mutex<u64>);
+    impl DsmProgram for Recount<'_> {
+        type Handles = FuzzHandles;
+        fn name(&self) -> String {
+            "recount".into()
+        }
+        fn allocate(&self, heap: &mut Heap) -> Self::Handles {
+            self.0.allocate(heap)
+        }
+        fn run(&self, ctx: &mut DsmCtx, h: &Self::Handles) {
+            self.0.run(ctx, h);
+        }
+        fn verify(&self, mem: &VerifyCtx, h: &Self::Handles) -> bool {
+            let total: u64 = (0..NUM_COUNTERS).map(|c| mem.read(&h.counters, c)).sum();
+            *self.1.lock().expect("recount mutex") = total;
+            true
+        }
+    }
+    let recount = Recount(program, std::sync::Mutex::new(0));
+    let r = Simulation::new(report.config.clone())
+        .run(&recount)
+        .expect("recount run");
+    assert!(r.verified);
+    let total = *recount.1.lock().expect("recount mutex");
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn randomized_programs_stay_coherent(
+        seed in any::<u64>(),
+        nodes in 2usize..=6,
+        tpn in 1usize..=2,
+        prefetch in any::<bool>(),
+        phases in 1usize..=3,
+        counter_rounds in 0usize..=3,
+    ) {
+        run_fuzz(seed, nodes, tpn, prefetch, phases, counter_rounds);
+    }
+}
+
+/// A fixed set of historically interesting configurations (regression
+/// anchors for the bugs found during construction: base/open-interval
+/// leaks, stale cached diffs, split-interval causality).
+#[test]
+fn regression_configurations() {
+    for (seed, nodes, tpn, prefetch) in [
+        (1998, 8, 1, true),
+        (1998, 8, 2, false),
+        (0x5D5, 8, 2, true),
+        (7, 4, 4, true),
+        (42, 6, 2, true),
+    ] {
+        run_fuzz(seed, nodes, tpn, prefetch, 3, 2);
+    }
+}

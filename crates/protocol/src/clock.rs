@@ -1,0 +1,237 @@
+//! Vector clocks and the happens-before-1 partial order.
+//!
+//! TreadMarks maintains lazy release consistency with a distributed
+//! timestamp and interval-based algorithm: every processor keeps a
+//! vector timestamp (one element per processor), increments its own
+//! element at each interval boundary (synchronization release, or a
+//! prefetch-induced interval split), and orders intervals by the
+//! *happens-before-1* partial order of Adve & Hill, which for vector
+//! timestamps is simply element-wise comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsdsm_protocol::VectorClock;
+//!
+//! let mut a = VectorClock::new(4);
+//! let mut b = VectorClock::new(4);
+//! a.tick(0);
+//! b.tick(1);
+//! assert!(a.is_concurrent_with(&b));
+//! b.join(&a);
+//! assert!(b.dominates(&a));
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A per-processor vector timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    elems: Vec<u32>,
+}
+
+impl VectorClock {
+    /// A clock for `n` processors, all elements zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "vector clock needs at least one processor");
+        VectorClock { elems: vec![0; n] }
+    }
+
+    /// Number of processors this clock covers.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Always false; a clock covers at least one processor.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The timestamp element for processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn get(&self, p: usize) -> u32 {
+        self.elems[p]
+    }
+
+    /// Increments processor `p`'s element (starts a new interval for
+    /// `p`) and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn tick(&mut self, p: usize) -> u32 {
+        self.elems[p] += 1;
+        self.elems[p]
+    }
+
+    /// Element-wise maximum: after `self.join(other)`, `self`
+    /// dominates both inputs. This is the lattice join performed at
+    /// acquire time when write notices are received.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks cover different processor counts.
+    pub fn join(&mut self, other: &VectorClock) {
+        assert_eq!(self.len(), other.len(), "clock size mismatch");
+        for (a, b) in self.elems.iter_mut().zip(&other.elems) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when every element of `self` is `>=` the corresponding
+    /// element of `other` — i.e. `other` happened before or equals
+    /// `self` under happens-before-1.
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.len(), other.len(), "clock size mismatch");
+        self.elems.iter().zip(&other.elems).all(|(a, b)| a >= b)
+    }
+
+    /// True when neither clock dominates the other (concurrent
+    /// intervals, e.g. two writers under the multiple-writer protocol).
+    pub fn is_concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Partial order under happens-before-1.
+    ///
+    /// Returns `None` for concurrent clocks.
+    pub fn hb_cmp(&self, other: &VectorClock) -> Option<Ordering> {
+        let ge = self.dominates(other);
+        let le = other.dominates(self);
+        match (ge, le) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Greater),
+            (false, true) => Some(Ordering::Less),
+            (false, false) => None,
+        }
+    }
+
+    /// Sorts stamps into an order consistent with happens-before-1
+    /// (a topological order): earlier-or-concurrent stamps first.
+    ///
+    /// Concurrent stamps are ordered by their element sum then
+    /// lexicographically, which is deterministic and consistent with
+    /// the partial order because a dominated clock always has a
+    /// smaller or equal sum (and equal sums with domination implies
+    /// equality).
+    pub fn sort_hb(stamps: &mut [VectorClock]) {
+        stamps.sort_by(|a, b| {
+            let sa: u64 = a.elems.iter().map(|&x| x as u64).sum();
+            let sb: u64 = b.elems.iter().map(|&x| x as u64).sum();
+            sa.cmp(&sb).then_with(|| a.elems.cmp(&b.elems))
+        });
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        let a = VectorClock::new(3);
+        let b = VectorClock::new(3);
+        assert_eq!(a.hb_cmp(&b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn tick_advances_only_own_element() {
+        let mut a = VectorClock::new(3);
+        assert_eq!(a.tick(1), 1);
+        assert_eq!(a.get(0), 0);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn domination_after_tick() {
+        let mut a = VectorClock::new(2);
+        let b = a.clone();
+        a.tick(0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert_eq!(a.hb_cmp(&b), Some(Ordering::Greater));
+        assert_eq!(b.hb_cmp(&a), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn concurrent_ticks_are_incomparable() {
+        let base = VectorClock::new(2);
+        let mut a = base.clone();
+        let mut b = base;
+        a.tick(0);
+        b.tick(1);
+        assert!(a.is_concurrent_with(&b));
+        assert_eq!(a.hb_cmp(&b), None);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(2);
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(j.dominates(&a));
+        assert!(j.dominates(&b));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 0);
+        assert_eq!(j.get(2), 1);
+    }
+
+    #[test]
+    fn sort_hb_respects_partial_order() {
+        let mut a = VectorClock::new(2); // <1,0>
+        a.tick(0);
+        let mut b = a.clone(); // <2,0>
+        b.tick(0);
+        let mut c = VectorClock::new(2); // <0,1>
+        c.tick(1);
+        let mut v = vec![b.clone(), c.clone(), a.clone()];
+        VectorClock::sort_hb(&mut v);
+        let pos = |x: &VectorClock| v.iter().position(|y| y == x).unwrap();
+        assert!(pos(&a) < pos(&b), "a happens before b");
+        // c concurrent with both: only requirement is determinism.
+        let mut v2 = vec![a, c, b];
+        VectorClock::sort_hb(&mut v2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        a.dominates(&b);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut a = VectorClock::new(3);
+        a.tick(1);
+        assert_eq!(a.to_string(), "<0,1,0>");
+    }
+}

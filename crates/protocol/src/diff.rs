@@ -1,0 +1,265 @@
+//! Twins and run-length-encoded diffs — the multiple-writer protocol.
+//!
+//! To avoid the ping-pong effects of false sharing, TreadMarks lets
+//! several processors write the same page concurrently. Before a node
+//! first writes a page in an interval it saves a clean copy (the
+//! *twin*); when another node needs the modifications, the writer
+//! compares the current page against the twin and run-length encodes
+//! the changed bytes into a [`Diff`]. Diffs from different writers of
+//! the same page touch disjoint bytes in race-free programs, so
+//! applying them in any order consistent with happens-before-1 yields
+//! the correct page.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsdsm_protocol::{Diff, Page};
+//!
+//! let twin = Page::new();
+//! let mut current = twin.clone();
+//! current.write_u64(128, 7);
+//! let diff = Diff::between(&twin, &current);
+//! assert!(!diff.is_empty());
+//!
+//! let mut other = Page::new();
+//! diff.apply(&mut other);
+//! assert_eq!(other.read_u64(128), 7);
+//! ```
+
+use std::fmt;
+
+use crate::page::{Page, PAGE_SIZE};
+
+/// One contiguous run of modified bytes inside a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DiffRun {
+    offset: u32,
+    bytes: Vec<u8>,
+}
+
+/// A run-length-encoded record of the modifications made to one page
+/// during one interval.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<DiffRun>,
+}
+
+/// Fixed per-run encoding overhead used for message sizing (offset +
+/// length fields).
+const RUN_HEADER_BYTES: usize = 4;
+
+impl Diff {
+    /// Computes the diff that transforms `twin` into `current`.
+    pub fn between(twin: &Page, current: &Page) -> Self {
+        let t = twin.bytes();
+        let c = current.bytes();
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < PAGE_SIZE {
+            if t[i] != c[i] {
+                let start = i;
+                while i < PAGE_SIZE && t[i] != c[i] {
+                    i += 1;
+                }
+                runs.push(DiffRun {
+                    offset: start as u32,
+                    bytes: c[start..i].to_vec(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// A diff covering the whole page (used when a node sends a full
+    /// page copy on a first-touch fetch).
+    pub fn full_page(page: &Page) -> Self {
+        Diff {
+            runs: vec![DiffRun {
+                offset: 0,
+                bytes: page.bytes().to_vec(),
+            }],
+        }
+    }
+
+    /// Applies the recorded modifications to `page`.
+    pub fn apply(&self, page: &mut Page) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            page.bytes_mut()[start..start + run.bytes.len()].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True when the twin and current page were identical.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of modified-byte runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of modified bytes carried.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Size of the encoded diff on the wire, for network cost
+    /// modeling: payload plus per-run framing.
+    pub fn encoded_bytes(&self) -> usize {
+        self.payload_bytes() + RUN_HEADER_BYTES * self.runs.len()
+    }
+
+    /// True if the diff modifies any byte in `lo..hi` (diagnostics).
+    pub fn covers(&self, lo: usize, hi: usize) -> bool {
+        self.runs.iter().any(|r| {
+            let s = r.offset as usize;
+            let e = s + r.bytes.len();
+            s < hi && lo < e
+        })
+    }
+
+    /// True if this diff's modified byte ranges overlap `other`'s.
+    ///
+    /// Overlapping concurrent diffs indicate a data race in the
+    /// application (two writers modified the same bytes between
+    /// synchronizations).
+    pub fn overlaps(&self, other: &Diff) -> bool {
+        // Runs are produced in ascending offset order; merge-scan.
+        let mut a = self.runs.iter().peekable();
+        let mut b = other.runs.iter().peekable();
+        while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+            let (xs, xe) = (x.offset as usize, x.offset as usize + x.bytes.len());
+            let (ys, ye) = (y.offset as usize, y.offset as usize + y.bytes.len());
+            if xs < ye && ys < xe {
+                return true;
+            }
+            if xe <= ys {
+                a.next();
+            } else {
+                b.next();
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Diff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "diff({} runs, {} bytes)",
+            self.run_count(),
+            self.payload_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(writes: &[(usize, u64)]) -> Page {
+        let mut p = Page::new();
+        for &(off, v) in writes {
+            p.write_u64(off, v);
+        }
+        p
+    }
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let p = page_with(&[(0, 1), (8, 2)]);
+        let d = Diff::between(&p, &p.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_apply_round_trip() {
+        let twin = page_with(&[(0, 1)]);
+        let current = page_with(&[(0, 1), (100, 9), (2000, 10)]);
+        let d = Diff::between(&twin, &current);
+        let mut restored = twin.clone();
+        d.apply(&mut restored);
+        assert_eq!(restored, current);
+    }
+
+    #[test]
+    fn runs_are_coalesced() {
+        let twin = Page::new();
+        let mut current = Page::new();
+        for off in (64..128).step_by(8) {
+            current.write_u64(off, u64::MAX);
+        }
+        let d = Diff::between(&twin, &current);
+        assert_eq!(d.run_count(), 1, "contiguous writes form one run");
+        assert_eq!(d.payload_bytes(), 64);
+    }
+
+    #[test]
+    fn encoded_size_includes_framing() {
+        let twin = Page::new();
+        let current = page_with(&[(0, 5), (1024, 6)]);
+        let d = Diff::between(&twin, &current);
+        assert_eq!(d.run_count(), 2);
+        assert_eq!(d.encoded_bytes(), d.payload_bytes() + 8);
+    }
+
+    #[test]
+    fn disjoint_concurrent_diffs_commute() {
+        let twin = Page::new();
+        let a = Diff::between(&twin, &page_with(&[(0, 11)]));
+        let b = Diff::between(&twin, &page_with(&[(512, 22)]));
+        assert!(!a.overlaps(&b));
+        let mut p1 = Page::new();
+        a.apply(&mut p1);
+        b.apply(&mut p1);
+        let mut p2 = Page::new();
+        b.apply(&mut p2);
+        a.apply(&mut p2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.read_u64(0), 11);
+        assert_eq!(p1.read_u64(512), 22);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let twin = Page::new();
+        let a = Diff::between(&twin, &page_with(&[(0, u64::MAX)]));
+        let b = Diff::between(&twin, &page_with(&[(4, u64::MAX)]));
+        assert!(a.overlaps(&b), "byte ranges 0..8 and 4..12 overlap");
+    }
+
+    #[test]
+    fn full_page_diff_replicates_page() {
+        let src = page_with(&[(0, 3), (4088, 4)]);
+        let d = Diff::full_page(&src);
+        let mut dst = Page::new();
+        d.apply(&mut dst);
+        assert_eq!(dst, src);
+        assert_eq!(d.payload_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn zero_writes_are_detected() {
+        // Writing a zero over a nonzero byte must appear in the diff.
+        let twin = page_with(&[(16, u64::MAX)]);
+        let mut current = twin.clone();
+        current.write_u64(16, 0);
+        let d = Diff::between(&twin, &current);
+        assert_eq!(d.payload_bytes(), 8);
+        let mut restored = twin.clone();
+        d.apply(&mut restored);
+        assert_eq!(restored.read_u64(16), 0);
+    }
+
+    #[test]
+    fn display_mentions_runs_and_bytes() {
+        let twin = Page::new();
+        let d = Diff::between(&twin, &page_with(&[(0, u64::MAX)]));
+        assert_eq!(d.to_string(), "diff(1 runs, 8 bytes)");
+    }
+}

@@ -1,0 +1,408 @@
+//! Write notices, the per-node notice board, and the prefetch diff cache.
+//!
+//! When a processor releases a synchronization object, it piggybacks
+//! *write notices* — (page, writer, interval timestamp) triples — on
+//! the reply, telling the acquirer which pages were modified in
+//! intervals the acquirer has not yet seen. The acquirer invalidates
+//! those pages; a later access faults and fetches the corresponding
+//! diffs from their writers.
+//!
+//! [`NoticeBoard`] is a node's record of the notices it knows about
+//! and which of them have already been satisfied by an applied diff.
+//! [`DiffCache`] is the separate heap the paper's prefetch
+//! implementation stores diff replies in ("a cache of remote diff
+//! replies", §3.1) until the page is actually accessed.
+
+use std::collections::HashMap;
+
+use crate::clock::VectorClock;
+use crate::diff::Diff;
+use crate::page::PageId;
+
+/// Notification that `origin` wrote `page` during the interval
+/// stamped `stamp`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteNotice {
+    /// The modified page.
+    pub page: PageId,
+    /// The processor that performed the writes.
+    pub origin: usize,
+    /// Vector timestamp of the writer's interval.
+    pub stamp: VectorClock,
+}
+
+/// Wire-size estimate of one encoded write notice, for message sizing.
+pub const NOTICE_WIRE_BYTES: usize = 24;
+
+#[derive(Debug, Clone)]
+struct NoticeEntry {
+    origin: usize,
+    stamp: VectorClock,
+    applied: bool,
+}
+
+/// A node's record of known write notices, per page.
+///
+/// Invariant: at most one entry per (page, origin, stamp).
+#[derive(Debug, Clone, Default)]
+pub struct NoticeBoard {
+    by_page: HashMap<PageId, Vec<NoticeEntry>>,
+}
+
+impl NoticeBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        NoticeBoard::default()
+    }
+
+    /// Records a notice received at acquire time (or piggybacked on a
+    /// reply). Duplicates are ignored. Returns true if the notice was
+    /// new — the caller should then invalidate the page.
+    pub fn record(&mut self, notice: WriteNotice) -> bool {
+        let entries = self.by_page.entry(notice.page).or_default();
+        if entries
+            .iter()
+            .any(|e| e.origin == notice.origin && e.stamp == notice.stamp)
+        {
+            return false;
+        }
+        entries.push(NoticeEntry {
+            origin: notice.origin,
+            stamp: notice.stamp,
+            applied: false,
+        });
+        true
+    }
+
+    /// The distinct origins that have pending (unapplied)
+    /// modifications to `page`, with the stamps pending per origin.
+    pub fn pending_by_origin(&self, page: PageId) -> Vec<(usize, Vec<VectorClock>)> {
+        let mut out: Vec<(usize, Vec<VectorClock>)> = Vec::new();
+        if let Some(entries) = self.by_page.get(&page) {
+            for e in entries.iter().filter(|e| !e.applied) {
+                match out.iter_mut().find(|(o, _)| *o == e.origin) {
+                    Some((_, stamps)) => stamps.push(e.stamp.clone()),
+                    None => out.push((e.origin, vec![e.stamp.clone()])),
+                }
+            }
+        }
+        out.sort_by_key(|(o, _)| *o);
+        out
+    }
+
+    /// True if any notice for `page` lacks an applied diff.
+    pub fn has_pending(&self, page: PageId) -> bool {
+        self.by_page
+            .get(&page)
+            .is_some_and(|es| es.iter().any(|e| !e.applied))
+    }
+
+    /// Count of pending notices for `page`.
+    pub fn pending_count(&self, page: PageId) -> usize {
+        self.by_page
+            .get(&page)
+            .map_or(0, |es| es.iter().filter(|e| !e.applied).count())
+    }
+
+    /// Marks the notice (page, origin, stamp) as satisfied by an
+    /// applied diff. Unknown notices are recorded as applied, which
+    /// happens when a diff arrives (e.g. via prefetch) before its
+    /// notice propagates.
+    pub fn mark_applied(&mut self, page: PageId, origin: usize, stamp: &VectorClock) {
+        let entries = self.by_page.entry(page).or_default();
+        match entries
+            .iter_mut()
+            .find(|e| e.origin == origin && e.stamp == *stamp)
+        {
+            Some(e) => e.applied = true,
+            None => entries.push(NoticeEntry {
+                origin,
+                stamp: stamp.clone(),
+                applied: true,
+            }),
+        }
+    }
+
+    /// Total notices recorded for `page` (applied or not).
+    pub fn total_count(&self, page: PageId) -> usize {
+        self.by_page.get(&page).map_or(0, Vec::len)
+    }
+
+    /// Whether the diff for (page, origin, stamp) has already been
+    /// applied locally. Re-applying an old diff after newer ones is
+    /// unsound (diffs are byte-sparse), so consumers check this before
+    /// applying cached data.
+    pub fn is_applied(&self, page: PageId, origin: usize, stamp: &VectorClock) -> bool {
+        self.by_page.get(&page).is_some_and(|es| {
+            es.iter()
+                .any(|e| e.applied && e.origin == origin && e.stamp == *stamp)
+        })
+    }
+
+    /// The (origin, stamp) pairs whose diffs have been applied into
+    /// the local copy of `page` — sent along with base copies so a
+    /// first-touch fetcher knows what the copy already incorporates.
+    pub fn applied_for(&self, page: PageId) -> Vec<(usize, VectorClock)> {
+        self.by_page.get(&page).map_or_else(Vec::new, |es| {
+            es.iter()
+                .filter(|e| e.applied)
+                .map(|e| (e.origin, e.stamp.clone()))
+                .collect()
+        })
+    }
+
+    /// Drops applied entries older than `horizon` on every page —
+    /// the bookkeeping side of TreadMarks garbage collection.
+    /// Returns the number of entries discarded.
+    pub fn garbage_collect(&mut self, horizon: &VectorClock) -> usize {
+        let mut freed = 0;
+        for entries in self.by_page.values_mut() {
+            let before = entries.len();
+            entries.retain(|e| !(e.applied && horizon.dominates(&e.stamp)));
+            freed += before - entries.len();
+        }
+        self.by_page.retain(|_, es| !es.is_empty());
+        freed
+    }
+}
+
+/// A cached diff reply waiting to be applied at access time.
+#[derive(Debug, Clone)]
+pub struct CachedDiff {
+    /// The writer the diff came from.
+    pub origin: usize,
+    /// Timestamp of the writer's interval.
+    pub stamp: VectorClock,
+    /// The modifications.
+    pub diff: Diff,
+}
+
+/// The separate heap holding prefetched diff replies ("a cache of
+/// remote diff replies", §3.1) until the faulting access applies them.
+#[derive(Debug, Clone, Default)]
+pub struct DiffCache {
+    by_page: HashMap<PageId, Vec<CachedDiff>>,
+    bytes: usize,
+}
+
+impl DiffCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DiffCache::default()
+    }
+
+    /// Stores a prefetched diff for `page`. Duplicate (origin, stamp)
+    /// entries are ignored.
+    pub fn insert(&mut self, page: PageId, cached: CachedDiff) {
+        let entry = self.by_page.entry(page).or_default();
+        if entry
+            .iter()
+            .any(|c| c.origin == cached.origin && c.stamp == cached.stamp)
+        {
+            return;
+        }
+        self.bytes += cached.diff.encoded_bytes();
+        entry.push(cached);
+    }
+
+    /// Removes and returns all cached diffs for `page`, ordered
+    /// consistently with happens-before-1 so they can be applied
+    /// directly.
+    pub fn take(&mut self, page: PageId) -> Vec<CachedDiff> {
+        let mut diffs = self.by_page.remove(&page).unwrap_or_default();
+        self.bytes -= diffs.iter().map(|c| c.diff.encoded_bytes()).sum::<usize>();
+        // Order by the same deterministic topological key as
+        // VectorClock::sort_hb.
+        diffs.sort_by(|a, b| {
+            let sa: u64 = (0..a.stamp.len()).map(|i| a.stamp.get(i) as u64).sum();
+            let sb: u64 = (0..b.stamp.len()).map(|i| b.stamp.get(i) as u64).sum();
+            sa.cmp(&sb).then_with(|| {
+                (0..a.stamp.len())
+                    .map(|i| a.stamp.get(i))
+                    .cmp((0..b.stamp.len()).map(|i| b.stamp.get(i)))
+            })
+        });
+        diffs
+    }
+
+    /// Whether any diff for `page` is cached.
+    pub fn contains_page(&self, page: PageId) -> bool {
+        self.by_page.contains_key(&page)
+    }
+
+    /// Whether the diff for (page, origin, stamp) is cached.
+    pub fn has_diff(&self, page: PageId, origin: usize, stamp: &VectorClock) -> bool {
+        self.by_page
+            .get(&page)
+            .is_some_and(|cs| cs.iter().any(|c| c.origin == origin && c.stamp == *stamp))
+    }
+
+    /// Number of cached diffs across all pages.
+    pub fn len(&self) -> usize {
+        self.by_page.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_page.is_empty()
+    }
+
+    /// Total encoded bytes held (the storage the paper notes relieves
+    /// garbage-collection pressure in LU-NCONT, §3.3.2 footnote).
+    pub fn encoded_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Discards everything (e.g. at a garbage-collection point).
+    pub fn clear(&mut self) {
+        self.by_page.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Page;
+
+    fn stamp(n: usize, ticks: &[usize]) -> VectorClock {
+        let mut vc = VectorClock::new(n);
+        for &p in ticks {
+            vc.tick(p);
+        }
+        vc
+    }
+
+    fn notice(page: u32, origin: usize, s: &VectorClock) -> WriteNotice {
+        WriteNotice {
+            page: PageId::new(page),
+            origin,
+            stamp: s.clone(),
+        }
+    }
+
+    #[test]
+    fn record_dedupes() {
+        let mut board = NoticeBoard::new();
+        let s = stamp(2, &[0]);
+        assert!(board.record(notice(1, 0, &s)));
+        assert!(!board.record(notice(1, 0, &s)));
+        assert_eq!(board.total_count(PageId::new(1)), 1);
+    }
+
+    #[test]
+    fn pending_grouped_by_origin() {
+        let mut board = NoticeBoard::new();
+        board.record(notice(1, 0, &stamp(2, &[0])));
+        board.record(notice(1, 0, &stamp(2, &[0, 0])));
+        board.record(notice(1, 1, &stamp(2, &[1])));
+        let pending = board.pending_by_origin(PageId::new(1));
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].0, 0);
+        assert_eq!(pending[0].1.len(), 2);
+        assert_eq!(pending[1].0, 1);
+    }
+
+    #[test]
+    fn mark_applied_clears_pending() {
+        let mut board = NoticeBoard::new();
+        let s = stamp(2, &[0]);
+        board.record(notice(3, 0, &s));
+        assert!(board.has_pending(PageId::new(3)));
+        board.mark_applied(PageId::new(3), 0, &s);
+        assert!(!board.has_pending(PageId::new(3)));
+        assert_eq!(board.pending_count(PageId::new(3)), 0);
+    }
+
+    #[test]
+    fn diff_applied_before_notice_registers_as_applied() {
+        let mut board = NoticeBoard::new();
+        let s = stamp(2, &[1]);
+        board.mark_applied(PageId::new(9), 1, &s);
+        // The notice arriving later is a duplicate of an applied entry.
+        assert!(!board.record(notice(9, 1, &s)));
+        assert!(!board.has_pending(PageId::new(9)));
+    }
+
+    #[test]
+    fn garbage_collect_drops_old_applied_entries() {
+        let mut board = NoticeBoard::new();
+        let old = stamp(2, &[0]);
+        let newer = stamp(2, &[0, 0, 1]);
+        board.record(notice(1, 0, &old));
+        board.record(notice(1, 0, &newer));
+        board.mark_applied(PageId::new(1), 0, &old);
+        let mut horizon = stamp(2, &[0, 0]);
+        horizon.join(&stamp(2, &[1]));
+        let freed = board.garbage_collect(&horizon);
+        assert_eq!(freed, 1);
+        assert_eq!(board.total_count(PageId::new(1)), 1);
+    }
+
+    #[test]
+    fn diff_cache_round_trip() {
+        let mut cache = DiffCache::new();
+        let mut page = Page::new();
+        page.write_u64(0, 7);
+        let d = Diff::full_page(&page);
+        cache.insert(
+            PageId::new(2),
+            CachedDiff {
+                origin: 1,
+                stamp: stamp(2, &[1]),
+                diff: d.clone(),
+            },
+        );
+        assert!(cache.contains_page(PageId::new(2)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.encoded_bytes(), d.encoded_bytes());
+        let taken = cache.take(PageId::new(2));
+        assert_eq!(taken.len(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.encoded_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_cache_orders_by_happens_before() {
+        let mut cache = DiffCache::new();
+        let early = stamp(2, &[0]);
+        let late = stamp(2, &[0, 0]);
+        let d = Diff::default();
+        cache.insert(
+            PageId::new(1),
+            CachedDiff {
+                origin: 0,
+                stamp: late.clone(),
+                diff: d.clone(),
+            },
+        );
+        cache.insert(
+            PageId::new(1),
+            CachedDiff {
+                origin: 0,
+                stamp: early.clone(),
+                diff: d,
+            },
+        );
+        let taken = cache.take(PageId::new(1));
+        assert_eq!(taken[0].stamp, early);
+        assert_eq!(taken[1].stamp, late);
+    }
+
+    #[test]
+    fn diff_cache_dedupes() {
+        let mut cache = DiffCache::new();
+        let s = stamp(2, &[0]);
+        for _ in 0..2 {
+            cache.insert(
+                PageId::new(1),
+                CachedDiff {
+                    origin: 0,
+                    stamp: s.clone(),
+                    diff: Diff::default(),
+                },
+            );
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared pages.
+//!
+//! The DSM's unit of coherence is the virtual-memory page (4 KB on the
+//! paper's PowerPC 604 machines). [`Page`] is a plain byte container;
+//! typed access is layered on top by the runtime's shared-array
+//! handles. [`PageId`] numbers pages within the global shared heap.
+
+use std::fmt;
+
+/// Size of a coherence unit in bytes, matching the paper's hardware.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a page in the global shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(u32);
+
+impl PageId {
+    /// Creates a page id from its index in the shared heap.
+    pub const fn new(index: u32) -> Self {
+        PageId(index)
+    }
+
+    /// The page's index in the shared heap.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The page containing global byte offset `addr`.
+    pub const fn containing(addr: usize) -> Self {
+        PageId((addr / PAGE_SIZE) as u32)
+    }
+
+    /// The global byte offset of the first byte of this page.
+    pub const fn base_addr(self) -> usize {
+        self.0 as usize * PAGE_SIZE
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// One page of shared data as held by a node.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    bytes: Box<[u8]>,
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn new() -> Self {
+        Page {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        }
+    }
+
+    /// The page contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable page contents.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Copies the entire contents of `other` into this page.
+    pub fn copy_from(&mut self, other: &Page) {
+        self.bytes.copy_from_slice(&other.bytes);
+    }
+
+    /// Reads a little-endian `u64` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the page.
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `u64` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the page.
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        write!(f, "Page({nonzero}/{PAGE_SIZE} nonzero bytes)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_addressing() {
+        assert_eq!(PageId::containing(0), PageId::new(0));
+        assert_eq!(PageId::containing(PAGE_SIZE - 1), PageId::new(0));
+        assert_eq!(PageId::containing(PAGE_SIZE), PageId::new(1));
+        assert_eq!(PageId::new(3).base_addr(), 3 * PAGE_SIZE);
+        assert_eq!(PageId::new(3).index(), 3);
+    }
+
+    #[test]
+    fn new_page_is_zeroed() {
+        let p = Page::new();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+        assert_eq!(p.bytes().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut p = Page::new();
+        p.write_u64(16, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(p.read_u64(16), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(p.read_u64(8), 0);
+    }
+
+    #[test]
+    fn copy_from_replicates() {
+        let mut a = Page::new();
+        a.write_u64(0, 42);
+        let mut b = Page::new();
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Page::new()).is_empty());
+    }
+}

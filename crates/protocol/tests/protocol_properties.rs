@@ -1,0 +1,233 @@
+//! Property-based tests of the LRC protocol invariants.
+
+use proptest::prelude::*;
+use rsdsm_protocol::{Diff, NoticeBoard, Page, PageId, VectorClock, WriteNotice, PAGE_SIZE};
+
+/// Arbitrary page contents described sparsely as (offset, value) byte writes.
+fn sparse_writes() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    prop::collection::vec((0..PAGE_SIZE, any::<u8>()), 0..64)
+}
+
+fn page_from(writes: &[(usize, u8)]) -> Page {
+    let mut p = Page::new();
+    for &(off, v) in writes {
+        p.bytes_mut()[off] = v;
+    }
+    p
+}
+
+proptest! {
+    /// apply(between(twin, current), twin) == current — always.
+    #[test]
+    fn diff_round_trip(twin_w in sparse_writes(), cur_w in sparse_writes()) {
+        let twin = page_from(&twin_w);
+        let mut current = twin.clone();
+        for &(off, v) in &cur_w {
+            current.bytes_mut()[off] = v;
+        }
+        let diff = Diff::between(&twin, &current);
+        let mut restored = twin.clone();
+        diff.apply(&mut restored);
+        prop_assert_eq!(restored, current);
+    }
+
+    /// A diff is idempotent: applying it twice equals applying once.
+    #[test]
+    fn diff_idempotent(twin_w in sparse_writes(), cur_w in sparse_writes()) {
+        let twin = page_from(&twin_w);
+        let mut current = twin.clone();
+        for &(off, v) in &cur_w {
+            current.bytes_mut()[off] = v;
+        }
+        let diff = Diff::between(&twin, &current);
+        let mut once = twin.clone();
+        diff.apply(&mut once);
+        let mut twice = once.clone();
+        diff.apply(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Diffs from writers touching disjoint regions commute — the
+    /// multiple-writer protocol's correctness condition.
+    #[test]
+    fn disjoint_diffs_commute(
+        a_writes in prop::collection::vec((0..PAGE_SIZE / 2, any::<u8>()), 1..32),
+        b_writes in prop::collection::vec((PAGE_SIZE / 2..PAGE_SIZE, any::<u8>()), 1..32),
+    ) {
+        let twin = Page::new();
+        let pa = page_from(&a_writes);
+        let pb = page_from(&b_writes);
+        let da = Diff::between(&twin, &pa);
+        let db = Diff::between(&twin, &pb);
+        prop_assert!(!da.overlaps(&db));
+        let mut ab = Page::new();
+        da.apply(&mut ab);
+        db.apply(&mut ab);
+        let mut ba = Page::new();
+        db.apply(&mut ba);
+        da.apply(&mut ba);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Encoded size is payload plus per-run framing, and never
+    /// exceeds a full-page diff's size plus framing.
+    #[test]
+    fn diff_size_bounds(cur_w in sparse_writes()) {
+        let twin = Page::new();
+        let current = page_from(&cur_w);
+        let diff = Diff::between(&twin, &current);
+        prop_assert!(diff.payload_bytes() <= PAGE_SIZE);
+        prop_assert!(diff.encoded_bytes() >= diff.payload_bytes());
+        prop_assert!(diff.run_count() <= diff.payload_bytes().max(1));
+    }
+
+    /// Vector clock join is commutative, associative, and idempotent
+    /// (a semilattice), and dominates both operands.
+    #[test]
+    fn clock_join_lattice(
+        a in prop::collection::vec(0u32..64, 4),
+        b in prop::collection::vec(0u32..64, 4),
+        c in prop::collection::vec(0u32..64, 4),
+    ) {
+        let mk = |v: &[u32]| {
+            let mut vc = VectorClock::new(v.len());
+            for (i, &n) in v.iter().enumerate() {
+                for _ in 0..n {
+                    vc.tick(i);
+                }
+            }
+            vc
+        };
+        let (ca, cb, cc) = (mk(&a), mk(&b), mk(&c));
+
+        // Commutative.
+        let mut ab = ca.clone();
+        ab.join(&cb);
+        let mut ba = cb.clone();
+        ba.join(&ca);
+        prop_assert_eq!(&ab, &ba);
+
+        // Dominates both operands.
+        prop_assert!(ab.dominates(&ca));
+        prop_assert!(ab.dominates(&cb));
+
+        // Associative.
+        let mut ab_c = ab.clone();
+        ab_c.join(&cc);
+        let mut bc = cb.clone();
+        bc.join(&cc);
+        let mut a_bc = ca.clone();
+        a_bc.join(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+
+        // Idempotent.
+        let mut aa = ca.clone();
+        aa.join(&ca);
+        prop_assert_eq!(aa, ca);
+    }
+
+    /// hb_cmp is antisymmetric and consistent with dominates.
+    #[test]
+    fn clock_partial_order_consistency(
+        a in prop::collection::vec(0u32..16, 3),
+        b in prop::collection::vec(0u32..16, 3),
+    ) {
+        let mk = |v: &[u32]| {
+            let mut vc = VectorClock::new(v.len());
+            for (i, &n) in v.iter().enumerate() {
+                for _ in 0..n {
+                    vc.tick(i);
+                }
+            }
+            vc
+        };
+        let (ca, cb) = (mk(&a), mk(&b));
+        use std::cmp::Ordering::*;
+        match ca.hb_cmp(&cb) {
+            Some(Equal) => prop_assert_eq!(&ca, &cb),
+            Some(Greater) => {
+                prop_assert!(ca.dominates(&cb));
+                prop_assert_eq!(cb.hb_cmp(&ca), Some(Less));
+            }
+            Some(Less) => {
+                prop_assert!(cb.dominates(&ca));
+                prop_assert_eq!(cb.hb_cmp(&ca), Some(Greater));
+            }
+            None => {
+                prop_assert!(ca.is_concurrent_with(&cb));
+                prop_assert_eq!(cb.hb_cmp(&ca), None);
+            }
+        }
+    }
+
+    /// sort_hb produces a valid topological order of the partial order.
+    #[test]
+    fn sort_hb_is_topological(
+        clocks in prop::collection::vec(prop::collection::vec(0u32..8, 3), 1..12),
+    ) {
+        let mut stamps: Vec<VectorClock> = clocks
+            .iter()
+            .map(|v| {
+                let mut vc = VectorClock::new(3);
+                for (i, &n) in v.iter().enumerate() {
+                    for _ in 0..n {
+                        vc.tick(i);
+                    }
+                }
+                vc
+            })
+            .collect();
+        VectorClock::sort_hb(&mut stamps);
+        for i in 0..stamps.len() {
+            for j in (i + 1)..stamps.len() {
+                // A later element must never strictly precede an earlier one.
+                prop_assert!(
+                    !(stamps[j].dominates(&stamps[i]) && stamps[j] != stamps[i])
+                        || stamps[i].hb_cmp(&stamps[j]).is_none()
+                        || stamps[i] == stamps[j]
+                        || !stamps[i].dominates(&stamps[j])
+                );
+                let strictly_before_j =
+                    stamps[j].dominates(&stamps[i]) && stamps[i] != stamps[j];
+                let strictly_before_i =
+                    stamps[i].dominates(&stamps[j]) && stamps[i] != stamps[j];
+                // i comes first, so j must not strictly precede i.
+                prop_assert!(!strictly_before_i || !strictly_before_j);
+                prop_assert!(
+                    !strictly_before_i,
+                    "element {} strictly precedes element {} but sorted after it",
+                    j,
+                    i
+                );
+            }
+        }
+    }
+
+    /// NoticeBoard: recording then applying leaves nothing pending,
+    /// regardless of order and duplicates.
+    #[test]
+    fn notice_board_record_apply(
+        ops in prop::collection::vec((0u32..4, 0usize..3, 1u32..5), 1..40),
+    ) {
+        let mut board = NoticeBoard::new();
+        let mut recorded = Vec::new();
+        for &(page, origin, ticks) in &ops {
+            let mut stamp = VectorClock::new(3);
+            for _ in 0..ticks {
+                stamp.tick(origin);
+            }
+            board.record(WriteNotice {
+                page: PageId::new(page),
+                origin,
+                stamp: stamp.clone(),
+            });
+            recorded.push((PageId::new(page), origin, stamp));
+        }
+        for (page, origin, stamp) in &recorded {
+            board.mark_applied(*page, *origin, stamp);
+        }
+        for &(page, ..) in &ops {
+            prop_assert!(!board.has_pending(PageId::new(page)));
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! ATM-LAN-style network model.
+//!
+//! Models the paper's hardware: N workstations, each with a full-duplex
+//! 155 Mbps link into a single store-and-forward switch. Each
+//! direction of each link is a FIFO resource that is busy while a
+//! message serializes onto it, so concurrent senders to one receiver
+//! queue up on the receiver's ingress link — this is the *hot-spotting*
+//! effect the paper identifies (§3.3.2, §4.3), and bursty traffic
+//! (e.g. many prefetches issued back to back) creates queueing delay
+//! on the sender's egress link.
+//!
+//! Messages are either [`Reliability::Reliable`] (the DSM's lightweight
+//! reliable protocol retries them; they are never lost here) or
+//! [`Reliability::Droppable`] (prefetch requests/replies, which the
+//! paper deliberately does not retry). A droppable message that meets
+//! a congested queue is dropped with a configurable probability.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsdsm_simnet::{NetConfig, Network, Reliability, SimTime};
+//!
+//! let mut net = Network::new(8, NetConfig::atm_155(42));
+//! let outcome = net.send(
+//!     SimTime::ZERO,
+//!     0,
+//!     1,
+//!     4096,
+//!     Reliability::Reliable,
+//!     "diff_reply",
+//! );
+//! let arrival = outcome.arrival_time().expect("reliable messages always arrive");
+//! assert!(arrival > SimTime::ZERO);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node (workstation) in the cluster. Nodes are numbered
+/// `0..n`.
+pub type NodeId = usize;
+
+/// Whether the network may silently drop a message under congestion.
+///
+/// The paper's prefetch messages are unreliable by design: retrying
+/// them under congestion would worsen the congestion (§3.1, footnote 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reliability {
+    /// Never lost; the DSM's reliable transport retries transparently.
+    Reliable,
+    /// May be dropped when it encounters a congested queue.
+    Droppable,
+}
+
+/// The result of [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message will arrive at the destination at the given instant.
+    Delivered {
+        /// Absolute arrival time at the destination NIC.
+        arrival: SimTime,
+    },
+    /// The message was dropped due to congestion (droppable only).
+    Dropped,
+}
+
+impl SendOutcome {
+    /// The arrival time, or `None` if the message was dropped.
+    pub fn arrival_time(self) -> Option<SimTime> {
+        match self {
+            SendOutcome::Delivered { arrival } => Some(arrival),
+            SendOutcome::Dropped => None,
+        }
+    }
+}
+
+/// Physical and policy parameters of the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Link bandwidth in bits per second (each direction).
+    pub bandwidth_bps: u64,
+    /// Propagation latency per hop (node↔switch).
+    pub wire_latency: SimDuration,
+    /// Fixed forwarding latency inside the switch.
+    pub switch_latency: SimDuration,
+    /// Per-message header bytes (cell/UDP/protocol framing).
+    pub header_bytes: u32,
+    /// A droppable message whose queueing delay (egress or ingress)
+    /// exceeds this threshold is eligible to be dropped.
+    pub congestion_threshold: SimDuration,
+    /// Probability of dropping an eligible droppable message.
+    pub drop_probability: f64,
+    /// Seed for the deterministic drop lottery.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// Parameters approximating the paper's FORE ASX-200WG 155 Mbps
+    /// ATM LAN with OC3 fiber links.
+    pub fn atm_155(seed: u64) -> Self {
+        NetConfig {
+            bandwidth_bps: 155_000_000,
+            wire_latency: SimDuration::from_micros(5),
+            switch_latency: SimDuration::from_micros(10),
+            header_bytes: 60,
+            congestion_threshold: SimDuration::from_millis(6),
+            drop_probability: 0.5,
+            seed,
+        }
+    }
+
+    /// An effectively infinite, lossless network; useful in tests that
+    /// want to isolate protocol behaviour from network timing.
+    pub fn ideal(seed: u64) -> Self {
+        NetConfig {
+            bandwidth_bps: u64::MAX / 1_000_000_000,
+            wire_latency: SimDuration::ZERO,
+            switch_latency: SimDuration::ZERO,
+            header_bytes: 0,
+            congestion_threshold: SimDuration::from_secs(3600),
+            drop_probability: 0.0,
+            seed,
+        }
+    }
+
+    /// Time to serialize `payload_bytes` (plus headers) onto a link.
+    pub fn tx_time(&self, payload_bytes: u32) -> SimDuration {
+        let bits = (payload_bytes as u64 + self.header_bytes as u64) * 8;
+        // ns = bits / (bits/s) * 1e9, computed to avoid overflow.
+        SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Messages successfully sent from this node.
+    pub msgs_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Payload + header bytes sent.
+    pub bytes_sent: u64,
+    /// Payload + header bytes received.
+    pub bytes_received: u64,
+}
+
+/// Aggregate network statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    per_node: Vec<NodeTraffic>,
+    per_kind: BTreeMap<&'static str, KindStats>,
+    drops: u64,
+    total_queue_delay: SimDuration,
+    max_queue_delay: SimDuration,
+    delivered: u64,
+}
+
+/// Counters for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Messages of this kind delivered.
+    pub msgs: u64,
+    /// Bytes (payload + header) of this kind delivered.
+    pub bytes: u64,
+    /// Messages of this kind dropped.
+    pub dropped: u64,
+}
+
+impl NetStats {
+    fn new(nodes: usize) -> Self {
+        NetStats {
+            per_node: vec![NodeTraffic::default(); nodes],
+            ..NetStats::default()
+        }
+    }
+
+    /// Traffic counters for one node.
+    pub fn node(&self, id: NodeId) -> NodeTraffic {
+        self.per_node[id]
+    }
+
+    /// Counters broken down by message kind, in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.per_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Counters for one message kind, if any such message was sent.
+    pub fn kind(&self, kind: &str) -> Option<KindStats> {
+        self.per_kind.get(kind).copied()
+    }
+
+    /// Total messages delivered.
+    pub fn total_msgs(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total bytes (payload + headers) delivered.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.bytes_received).sum()
+    }
+
+    /// Total droppable messages lost to congestion.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Mean queueing delay over delivered messages.
+    pub fn mean_queue_delay(&self) -> SimDuration {
+        if self.delivered == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_queue_delay / self.delivered
+        }
+    }
+
+    /// Worst queueing delay seen by any delivered message.
+    pub fn max_queue_delay(&self) -> SimDuration {
+        self.max_queue_delay
+    }
+}
+
+/// The simulated cluster interconnect.
+///
+/// Stateless apart from link busy-until times, so the DSM engine owns
+/// exactly one `Network` and calls [`Network::send`] as messages are
+/// produced; the returned arrival time is then scheduled on the
+/// engine's event queue.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    egress_free: Vec<SimTime>,
+    ingress_free: Vec<SimTime>,
+    rng: DetRng,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates a network of `nodes` workstations around one switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, cfg: NetConfig) -> Self {
+        assert!(nodes > 0, "network needs at least one node");
+        Network {
+            rng: DetRng::new(cfg.seed),
+            egress_free: vec![SimTime::ZERO; nodes],
+            ingress_free: vec![SimTime::ZERO; nodes],
+            stats: NetStats::new(nodes),
+            cfg,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.egress_free.len()
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Clears statistics (e.g. after a warm-up phase) without
+    /// disturbing link state.
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::new(self.num_nodes());
+    }
+
+    /// Sends a message of `payload_bytes` from `src` to `dst` at `now`.
+    ///
+    /// Returns when the message arrives at `dst`, or that it was
+    /// dropped. `kind` is a label used only for statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either id is out of range.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+        reliability: Reliability,
+        kind: &'static str,
+    ) -> SendOutcome {
+        assert!(
+            src < self.num_nodes() && dst < self.num_nodes(),
+            "node id out of range"
+        );
+        assert_ne!(src, dst, "loopback messages never touch the network");
+
+        let tx = self.cfg.tx_time(payload_bytes);
+        let wire_bytes = payload_bytes as u64 + self.cfg.header_bytes as u64;
+
+        // Egress: queue behind whatever src is already transmitting.
+        let egress_start = now.max(self.egress_free[src]);
+        let egress_delay = egress_start.saturating_since(now);
+        if self.should_drop(reliability, egress_delay) {
+            return self.record_drop(kind);
+        }
+        let egress_done = egress_start + tx;
+
+        // Through the switch.
+        let at_switch = egress_done + self.cfg.wire_latency + self.cfg.switch_latency;
+
+        // Ingress: queue behind traffic already heading into dst
+        // (hot-spotting shows up here).
+        let ingress_start = at_switch.max(self.ingress_free[dst]);
+        let ingress_delay = ingress_start.saturating_since(at_switch);
+        if self.should_drop(reliability, ingress_delay) {
+            // The message did consume src's egress link before being
+            // discarded at the congested switch output port.
+            self.egress_free[src] = egress_done;
+            return self.record_drop(kind);
+        }
+        let arrival = ingress_start + tx + self.cfg.wire_latency;
+
+        self.egress_free[src] = egress_done;
+        self.ingress_free[dst] = arrival;
+
+        let queue_delay = egress_delay + ingress_delay;
+        self.stats.delivered += 1;
+        self.stats.total_queue_delay += queue_delay;
+        self.stats.max_queue_delay = self.stats.max_queue_delay.max(queue_delay);
+        self.stats.per_node[src].msgs_sent += 1;
+        self.stats.per_node[src].bytes_sent += wire_bytes;
+        self.stats.per_node[dst].msgs_received += 1;
+        self.stats.per_node[dst].bytes_received += wire_bytes;
+        let k = self.stats.per_kind.entry(kind).or_default();
+        k.msgs += 1;
+        k.bytes += wire_bytes;
+
+        SendOutcome::Delivered { arrival }
+    }
+
+    fn should_drop(&mut self, reliability: Reliability, queue_delay: SimDuration) -> bool {
+        reliability == Reliability::Droppable
+            && queue_delay > self.cfg.congestion_threshold
+            && self.rng.chance(self.cfg.drop_probability)
+    }
+
+    fn record_drop(&mut self, kind: &'static str) -> SendOutcome {
+        self.stats.drops += 1;
+        self.stats.per_kind.entry(kind).or_default().dropped += 1;
+        SendOutcome::Dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetConfig {
+        NetConfig::atm_155(1)
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        let c = cfg();
+        // 4096+60 bytes at 155 Mbps ≈ 214.5 µs.
+        let t = c.tx_time(4096);
+        assert!((210_000..220_000).contains(&t.as_nanos()), "{t}");
+    }
+
+    #[test]
+    fn uncongested_delivery_time_is_base_latency() {
+        let mut net = Network::new(2, cfg());
+        let arrival = net
+            .send(SimTime::ZERO, 0, 1, 0, Reliability::Reliable, "ctl")
+            .arrival_time()
+            .unwrap();
+        let c = cfg();
+        let expect = c.tx_time(0) * 2 + c.wire_latency * 2 + c.switch_latency;
+        assert_eq!(arrival, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_on_egress() {
+        let mut net = Network::new(2, cfg());
+        let a = net
+            .send(SimTime::ZERO, 0, 1, 4096, Reliability::Reliable, "d")
+            .arrival_time()
+            .unwrap();
+        let b = net
+            .send(SimTime::ZERO, 0, 1, 4096, Reliability::Reliable, "d")
+            .arrival_time()
+            .unwrap();
+        // The second message waits for the first to leave the NIC.
+        assert!(b > a);
+        assert!(b.saturating_since(a) >= cfg().tx_time(4096));
+    }
+
+    #[test]
+    fn hot_spot_queues_on_receiver_ingress() {
+        let mut net = Network::new(4, cfg());
+        let mut arrivals: Vec<SimTime> = (0..3)
+            .map(|src| {
+                net.send(SimTime::ZERO, src, 3, 4096, Reliability::Reliable, "d")
+                    .arrival_time()
+                    .unwrap()
+            })
+            .collect();
+        arrivals.sort();
+        // Distinct senders share nothing until the receiver's link, so
+        // arrivals serialize roughly one tx_time apart.
+        let gap = arrivals[2].saturating_since(arrivals[1]);
+        assert!(gap >= cfg().tx_time(4096), "gap {gap}");
+    }
+
+    #[test]
+    fn reliable_messages_never_drop() {
+        let mut c = cfg();
+        c.congestion_threshold = SimDuration::ZERO;
+        c.drop_probability = 1.0;
+        let mut net = Network::new(2, c);
+        for _ in 0..50 {
+            let out = net.send(SimTime::ZERO, 0, 1, 4096, Reliability::Reliable, "d");
+            assert!(matches!(out, SendOutcome::Delivered { .. }));
+        }
+        assert_eq!(net.stats().drops(), 0);
+    }
+
+    #[test]
+    fn droppable_messages_drop_under_congestion() {
+        let mut c = cfg();
+        c.congestion_threshold = SimDuration::from_micros(1);
+        c.drop_probability = 1.0;
+        let mut net = Network::new(2, c);
+        // First message sails through; the rest find a busy egress queue.
+        let first = net.send(SimTime::ZERO, 0, 1, 4096, Reliability::Droppable, "pf");
+        assert!(matches!(first, SendOutcome::Delivered { .. }));
+        let mut dropped = 0;
+        for _ in 0..20 {
+            if net.send(SimTime::ZERO, 0, 1, 4096, Reliability::Droppable, "pf")
+                == SendOutcome::Dropped
+            {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0);
+        assert_eq!(net.stats().drops(), dropped);
+        assert_eq!(net.stats().kind("pf").unwrap().dropped, dropped);
+    }
+
+    #[test]
+    fn stats_account_bytes_and_messages() {
+        let mut net = Network::new(3, cfg());
+        net.send(SimTime::ZERO, 0, 1, 100, Reliability::Reliable, "a");
+        net.send(SimTime::ZERO, 1, 2, 200, Reliability::Reliable, "b");
+        let s = net.stats();
+        assert_eq!(s.total_msgs(), 2);
+        assert_eq!(s.node(0).msgs_sent, 1);
+        assert_eq!(s.node(2).msgs_received, 1);
+        let wire = 100 + cfg().header_bytes as u64;
+        assert_eq!(s.node(0).bytes_sent, wire);
+        assert_eq!(s.kind("a").unwrap().bytes, wire);
+        assert_eq!(s.total_bytes(), 300 + 2 * cfg().header_bytes as u64);
+    }
+
+    #[test]
+    fn reset_stats_clears_counts_but_not_link_state() {
+        let mut net = Network::new(2, cfg());
+        net.send(SimTime::ZERO, 0, 1, 4096, Reliability::Reliable, "d");
+        net.reset_stats();
+        assert_eq!(net.stats().total_msgs(), 0);
+        // Link is still busy: a new send at t=0 queues.
+        let a = net
+            .send(SimTime::ZERO, 0, 1, 4096, Reliability::Reliable, "d")
+            .arrival_time()
+            .unwrap();
+        let base = cfg().tx_time(4096) * 2 + cfg().wire_latency * 2 + cfg().switch_latency;
+        assert!(a > SimTime::ZERO + base);
+    }
+
+    #[test]
+    fn ideal_network_has_zero_latency_for_empty_messages() {
+        let mut net = Network::new(2, NetConfig::ideal(0));
+        let a = net
+            .send(SimTime::ZERO, 0, 1, 0, Reliability::Droppable, "d")
+            .arrival_time()
+            .unwrap();
+        assert_eq!(a, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_send_panics() {
+        let mut net = Network::new(2, cfg());
+        net.send(SimTime::ZERO, 0, 0, 10, Reliability::Reliable, "d");
+    }
+
+    #[test]
+    fn mean_queue_delay_reflects_congestion() {
+        let mut net = Network::new(2, cfg());
+        for _ in 0..10 {
+            net.send(SimTime::ZERO, 0, 1, 4096, Reliability::Reliable, "d");
+        }
+        assert!(net.stats().mean_queue_delay() > SimDuration::ZERO);
+        assert!(net.stats().max_queue_delay() >= net.stats().mean_queue_delay());
+    }
+}

@@ -1,0 +1,170 @@
+//! A small deterministic random number generator.
+//!
+//! The simulator must be fully reproducible given a seed, so it uses
+//! its own splitmix64/xoshiro-style generator rather than depending on
+//! an external crate whose output could change across versions.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsdsm_simnet::DetRng;
+//!
+//! let mut a = DetRng::new(42);
+//! let mut b = DetRng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// A deterministic xorshift-based pseudo-random generator.
+///
+/// Not cryptographically secure; intended only for reproducible
+/// simulation decisions (message drops, tie breaking) and synthetic
+/// data generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: [u64; 2],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        DetRng {
+            // xoshiro requires a nonzero state; splitmix64 of any seed
+            // is astronomically unlikely to produce [0, 0], but guard anyway.
+            state: if a == 0 && b == 0 { [1, 2] } else { [a, b] },
+        }
+    }
+
+    /// Derives an independent child generator, e.g. one per node.
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Next raw 64-bit value (xoroshiro128+).
+    pub fn next_u64(&mut self) -> u64 {
+        let [mut s0, s1] = self.state;
+        let result = s0.wrapping_add(s1);
+        let s1x = s1 ^ s0;
+        s0 = s0.rotate_left(55) ^ s1x ^ (s1x << 14);
+        self.state = [s0, s1x.rotate_left(36)];
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction; bias is negligible for simulation use.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should differ");
+    }
+
+    #[test]
+    fn next_below_in_bounds() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn next_range_in_bounds() {
+        let mut r = DetRng::new(4);
+        for _ in 0..1000 {
+            let v = r.next_range(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(6);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_roughly_matches_probability() {
+        let mut r = DetRng::new(8);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = DetRng::new(9);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        DetRng::new(1).next_below(0);
+    }
+}

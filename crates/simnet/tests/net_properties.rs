@@ -1,0 +1,97 @@
+//! Property-based tests of the simulation substrate's invariants.
+
+use proptest::prelude::*;
+use rsdsm_simnet::{EventQueue, NetConfig, Network, Reliability, SimDuration, SimTime};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops are sorted by
+    /// time, and equal times preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_and_sorted(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time-sorted");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO for ties");
+            }
+        }
+    }
+
+    /// Messages between one (src, dst) pair are delivered in FIFO
+    /// order — the reliable transport the DSM assumes.
+    #[test]
+    fn per_pair_delivery_is_fifo(
+        sizes in prop::collection::vec(0u32..8192, 1..60),
+        gaps in prop::collection::vec(0u64..500, 1..60),
+    ) {
+        let mut net = Network::new(2, NetConfig::atm_155(1));
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for (size, gap) in sizes.iter().zip(&gaps) {
+            now += SimDuration::from_micros(*gap);
+            let arrival = net
+                .send(now, 0, 1, *size, Reliability::Reliable, "t")
+                .arrival_time()
+                .expect("reliable");
+            prop_assert!(arrival >= last_arrival, "FIFO per pair");
+            prop_assert!(arrival > now, "messages take time");
+            last_arrival = arrival;
+        }
+    }
+
+    /// Conservation: every delivered message is counted exactly once
+    /// in both the sender's and receiver's totals, and drops only
+    /// happen to droppable messages.
+    #[test]
+    fn traffic_accounting_conserves(
+        ops in prop::collection::vec((0usize..4, 0usize..4, 0u32..4096, any::<bool>()), 1..100),
+    ) {
+        let mut net = Network::new(4, NetConfig::atm_155(9));
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        let mut now = SimTime::ZERO;
+        for (src, dst, size, droppable) in ops {
+            if src == dst {
+                continue;
+            }
+            now += SimDuration::from_micros(20);
+            let rel = if droppable { Reliability::Droppable } else { Reliability::Reliable };
+            match net.send(now, src, dst, size, rel, "t").arrival_time() {
+                Some(_) => delivered += 1,
+                None => {
+                    prop_assert!(droppable, "reliable messages never drop");
+                    dropped += 1;
+                }
+            }
+        }
+        prop_assert_eq!(net.stats().total_msgs(), delivered);
+        prop_assert_eq!(net.stats().drops(), dropped);
+        let sent: u64 = (0..4).map(|n| net.stats().node(n).msgs_sent).sum();
+        let received: u64 = (0..4).map(|n| net.stats().node(n).msgs_received).sum();
+        prop_assert_eq!(sent, delivered);
+        prop_assert_eq!(received, delivered);
+    }
+
+    /// Arrival time decomposes monotonically: bigger payloads never
+    /// arrive earlier than smaller ones sent at the same instant on
+    /// an idle network.
+    #[test]
+    fn bigger_messages_take_longer(a in 0u32..16384, b in 0u32..16384) {
+        let arrival = |size| {
+            let mut net = Network::new(2, NetConfig::atm_155(3));
+            net.send(SimTime::ZERO, 0, 1, size, Reliability::Reliable, "t")
+                .arrival_time()
+                .expect("reliable")
+        };
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(arrival(small) <= arrival(large));
+    }
+}

@@ -1,0 +1,165 @@
+//! Renderers for the paper's stacked-bar figures.
+//!
+//! The paper presents execution time as stacked bars normalized to
+//! the original run (= 100). [`render_bars`] reproduces the same
+//! information as text: one column per experiment, one row per
+//! category, values in percent of the baseline total.
+
+use rsdsm_core::{Breakdown, Category};
+use rsdsm_simnet::SimDuration;
+
+use crate::table::{Align, AsciiTable};
+
+/// One bar of a figure: a label (e.g. "O", "P", "4T") and the run's
+/// aggregate breakdown.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Bar label, as in the paper's x-axis.
+    pub label: String,
+    /// The run's summed per-node breakdown.
+    pub breakdown: Breakdown,
+}
+
+impl Bar {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, breakdown: Breakdown) -> Self {
+        Bar {
+            label: label.into(),
+            breakdown,
+        }
+    }
+}
+
+/// Renders a group of bars normalized to `base` (the original run's
+/// total), paper-style: topmost categories first, a total row last.
+///
+/// # Examples
+///
+/// ```
+/// use rsdsm_core::{Breakdown, Category};
+/// use rsdsm_simnet::SimDuration;
+/// use rsdsm_stats::{render_bars, Bar};
+///
+/// let mut orig = Breakdown::new();
+/// orig[Category::Busy] = SimDuration::from_millis(60);
+/// orig[Category::MemoryIdle] = SimDuration::from_millis(40);
+/// let mut pf = Breakdown::new();
+/// pf[Category::Busy] = SimDuration::from_millis(60);
+/// pf[Category::MemoryIdle] = SimDuration::from_millis(10);
+/// let out = render_bars(
+///     "FFT",
+///     &[Bar::new("O", orig), Bar::new("P", pf)],
+///     orig.total(),
+/// );
+/// assert!(out.contains("FFT"));
+/// assert!(out.contains("100.0"));
+/// assert!(out.contains("70.0"));
+/// ```
+pub fn render_bars(title: &str, bars: &[Bar], base: SimDuration) -> String {
+    let mut headers: Vec<String> = vec!["Category".to_string()];
+    headers.extend(bars.iter().map(|b| b.label.clone()));
+    let mut aligns = vec![Align::Left];
+    aligns.extend(std::iter::repeat_n(Align::Right, bars.len()));
+    let mut table = AsciiTable::new(headers, aligns);
+
+    // Paper stacking order: overheads on top, busy at the bottom.
+    let order = [
+        Category::PrefetchOverhead,
+        Category::MtOverhead,
+        Category::SyncIdle,
+        Category::MemoryIdle,
+        Category::DsmOverhead,
+        Category::Busy,
+    ];
+    for cat in order {
+        let values: Vec<f64> = bars
+            .iter()
+            .map(|b| b.breakdown.normalized_to(base).percent(cat))
+            .collect();
+        if values.iter().all(|v| *v < 0.05) {
+            continue;
+        }
+        let mut row = vec![cat.label().to_string()];
+        row.extend(values.iter().map(|v| format!("{v:.1}")));
+        table.add_row(row);
+    }
+    let mut row = vec!["Total".to_string()];
+    row.extend(bars.iter().map(|b| {
+        format!(
+            "{:.1}",
+            b.breakdown.normalized_to(base).total_fraction() * 100.0
+        )
+    }));
+    table.add_row(row);
+    format!("{title}\n{table}")
+}
+
+/// Percent helper used across the harness: `part / whole * 100`,
+/// zero when the whole is zero.
+pub fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Formats a speedup factor like the paper's prose ("1.29x").
+pub fn speedup_label(baseline: SimDuration, improved: SimDuration) -> String {
+    if improved.is_zero() {
+        return "inf".to_string();
+    }
+    format!(
+        "{:.2}x",
+        baseline.as_nanos() as f64 / improved.as_nanos() as f64
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(busy_ms: u64, mem_ms: u64) -> Breakdown {
+        let mut b = Breakdown::new();
+        b[Category::Busy] = SimDuration::from_millis(busy_ms);
+        b[Category::MemoryIdle] = SimDuration::from_millis(mem_ms);
+        b
+    }
+
+    #[test]
+    fn bars_normalize_to_base() {
+        let orig = breakdown(50, 50);
+        let pf = breakdown(50, 25);
+        let out = render_bars("X", &[Bar::new("O", orig), Bar::new("P", pf)], orig.total());
+        assert!(out.contains("100.0"), "{out}");
+        assert!(out.contains("75.0"), "{out}");
+        assert!(out.contains("Busy"));
+        assert!(out.contains("Memory Miss Idle"));
+    }
+
+    #[test]
+    fn zero_categories_are_omitted() {
+        let b = breakdown(10, 0);
+        let out = render_bars("X", &[Bar::new("O", b)], b.total());
+        assert!(!out.contains("Multithreading"));
+        assert!(!out.contains("Memory Miss Idle"));
+    }
+
+    #[test]
+    fn percent_helper() {
+        assert_eq!(percent(1, 4), 25.0);
+        assert_eq!(percent(5, 0), 0.0);
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(
+            speedup_label(SimDuration::from_millis(200), SimDuration::from_millis(100)),
+            "2.00x"
+        );
+        assert_eq!(
+            speedup_label(SimDuration::from_millis(1), SimDuration::ZERO),
+            "inf"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! A small ASCII table renderer for the experiment harness.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use rsdsm_stats::{Align, AsciiTable};
+///
+/// let mut t = AsciiTable::new(vec!["App", "Speedup"], vec![Align::Left, Align::Right]);
+/// t.add_row(vec!["FFT".into(), "1.29".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("FFT"));
+/// assert!(s.contains("1.29"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// A table with the given headers and per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` and `aligns` differ in length or are empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>, aligns: Vec<Align>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        assert_eq!(headers.len(), aligns.len(), "one alignment per column");
+        AsciiTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for c in 0..cols {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[c] {
+                    Align::Left => write!(f, "{:<width$}", cells[c], width = widths[c])?,
+                    Align::Right => write!(f, "{:>width$}", cells[c], width = widths[c])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = AsciiTable::new(vec!["a", "bb"], vec![Align::Left, Align::Right]);
+        t.add_row(vec!["xxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a  "));
+        assert!(lines[2].starts_with("xxx"));
+        assert!(lines[2].ends_with(" 1"));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = AsciiTable::new(vec!["a"], vec![Align::Left]);
+        t.add_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one alignment per column")]
+    fn alignment_count_checked() {
+        AsciiTable::new(vec!["a", "b"], vec![Align::Left]);
+    }
+}

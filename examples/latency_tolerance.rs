@@ -1,0 +1,76 @@
+//! The paper's core comparison on one application: original
+//! TreadMarks, prefetching, multithreading, and the combined approach
+//! (multithreading for synchronization latency, prefetching for
+//! memory latency).
+//!
+//! ```text
+//! cargo run --release --example latency_tolerance [APP]
+//! ```
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::{Category, DsmConfig, PrefetchConfig, ThreadConfig};
+use rsdsm::stats::{render_bars, speedup_label, Bar};
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .and_then(|name| Benchmark::from_name(&name))
+        .unwrap_or(Benchmark::WaterNsq);
+    let base = || DsmConfig::paper_cluster(8).with_seed(1998);
+
+    let original = app.run(Scale::Default, base()).expect("original run");
+    let prefetch = app
+        .run(Scale::Default, base().with_prefetch(app.paper_prefetch()))
+        .expect("prefetch run");
+    let threads = app
+        .run(
+            Scale::Default,
+            base().with_threads(ThreadConfig::multithreaded(2)),
+        )
+        .expect("multithreaded run");
+    let combined = app
+        .run(
+            Scale::Default,
+            base()
+                .with_threads(ThreadConfig::combined(2))
+                .with_prefetch(PrefetchConfig {
+                    suppress_redundant: true,
+                    ..app.paper_prefetch()
+                }),
+        )
+        .expect("combined run");
+
+    let bars = [
+        Bar::new("O", original.breakdown),
+        Bar::new("P", prefetch.breakdown),
+        Bar::new("2T", threads.breakdown),
+        Bar::new("2TP", combined.breakdown),
+    ];
+    println!(
+        "{}",
+        render_bars(app.name(), &bars, original.breakdown.total())
+    );
+    println!();
+    println!(
+        "prefetching    : speedup {}, memory idle {} -> {}",
+        speedup_label(original.total_time, prefetch.total_time),
+        original.breakdown[Category::MemoryIdle],
+        prefetch.breakdown[Category::MemoryIdle],
+    );
+    println!(
+        "multithreading : speedup {}, sync idle {} -> {}",
+        speedup_label(original.total_time, threads.total_time),
+        original.breakdown[Category::SyncIdle],
+        threads.breakdown[Category::SyncIdle],
+    );
+    println!(
+        "combined       : speedup {}",
+        speedup_label(original.total_time, combined.total_time),
+    );
+    println!(
+        "prefetch stats : {} issued, {:.1}% unnecessary, coverage {:.1}%",
+        prefetch.prefetch.calls,
+        prefetch.prefetch.unnecessary_fraction() * 100.0,
+        prefetch.prefetch.coverage() * 100.0,
+    );
+}

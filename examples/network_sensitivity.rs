@@ -1,0 +1,53 @@
+//! Network sensitivity: how the latency-tolerance techniques respond
+//! to the interconnect. Sweeps link bandwidth around the paper's
+//! 155 Mbps ATM and reports the prefetching speedup at each point —
+//! the crossover behaviour §3.3.2 attributes to contention.
+//!
+//! ```text
+//! cargo run --release --example network_sensitivity
+//! ```
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::DsmConfig;
+use rsdsm::stats::{speedup_label, Align, AsciiTable};
+
+fn main() {
+    let mut table = AsciiTable::new(
+        vec![
+            "bandwidth",
+            "O total",
+            "P total",
+            "P speedup",
+            "P drops",
+            "avg miss (O)",
+        ],
+        vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    for mbps in [50u64, 100, 155, 300, 622] {
+        let mut base = DsmConfig::paper_cluster(8).with_seed(1998);
+        base.net.bandwidth_bps = mbps * 1_000_000;
+        let mut pf_cfg = base.clone();
+        pf_cfg.prefetch = Benchmark::Fft.paper_prefetch();
+
+        let orig = Benchmark::Fft.run(Scale::Default, base).expect("original");
+        let pf = Benchmark::Fft
+            .run(Scale::Default, pf_cfg)
+            .expect("prefetch");
+        table.add_row(vec![
+            format!("{mbps} Mbps"),
+            orig.total_time.to_string(),
+            pf.total_time.to_string(),
+            speedup_label(orig.total_time, pf.total_time),
+            pf.net.drops.to_string(),
+            orig.misses.avg_latency().to_string(),
+        ]);
+    }
+    println!("FFT under varying link bandwidth (8 nodes)\n\n{table}");
+}

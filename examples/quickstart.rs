@@ -1,0 +1,42 @@
+//! Quickstart: run one benchmark on the simulated 8-node cluster and
+//! print the paper-style execution-time breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::DsmConfig;
+use rsdsm::stats::{render_bars, Bar};
+
+fn main() {
+    // The paper's cluster: eight workstations on a 155 Mbps ATM LAN.
+    let config = DsmConfig::paper_cluster(8).with_seed(1998);
+
+    // Run SOR (red-black successive over-relaxation) at the scaled
+    // default size; every run verifies its numeric result against a
+    // sequential reference.
+    let report = Benchmark::Sor
+        .run(Scale::Default, config)
+        .expect("simulation succeeds");
+    assert!(report.verified, "result verified against the reference");
+
+    println!(
+        "{}",
+        render_bars(
+            "SOR on 8 nodes",
+            &[Bar::new("O", report.breakdown)],
+            report.breakdown.total()
+        )
+    );
+    println!();
+    println!("simulated execution time : {}", report.total_time);
+    println!("messages                 : {}", report.net.total_msgs);
+    println!(
+        "traffic                  : {} KB",
+        report.net.total_bytes / 1024
+    );
+    println!("remote page misses       : {}", report.misses.misses);
+    println!("average miss latency     : {}", report.misses.avg_latency());
+    println!("barrier episodes         : {}", report.barriers.events);
+}

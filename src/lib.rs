@@ -1,0 +1,38 @@
+//! # rsdsm
+//!
+//! A full Rust reproduction of *Comparative Evaluation of Latency
+//! Tolerance Techniques for Software Distributed Shared Memory*
+//! (Mowry, Chan, Lo — HPCA-4, 1998).
+//!
+//! This facade crate re-exports the workspace members so examples and
+//! downstream users have a single dependency:
+//!
+//! - [`simnet`]: discrete-event engine and ATM network model.
+//! - [`protocol`]: lazy-release-consistency machinery (vector clocks,
+//!   intervals, write notices, twins, diffs).
+//! - [`core`]: the TreadMarks-style DSM runtime with non-binding
+//!   prefetching and multithreading — the paper's system.
+//! - [`apps`]: the eight SPLASH-2-style benchmark applications.
+//! - [`stats`]: execution-time breakdowns and figure/table rendering.
+//!
+//! # Examples
+//!
+//! Run SOR on a simulated 8-node cluster and print the paper-style
+//! execution time breakdown:
+//!
+//! ```
+//! use rsdsm::apps::SorApp;
+//! use rsdsm::core::{DsmConfig, Simulation};
+//!
+//! let config = DsmConfig::paper_cluster(8).with_seed(1);
+//! let app = SorApp::new(64, 64, 4);
+//! let report = Simulation::new(config).run(&app).expect("run succeeds");
+//! assert!(report.verified);
+//! println!("{}", report.breakdown.normalized_to_self());
+//! ```
+
+pub use rsdsm_apps as apps;
+pub use rsdsm_core as core;
+pub use rsdsm_protocol as protocol;
+pub use rsdsm_simnet as simnet;
+pub use rsdsm_stats as stats;
