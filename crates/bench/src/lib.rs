@@ -10,11 +10,12 @@
 #![warn(missing_docs)]
 
 use rsdsm_apps::{Benchmark, Scale};
-use rsdsm_core::{DsmConfig, PrefetchConfig, RunReport, ThreadConfig};
+use rsdsm_core::{DsmConfig, FaultPlan, PrefetchConfig, RunReport, ThreadConfig};
 
 /// Shared command-line options for the experiment binaries.
 ///
-/// Usage: `[--paper-scale] [--nodes N] [--app NAME]... [--seed S]`
+/// Usage: `[--paper-scale] [--nodes N] [--app NAME]... [--seed S]
+/// [--fault-loss P]`
 #[derive(Debug, Clone)]
 pub struct ExpOpts {
     /// Problem scale for all runs.
@@ -25,6 +26,9 @@ pub struct ExpOpts {
     pub apps: Vec<Benchmark>,
     /// Seed for deterministic runs.
     pub seed: u64,
+    /// Uniform message-loss probability injected into every run
+    /// (0 disables fault injection; the default).
+    pub fault_loss: f64,
 }
 
 impl Default for ExpOpts {
@@ -34,6 +38,7 @@ impl Default for ExpOpts {
             nodes: 8,
             apps: Benchmark::ALL.to_vec(),
             seed: 1998,
+            fault_loss: 0.0,
         }
     }
 }
@@ -60,6 +65,13 @@ impl ExpOpts {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs a number"));
                 }
+                "--fault-loss" => {
+                    opts.fault_loss = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|p: &f64| (0.0..1.0).contains(p))
+                        .unwrap_or_else(|| usage("--fault-loss needs a probability in [0, 1)"));
+                }
                 "--app" => {
                     let name = args.next().unwrap_or_else(|| usage("--app needs a name"));
                     match Benchmark::from_name(&name) {
@@ -79,7 +91,14 @@ impl ExpOpts {
 
     /// The baseline configuration for these options.
     pub fn base_config(&self) -> DsmConfig {
-        DsmConfig::paper_cluster(self.nodes).with_seed(self.seed)
+        let cfg = DsmConfig::paper_cluster(self.nodes).with_seed(self.seed);
+        if self.fault_loss > 0.0 {
+            // Derive the plan seed from the run seed so `--seed` alone
+            // pins the whole experiment, faults included.
+            cfg.with_faults(FaultPlan::uniform_loss(self.seed ^ 0xfa17, self.fault_loss))
+        } else {
+            cfg
+        }
     }
 }
 
@@ -88,7 +107,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S]"
+        "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] [--fault-loss P]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -141,6 +160,9 @@ impl Variant {
 
 /// Runs `bench` under `variant`, panicking with context on failure
 /// (experiments must not silently drop bars).
+///
+/// With `--fault-loss` active, each run also prints its injected-fault
+/// and retry counters so figures produced under loss say so.
 pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunReport {
     let report = bench
         .run(opts.scale, variant.config(bench, opts))
@@ -150,6 +172,12 @@ pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunRep
         "{bench} [{}] produced a wrong result",
         variant.label()
     );
+    if opts.fault_loss > 0.0 {
+        match report.fault_summary_line() {
+            Some(line) => println!("  {bench} [{}] {line}", variant.label()),
+            None => println!("  {bench} [{}] faults: none observed", variant.label()),
+        }
+    }
     report
 }
 
@@ -182,5 +210,20 @@ mod tests {
         let opts = ExpOpts::default();
         assert_eq!(opts.apps.len(), 8);
         assert_eq!(opts.nodes, 8);
+    }
+
+    #[test]
+    fn fault_loss_installs_a_plan_derived_from_the_seed() {
+        let opts = ExpOpts::default();
+        assert!(opts.base_config().faults.is_none());
+        let lossy = ExpOpts {
+            fault_loss: 0.1,
+            seed: 42,
+            ..ExpOpts::default()
+        };
+        let cfg = lossy.base_config();
+        assert!(!cfg.faults.is_none());
+        assert_eq!(cfg.faults.seed, 42 ^ 0xfa17);
+        assert_eq!(cfg.faults.drop.control, 0.1);
     }
 }

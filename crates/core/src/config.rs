@@ -5,9 +5,10 @@
 //! prefetch mode, and the multithreading mode. The figure/table
 //! binaries construct one config per bar of each figure.
 
-use rsdsm_simnet::{NetConfig, SimDuration};
+use rsdsm_simnet::{FaultPlan, NetConfig, SimDuration};
 
 use crate::costs::CostModel;
+use crate::transport::TransportConfig;
 
 /// How prefetching is enabled for a run (§3, §5.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +155,13 @@ pub struct DsmConfig {
     pub gc_threshold_bytes: usize,
     /// Seed for all deterministic randomness (network drops).
     pub seed: u64,
+    /// Injected network faults: message drops, duplicates,
+    /// reordering, jitter, link-degradation windows, and node stalls.
+    /// Empty ([`FaultPlan::none`]) by default.
+    pub faults: FaultPlan,
+    /// Reliable-transport parameters: retransmission timeout,
+    /// backoff cap, retry budget, ack size.
+    pub transport: TransportConfig,
     /// Safety limit on simulated time; a run exceeding it aborts with
     /// an error rather than looping forever.
     pub max_sim_time: SimDuration,
@@ -177,8 +185,24 @@ impl DsmConfig {
             threads: ThreadConfig::single(),
             gc_threshold_bytes: 8 << 20,
             seed: 0x5D5,
+            faults: FaultPlan::none(),
+            transport: TransportConfig::default(),
             max_sim_time: SimDuration::from_secs(36_000),
         }
+    }
+
+    /// Installs a fault-injection plan (builder style). The plan's
+    /// own seed governs fault decisions; the config seed governs
+    /// everything else.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the reliable-transport parameters (builder style).
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Replaces the seed (builder style).
@@ -230,6 +254,21 @@ mod tests {
         assert!(c.prefetch.enabled);
         assert_eq!(c.total_threads(), 16);
         assert!(c.threads.switch_on_memory);
+    }
+
+    #[test]
+    fn fault_and_transport_builders() {
+        let base = DsmConfig::paper_cluster(4);
+        assert!(base.faults.is_none());
+        let c = base
+            .with_faults(FaultPlan::uniform_loss(7, 0.1))
+            .with_transport(TransportConfig {
+                max_retries: 3,
+                ..TransportConfig::default()
+            });
+        assert!(!c.faults.is_none());
+        assert_eq!(c.faults.seed, 7);
+        assert_eq!(c.transport.max_retries, 3);
     }
 
     #[test]

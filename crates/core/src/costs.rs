@@ -50,6 +50,9 @@ pub struct CostModel {
     /// Processing a lock request/grant or barrier message beyond the
     /// generic receive cost.
     pub sync_process: SimDuration,
+    /// Generating or absorbing a transport-level acknowledgement.
+    /// Small: acks never enter the protocol handlers.
+    pub ack_process: SimDuration,
     /// Garbage-collection cost per retained diff at a GC point.
     pub gc_per_diff: SimDuration,
     /// Busy-time cost per shared-memory access check (page lookup on
@@ -80,6 +83,7 @@ impl CostModel {
             context_switch: SimDuration::from_micros(110),
             lock_local_pass: SimDuration::from_micros(8),
             sync_process: SimDuration::from_micros(25),
+            ack_process: SimDuration::from_micros(5),
             gc_per_diff: SimDuration::from_micros(2),
             access_check: SimDuration::from_nanos(60),
             shared_byte: SimDuration::from_nanos(8),
@@ -105,6 +109,7 @@ impl CostModel {
             context_switch: SimDuration::ZERO,
             lock_local_pass: SimDuration::ZERO,
             sync_process: SimDuration::ZERO,
+            ack_process: SimDuration::ZERO,
             gc_per_diff: SimDuration::ZERO,
             access_check: SimDuration::ZERO,
             shared_byte: SimDuration::ZERO,

@@ -27,6 +27,7 @@ use crate::node::{Fetch, MissClass, NodeMem, NodeState, SyncKey};
 use crate::program::{DsmProgram, VerifyCtx};
 use crate::report::{fold_counters, NetSummary, RunReport, SimError};
 use crate::thread::{BlockReason, ThreadId, ThreadState};
+use crate::transport::{Frame, Packet, Recv, TimeoutAction, Transport};
 
 /// Events processed by the engine.
 #[derive(Debug)]
@@ -35,8 +36,18 @@ enum Event {
     Start(ThreadId),
     /// A running thread's compute burst matured into its syscall.
     SyscallReady(ThreadId),
-    /// A protocol message arrived at its destination.
-    Arrival(Msg),
+    /// A transport frame arrived at its destination.
+    Arrival(Packet),
+    /// A reliable frame's retransmission timer fired. Stale timers
+    /// (frame already acked) are lazily discarded.
+    RetryTimeout {
+        /// The frame's sender.
+        src: NodeId,
+        /// The frame's destination.
+        dst: NodeId,
+        /// The frame's per-link sequence number.
+        seq: u64,
+    },
 }
 
 /// Engine-side handle to one application thread.
@@ -141,7 +152,7 @@ impl Simulation {
             match core.run_loop() {
                 Ok(finish) => {
                     core.finish_accounts(finish);
-                    Ok((finish, core.nodes, core.net))
+                    Ok((finish, core.nodes, core.net, core.transport))
                 }
                 Err(e) => {
                     // Dropping the core drops the resume channels,
@@ -153,7 +164,7 @@ impl Simulation {
             }
         });
 
-        let (finish, nodes, net) = scope_result.map_err(|e| {
+        let (finish, nodes, net, transport) = scope_result.map_err(|e| {
             if let SimError::AppThread(_) = e {
                 let note = panic_note.lock().expect("panic note mutex").take();
                 SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
@@ -194,6 +205,8 @@ impl Simulation {
             barriers,
             prefetch,
             mt,
+            transport: transport.summary(),
+            fault_injection: net.fault_stats(),
             gc_passes,
         })
     }
@@ -206,6 +219,7 @@ struct Core<'a> {
     mem: Arc<Mutex<Vec<NodeMem>>>,
     nodes: Vec<NodeState>,
     net: Network,
+    transport: Transport,
     queue: EventQueue<Event>,
     threads: Vec<ThreadPeer>,
     barrier_mgr: BarrierManager,
@@ -233,6 +247,8 @@ impl<'a> Core<'a> {
         for t in 0..threads.len() {
             queue.push(SimTime::ZERO, Event::Start(ThreadId(t)));
         }
+        let mut net = Network::new(cfg.nodes, cfg.net.clone());
+        net.set_fault_plan(cfg.faults.clone());
         Core {
             cfg,
             heap,
@@ -240,7 +256,8 @@ impl<'a> Core<'a> {
             nodes: (0..cfg.nodes)
                 .map(|n| NodeState::new(n, cfg.nodes, tpn))
                 .collect(),
-            net: Network::new(cfg.nodes, cfg.net.clone()),
+            net,
+            transport: Transport::new(cfg.transport.clone()),
             queue,
             threads,
             barrier_mgr: BarrierManager::new(cfg.nodes),
@@ -279,7 +296,10 @@ impl<'a> Core<'a> {
                     self.maybe_dispatch(n, now)?;
                 }
                 Event::SyscallReady(tid) => self.on_syscall_ready(tid, now)?,
-                Event::Arrival(msg) => self.on_arrival(msg, now)?,
+                Event::Arrival(pkt) => self.on_arrival(pkt, now)?,
+                Event::RetryTimeout { src, dst, seq } => {
+                    self.on_retry_timeout(src, dst, seq, now)?
+                }
             }
             if self.trace {
                 self.check_token_uniqueness(now);
@@ -1345,8 +1365,69 @@ impl<'a> Core<'a> {
     // Message arrivals
     // ------------------------------------------------------------------
 
-    fn on_arrival(&mut self, msg: Msg, now: SimTime) -> Result<(), SimError> {
-        let n = msg.dst;
+    /// Handles a wire-level frame arrival: datagrams dispatch
+    /// directly; data frames are acked, deduplicated, and reordered
+    /// back into per-link FIFO order by the transport before their
+    /// messages dispatch; acks settle the sender's retry state.
+    fn on_arrival(&mut self, pkt: Packet, now: SimTime) -> Result<(), SimError> {
+        let n = pkt.dst;
+        match pkt.frame {
+            Frame::Ack { seq } => {
+                let idle = self.idle_reason(n);
+                self.charge(
+                    n,
+                    now,
+                    self.cfg.costs.ack_process,
+                    Category::DsmOverhead,
+                    idle,
+                );
+                self.transport.on_ack(n, pkt.src, seq, now);
+                Ok(())
+            }
+            Frame::Datagram { body } => {
+                let end = self.charge_recv(n, now);
+                self.dispatch(
+                    Msg {
+                        src: pkt.src,
+                        dst: n,
+                        body,
+                    },
+                    end,
+                )
+            }
+            Frame::Data { seq, body } => {
+                // Ack every data frame, duplicates included: a
+                // retransmission usually means the previous ack was
+                // lost, and only a fresh ack stops the retries. The
+                // ack leaves at wire-arrival time, not after the DSM
+                // layer absorbs the message: acknowledgements are
+                // kernel-level work, and on a busy multithreaded node
+                // the application CPU can be seconds behind — a delay
+                // the sender must not mistake for loss.
+                self.send_ack(n, pkt.src, seq, now);
+                let end = self.charge_recv(n, now);
+                match self.transport.receive(pkt.src, n, seq, body) {
+                    Recv::Deliver(run) => {
+                        for body in run {
+                            self.dispatch(
+                                Msg {
+                                    src: pkt.src,
+                                    dst: n,
+                                    body,
+                                },
+                                end,
+                            )?;
+                        }
+                        Ok(())
+                    }
+                    Recv::Buffered | Recv::Duplicate => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Charges the software receive overhead for one arriving frame.
+    fn charge_recv(&mut self, n: NodeId, now: SimTime) -> SimTime {
         let idle = self.idle_reason(n);
         let mut recv = self.cfg.costs.msg_recv;
         if self.cfg.threads.is_multithreaded() {
@@ -1354,14 +1435,21 @@ impl<'a> Core<'a> {
             // multithreading is on — the fixed cost of §4.3.
             recv += self.cfg.costs.async_arrival;
         }
+        self.charge(n, now, recv, Category::DsmOverhead, idle)
+    }
+
+    /// Dispatches one protocol message to its handler. The caller has
+    /// already charged the receive overhead; `end` is when the CPU
+    /// finished absorbing the frame.
+    fn dispatch(&mut self, msg: Msg, end: SimTime) -> Result<(), SimError> {
+        let n = msg.dst;
         if self.trace {
             eprintln!(
-                "[{now}] arrival at n{n} from {}: {:?}",
+                "[{end}] dispatch at n{n} from {}: {:?}",
                 msg.src,
                 msg.body.kind()
             );
         }
-        let end = self.charge(n, now, recv, Category::DsmOverhead, idle);
         match msg.body {
             MsgBody::DiffRequest {
                 page,
@@ -1637,7 +1725,7 @@ impl<'a> Core<'a> {
 
         let intervals = self.nodes[m].intervals_unknown_to(requester_vc);
         end = self.charge(m, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
-        self.post(
+        let sent = self.post(
             end,
             m,
             requester,
@@ -1650,6 +1738,12 @@ impl<'a> Core<'a> {
                 intervals,
             },
         );
+        if !sent {
+            // Only droppable prefetch replies can be lost; the
+            // requester's demand-fault path recovers, and the loss
+            // shows up as a too-late or no-pf fault there.
+            self.nodes[m].counters.pf_reply_drops += 1;
+        }
     }
 
     fn handle_diff_reply(
@@ -1754,27 +1848,155 @@ impl<'a> Core<'a> {
     // Networking
     // ------------------------------------------------------------------
 
-    /// Sends a message; returns false if the network dropped it.
+    /// Sends a protocol message; returns false if the network dropped
+    /// it. Only droppable (prefetch) traffic can be dropped: it
+    /// travels as fire-and-forget datagrams. Everything else rides
+    /// the reliable transport — sequenced, acknowledged, and
+    /// retransmitted until delivered (or the retry budget aborts the
+    /// run).
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, body: MsgBody) -> bool {
-        let reliability = if body.droppable() {
-            Reliability::Droppable
+        if body.droppable() {
+            let outcome = self.net.send(
+                at,
+                src,
+                dst,
+                body.wire_bytes() as u32,
+                Reliability::Droppable,
+                body.kind(),
+            );
+            let dup = outcome.dup_time();
+            let delivered = outcome.arrival_time().is_some();
+            for arrival in outcome.arrival_time().into_iter().chain(dup) {
+                self.queue.push(
+                    arrival,
+                    Event::Arrival(Packet {
+                        src,
+                        dst,
+                        frame: Frame::Datagram { body: body.clone() },
+                    }),
+                );
+            }
+            delivered
         } else {
-            Reliability::Reliable
-        };
-        match self.net.send(
+            let (seq, rto) = self.transport.register(src, dst, body.clone(), at);
+            self.transmit_data(at, src, dst, seq, body, rto);
+            true
+        }
+    }
+
+    /// Puts one sequenced data frame on the wire and arms its retry
+    /// timer. The caller has already charged the send cost. The frame
+    /// itself may still be lost or duplicated by the fault plan; the
+    /// timer covers the loss case and the receiver's transport
+    /// suppresses the duplicate case.
+    fn transmit_data(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        body: MsgBody,
+        rto: rsdsm_simnet::SimDuration,
+    ) {
+        let outcome = self.net.send(
             at,
             src,
             dst,
             body.wire_bytes() as u32,
-            reliability,
+            Reliability::Reliable,
             body.kind(),
-        ) {
-            rsdsm_simnet::SendOutcome::Delivered { arrival } => {
-                self.queue
-                    .push(arrival, Event::Arrival(Msg { src, dst, body }));
-                true
+        );
+        let dup = outcome.dup_time();
+        for arrival in outcome.arrival_time().into_iter().chain(dup) {
+            self.queue.push(
+                arrival,
+                Event::Arrival(Packet {
+                    src,
+                    dst,
+                    frame: Frame::Data {
+                        seq,
+                        body: body.clone(),
+                    },
+                }),
+            );
+        }
+        self.queue
+            .push(at + rto, Event::RetryTimeout { src, dst, seq });
+    }
+
+    /// Acknowledges data frame `seq` from `src`, received at `n`.
+    ///
+    /// The ack enters the network `ack_process` after `at`, bypassing
+    /// the node's CPU queue (kernel-level processing); the CPU cost is
+    /// still booked against the node's account.
+    fn send_ack(&mut self, n: NodeId, src: NodeId, seq: u64, at: SimTime) -> SimTime {
+        self.charge(
+            n,
+            at,
+            self.cfg.costs.ack_process,
+            Category::DsmOverhead,
+            None,
+        );
+        let end = at + self.cfg.costs.ack_process;
+        self.transport.note_ack_sent();
+        // Acks are single-shot: a lost ack provokes a retransmission,
+        // which provokes a fresh ack. The fault plan may still drop
+        // or duplicate them (class `Ack`).
+        let outcome = self.net.send(
+            end,
+            n,
+            src,
+            self.cfg.transport.ack_bytes,
+            Reliability::Reliable,
+            "ack",
+        );
+        let dup = outcome.dup_time();
+        for arrival in outcome.arrival_time().into_iter().chain(dup) {
+            self.queue.push(
+                arrival,
+                Event::Arrival(Packet {
+                    src: n,
+                    dst: src,
+                    frame: Frame::Ack { seq },
+                }),
+            );
+        }
+        end
+    }
+
+    /// Handles a fired retransmission timer: lazily discards it if the
+    /// frame was acked, otherwise charges a fresh send and puts the
+    /// frame back on the wire with its backed-off timeout.
+    fn on_retry_timeout(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        match self.transport.on_timeout(src, dst, seq) {
+            TimeoutAction::Cancelled => Ok(()),
+            TimeoutAction::Exhausted { attempts } => Err(SimError::Transport(format!(
+                "frame n{src}->n{dst} seq {seq} unacknowledged after {attempts} transmissions (gave up at {now})"
+            ))),
+            TimeoutAction::Retransmit { body, rto } => {
+                if self.trace {
+                    eprintln!(
+                        "[{now}] retransmit n{src}->n{dst} seq {seq}: {:?}",
+                        body.kind()
+                    );
+                }
+                let idle = self.idle_reason(src);
+                let end = self.charge(
+                    src,
+                    now,
+                    self.cfg.costs.msg_send,
+                    Category::DsmOverhead,
+                    idle,
+                );
+                self.transmit_data(end, src, dst, seq, body, rto);
+                Ok(())
             }
-            rsdsm_simnet::SendOutcome::Dropped => false,
         }
     }
 }

@@ -20,7 +20,13 @@
 //! The cluster itself (8 workstations on a 155 Mbps ATM LAN in the
 //! paper) is simulated deterministically by `rsdsm-simnet`; the
 //! coherence machinery (vector clocks, intervals, twins, diffs) comes
-//! from `rsdsm-protocol`.
+//! from `rsdsm-protocol`. Control traffic rides a modeled reliable
+//! transport (sequence numbers, acks, timeout-driven retransmission
+//! with exponential backoff — see [`TransportConfig`]), so runs stay
+//! correct, and bit-identical for a given seed, even under the
+//! injected message loss, duplication, and reordering of a
+//! [`FaultPlan`]. Prefetch traffic deliberately stays droppable and
+//! unretried, as in §3.1 of the paper.
 //!
 //! # Examples
 //!
@@ -43,6 +49,7 @@ mod node;
 mod program;
 mod report;
 mod thread;
+mod transport;
 
 pub use accounting::{Breakdown, Category, IdleReason, NodeAccount, NormalizedBreakdown};
 pub use conductor::DsmCtx;
@@ -58,4 +65,6 @@ pub use report::{
     TrafficRow,
 };
 pub use rsdsm_protocol::PAGE_SIZE;
+pub use rsdsm_simnet::{ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeStall};
 pub use thread::ThreadId;
+pub use transport::{TransportConfig, TransportSummary};

@@ -197,6 +197,9 @@ pub struct NodeCounters {
     pub pf_messages: u64,
     /// Prefetch requests dropped at send time by the network.
     pub pf_send_drops: u64,
+    /// Prefetch replies this node served that the network dropped
+    /// (the requester falls back to a demand fault).
+    pub pf_reply_drops: u64,
     /// Garbage collection passes performed.
     pub gc_passes: u64,
 }

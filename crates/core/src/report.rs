@@ -2,11 +2,12 @@
 
 use std::fmt;
 
-use rsdsm_simnet::{NetStats, SimDuration};
+use rsdsm_simnet::{FaultStats, NetStats, SimDuration};
 
 use crate::accounting::Breakdown;
 use crate::config::DsmConfig;
 use crate::node::{AccessCounters, NodeCounters};
+use crate::transport::TransportSummary;
 
 /// Errors a simulation run can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +18,10 @@ pub enum SimError {
     TimeLimit,
     /// The event queue drained while threads were still blocked.
     Deadlock(String),
+    /// The reliable transport exhausted its retry budget for a
+    /// message (persistent injected loss beyond what the retry cap
+    /// can absorb).
+    Transport(String),
 }
 
 impl fmt::Display for SimError {
@@ -25,6 +30,7 @@ impl fmt::Display for SimError {
             SimError::AppThread(msg) => write!(f, "application thread panicked: {msg}"),
             SimError::TimeLimit => write!(f, "simulated time limit exceeded"),
             SimError::Deadlock(what) => write!(f, "deadlock: {what}"),
+            SimError::Transport(what) => write!(f, "reliable transport gave up: {what}"),
         }
     }
 }
@@ -147,6 +153,9 @@ pub struct PrefetchSummary {
     pub messages: u64,
     /// Prefetch requests dropped by the network at send time.
     pub send_drops: u64,
+    /// Prefetch replies dropped by the network (the requester fell
+    /// back to a demand fault).
+    pub reply_drops: u64,
     /// Faults fully covered by prefetched data (Figure 3 "pf-hit").
     pub hits: u64,
     /// Prefetched but not arrived in time ("pf-miss: too late").
@@ -243,6 +252,10 @@ pub struct RunReport {
     pub prefetch: PrefetchSummary,
     /// Multithreading behaviour.
     pub mt: MtSummary,
+    /// Reliable-transport behaviour (retransmissions, acks, dedup).
+    pub transport: TransportSummary,
+    /// Fault-injection tallies from the network layer.
+    pub fault_injection: FaultStats,
     /// Garbage-collection passes across all nodes.
     pub gc_passes: u64,
 }
@@ -256,6 +269,36 @@ impl RunReport {
         } else {
             baseline.as_nanos() as f64 / self.total_time.as_nanos() as f64
         }
+    }
+
+    /// One-line drop/retry/duplicate summary for the figure and table
+    /// binaries; `None` when the run saw no losses, no injected
+    /// faults, and no retransmissions.
+    pub fn fault_summary_line(&self) -> Option<String> {
+        let f = &self.fault_injection;
+        let t = &self.transport;
+        let quiet = f.injected_drops == 0
+            && f.duplicates == 0
+            && f.reordered == 0
+            && t.retransmissions == 0
+            && self.net.drops == 0;
+        if quiet {
+            return None;
+        }
+        Some(format!(
+            "faults: {} msgs dropped, {} duplicated, {} reordered; \
+             transport: {} retransmissions (max {} attempts/frame), \
+             {} duplicate frames suppressed; \
+             prefetch: {} requests lost, {} replies lost",
+            f.injected_drops,
+            f.duplicates,
+            f.reordered,
+            t.retransmissions,
+            t.max_attempts,
+            t.dup_frames_suppressed,
+            self.prefetch.send_drops,
+            self.prefetch.reply_drops,
+        ))
     }
 }
 
@@ -294,6 +337,7 @@ pub(crate) fn fold_counters(
         pf.private_checks += a.pf_private_checks;
         pf.messages += c.pf_messages;
         pf.send_drops += c.pf_send_drops;
+        pf.reply_drops += c.pf_reply_drops;
         pf.hits += c.pf_hit;
         pf.too_late += c.pf_too_late;
         pf.invalidated += c.pf_invalidated;

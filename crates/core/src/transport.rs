@@ -1,0 +1,512 @@
+//! The modeled reliable transport.
+//!
+//! The seed engine treated "reliable" delivery as a property of the
+//! wire: control messages were simply never lost. With fault injection
+//! in the network layer ([`rsdsm_simnet::FaultPlan`]) that idealization
+//! no longer holds, so reliability is now *earned* the way TreadMarks
+//! earned it over UDP — with sequence numbers, acknowledgements,
+//! retransmission timers, and exponential backoff:
+//!
+//! - Every reliable message on a directed (src, dst) link is assigned
+//!   a sequence number and kept by the sender until acknowledged.
+//! - The receiver acknowledges every data frame it sees (duplicates
+//!   included, since a retransmission means the previous ack may have
+//!   been lost), suppresses duplicates, and buffers out-of-order
+//!   frames so the protocol above observes per-link FIFO delivery even
+//!   when the fault plan reorders the wire.
+//! - An unacknowledged frame is retransmitted after a timeout that
+//!   doubles on each attempt up to [`TransportConfig::max_rto`]; after
+//!   [`TransportConfig::max_retries`] retransmissions the run aborts
+//!   with [`SimError::Transport`](crate::SimError::Transport).
+//! - The timeout adapts to the link: every acknowledgement feeds a
+//!   smoothed round-trip-time estimate, and both the timeout for new
+//!   frames and the backoff ceiling are floored at twice that
+//!   estimate. Without this, congestion-induced queueing delay (which
+//!   on the modeled FIFO links can reach seconds under hot-spotting)
+//!   would masquerade as loss and exhaust the retry budget even on a
+//!   fault-free network. Samples from retransmitted frames are
+//!   ambiguous (Karn's problem) but are measured from the *first*
+//!   transmission and therefore only ever overestimate, so they are
+//!   allowed to raise the estimate and never to lower it.
+//!
+//! Prefetch traffic deliberately bypasses all of this: the paper sends
+//! prefetches as droppable datagrams and never retries them (§3.1
+//! footnote 3 — retrying under congestion worsens congestion).
+//!
+//! This module is the pure state machine; the engine owns the clock,
+//! charges CPU costs for every (re)transmission and ack, and puts the
+//! frames on the simulated network.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rsdsm_simnet::{NodeId, SimDuration, SimTime};
+
+use crate::msg::MsgBody;
+
+/// Parameters of the reliable transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Floor of the retransmission timeout for a frame's first
+    /// transmission; raised to twice the link's smoothed round-trip
+    /// time once acks have been observed.
+    pub initial_rto: SimDuration,
+    /// Ceiling on the backed-off retransmission timeout; also raised
+    /// to twice the smoothed round-trip time when congestion pushes
+    /// the measured RTT above it.
+    pub max_rto: SimDuration,
+    /// Retransmissions allowed per frame before the transport gives
+    /// up and the run aborts.
+    pub max_retries: u32,
+    /// Wire size of an acknowledgement frame.
+    pub ack_bytes: u32,
+}
+
+impl Default for TransportConfig {
+    /// Defaults sized for the simulated 155 Mbps ATM LAN: the initial
+    /// timeout sits an order of magnitude above the ~0.5 ms remote
+    /// miss round trip, so fault-free runs at calibrated load never
+    /// retransmit. The backoff ceiling is deliberately large — with
+    /// 12 retries it tolerates ~10 s of total silence before giving
+    /// up — because hot-spot congestion can park acknowledgements
+    /// behind seconds of queued data on a FIFO link; a frame must
+    /// only be declared dead on genuine loss, never on queueing
+    /// delay (TCP's give-up threshold is minutes for the same
+    /// reason).
+    fn default() -> Self {
+        TransportConfig {
+            initial_rto: SimDuration::from_millis(4),
+            max_rto: SimDuration::from_secs(2),
+            max_retries: 12,
+            ack_bytes: 28,
+        }
+    }
+}
+
+/// What travels the wire: reliable data, unreliable datagrams, acks.
+#[derive(Debug)]
+pub(crate) enum Frame {
+    /// A sequenced reliable message.
+    Data {
+        /// Per-(src, dst) sequence number.
+        seq: u64,
+        /// The protocol message.
+        body: MsgBody,
+    },
+    /// An unsequenced, unacknowledged message (prefetch traffic).
+    Datagram {
+        /// The protocol message.
+        body: MsgBody,
+    },
+    /// Acknowledgement of one data frame (sent dst → src).
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+/// A frame in flight between two nodes.
+#[derive(Debug)]
+pub(crate) struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload.
+    pub frame: Frame,
+}
+
+/// Per-run transport tallies, surfaced in
+/// [`RunReport`](crate::RunReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportSummary {
+    /// Reliable messages accepted for delivery (first transmissions).
+    pub data_frames: u64,
+    /// Timeout-driven retransmissions.
+    pub retransmissions: u64,
+    /// Acknowledgement frames generated.
+    pub acks_sent: u64,
+    /// Duplicate data frames suppressed at the receiver.
+    pub dup_frames_suppressed: u64,
+    /// Frames that arrived out of order and were buffered.
+    pub buffered_out_of_order: u64,
+    /// Retry timers that fired after their frame was already acked.
+    pub spurious_timeouts: u64,
+    /// Most transmissions any single frame needed.
+    pub max_attempts: u32,
+}
+
+/// Sender-side record of an unacknowledged frame.
+#[derive(Debug)]
+struct Inflight {
+    body: MsgBody,
+    /// Transmissions so far (1 = original send).
+    attempts: u32,
+    /// Timeout armed for the latest transmission.
+    rto: SimDuration,
+    /// When the frame was first transmitted (RTT sampling).
+    sent_at: SimTime,
+}
+
+/// Both endpoints' state for one directed (src, dst) link.
+#[derive(Debug, Default)]
+struct LinkState {
+    /// Next sequence number the sender will assign.
+    next_seq: u64,
+    /// Unacknowledged frames, by sequence number.
+    inflight: BTreeMap<u64, Inflight>,
+    /// Smoothed round-trip time observed from acks on this link.
+    srtt: Option<SimDuration>,
+    /// Next sequence number the receiver will deliver.
+    recv_next: u64,
+    /// Out-of-order frames parked until the gap fills.
+    recv_buf: BTreeMap<u64, MsgBody>,
+}
+
+impl LinkState {
+    /// The timeout for a fresh transmission: the configured floor, or
+    /// twice the smoothed RTT once the link has been measured.
+    fn base_rto(&self, cfg: &TransportConfig) -> SimDuration {
+        match self.srtt {
+            Some(s) => cfg.initial_rto.max(s * 2),
+            None => cfg.initial_rto,
+        }
+    }
+}
+
+/// What the sender should do when a retry timer fires.
+#[derive(Debug)]
+pub(crate) enum TimeoutAction {
+    /// The frame was acked in the meantime; the timer is stale.
+    Cancelled,
+    /// Retransmit the frame and re-arm the (backed-off) timer.
+    Retransmit {
+        /// The frame body to resend.
+        body: MsgBody,
+        /// The timeout to arm for this transmission.
+        rto: SimDuration,
+    },
+    /// The retry budget is exhausted; the run must abort.
+    Exhausted {
+        /// Total transmissions attempted.
+        attempts: u32,
+    },
+}
+
+/// What the receiver should do with an arriving data frame.
+#[derive(Debug)]
+pub(crate) enum Recv {
+    /// Deliver this in-order run of messages to the protocol.
+    Deliver(Vec<MsgBody>),
+    /// Out of order; parked until the gap fills.
+    Buffered,
+    /// Already delivered or already parked; suppressed.
+    Duplicate,
+}
+
+/// The reliable-transport state machine for every directed link.
+#[derive(Debug)]
+pub(crate) struct Transport {
+    cfg: TransportConfig,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    summary: TransportSummary,
+}
+
+impl Transport {
+    pub(crate) fn new(cfg: TransportConfig) -> Self {
+        Transport {
+            cfg,
+            links: HashMap::new(),
+            summary: TransportSummary::default(),
+        }
+    }
+
+    /// Accepts a reliable message for transmission on (src, dst):
+    /// assigns its sequence number and records it as inflight.
+    /// Returns the sequence number and the timeout to arm.
+    pub(crate) fn register(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        body: MsgBody,
+        now: SimTime,
+    ) -> (u64, SimDuration) {
+        let link = self.links.entry((src, dst)).or_default();
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        let rto = link.base_rto(&self.cfg);
+        link.inflight.insert(
+            seq,
+            Inflight {
+                body,
+                attempts: 1,
+                rto,
+                sent_at: now,
+            },
+        );
+        self.summary.data_frames += 1;
+        self.summary.max_attempts = self.summary.max_attempts.max(1);
+        (seq, rto)
+    }
+
+    /// Handles a fired retry timer for (src, dst, seq).
+    pub(crate) fn on_timeout(&mut self, src: NodeId, dst: NodeId, seq: u64) -> TimeoutAction {
+        let Some(link) = self.links.get_mut(&(src, dst)) else {
+            return TimeoutAction::Cancelled;
+        };
+        // The backoff ceiling tracks the link's measured RTT so a
+        // congested-but-lossless link keeps stretching the timer
+        // instead of burning through the retry budget.
+        let cap = match link.srtt {
+            Some(s) => self.cfg.max_rto.max(s * 2),
+            None => self.cfg.max_rto,
+        };
+        let Some(inf) = link.inflight.get_mut(&seq) else {
+            self.summary.spurious_timeouts += 1;
+            return TimeoutAction::Cancelled;
+        };
+        if inf.attempts > self.cfg.max_retries {
+            return TimeoutAction::Exhausted {
+                attempts: inf.attempts,
+            };
+        }
+        inf.attempts += 1;
+        inf.rto = (inf.rto * 2).min(cap);
+        self.summary.retransmissions += 1;
+        self.summary.max_attempts = self.summary.max_attempts.max(inf.attempts);
+        TimeoutAction::Retransmit {
+            body: inf.body.clone(),
+            rto: inf.rto,
+        }
+    }
+
+    /// Handles an acknowledgement arriving at the data sender `src`
+    /// from the data receiver `dst`, feeding the link's RTT estimate.
+    /// Stale and duplicate acks are ignored.
+    pub(crate) fn on_ack(&mut self, src: NodeId, dst: NodeId, seq: u64, now: SimTime) {
+        let Some(link) = self.links.get_mut(&(src, dst)) else {
+            return;
+        };
+        let Some(inf) = link.inflight.remove(&seq) else {
+            return;
+        };
+        let sample = now.saturating_since(inf.sent_at);
+        let smoothed = match link.srtt {
+            None => sample,
+            Some(s) => (s * 7 + sample) / 8,
+        };
+        // Karn's rule, relaxed in the safe direction: a retransmitted
+        // frame's sample is ambiguous, but it is measured from the
+        // first transmission and so can only overestimate — let it
+        // raise the estimate, never lower it.
+        link.srtt = Some(if inf.attempts > 1 {
+            match link.srtt {
+                Some(s) => s.max(smoothed),
+                None => smoothed,
+            }
+        } else {
+            smoothed
+        });
+    }
+
+    /// Books an ack frame the receiver generated.
+    pub(crate) fn note_ack_sent(&mut self) {
+        self.summary.acks_sent += 1;
+    }
+
+    /// Handles a data frame arriving at `dst` from `src`, restoring
+    /// per-link FIFO order and suppressing duplicates.
+    pub(crate) fn receive(&mut self, src: NodeId, dst: NodeId, seq: u64, body: MsgBody) -> Recv {
+        let link = self.links.entry((src, dst)).or_default();
+        if seq < link.recv_next || link.recv_buf.contains_key(&seq) {
+            self.summary.dup_frames_suppressed += 1;
+            return Recv::Duplicate;
+        }
+        if seq != link.recv_next {
+            link.recv_buf.insert(seq, body);
+            self.summary.buffered_out_of_order += 1;
+            return Recv::Buffered;
+        }
+        let mut run = vec![body];
+        link.recv_next += 1;
+        while let Some(next) = link.recv_buf.remove(&link.recv_next) {
+            run.push(next);
+            link.recv_next += 1;
+        }
+        Recv::Deliver(run)
+    }
+
+    /// Frames currently awaiting acknowledgement across all links.
+    #[cfg(test)]
+    pub(crate) fn inflight_frames(&self) -> usize {
+        self.links.values().map(|l| l.inflight.len()).sum()
+    }
+
+    pub(crate) fn summary(&self) -> TransportSummary {
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::LockId;
+    use rsdsm_protocol::VectorClock;
+
+    fn body(tag: u32) -> MsgBody {
+        MsgBody::LockRequest {
+            lock: LockId(tag),
+            requester: 0,
+            vc: VectorClock::new(2),
+        }
+    }
+
+    fn cfg() -> TransportConfig {
+        TransportConfig {
+            initial_rto: SimDuration::from_millis(1),
+            max_rto: SimDuration::from_millis(4),
+            max_retries: 2,
+            ack_bytes: 28,
+        }
+    }
+
+    #[test]
+    fn sequences_are_per_directed_link() {
+        let mut t = Transport::new(cfg());
+        let t0 = SimTime::ZERO;
+        assert_eq!(t.register(0, 1, body(0), t0).0, 0);
+        assert_eq!(t.register(0, 1, body(1), t0).0, 1);
+        assert_eq!(
+            t.register(1, 0, body(2), t0).0,
+            0,
+            "reverse link independent"
+        );
+        assert_eq!(t.register(0, 2, body(3), t0).0, 0, "other link independent");
+        assert_eq!(t.inflight_frames(), 4);
+    }
+
+    #[test]
+    fn in_order_frames_deliver_immediately() {
+        let mut t = Transport::new(cfg());
+        assert!(matches!(t.receive(0, 1, 0, body(0)), Recv::Deliver(run) if run.len() == 1));
+        assert!(matches!(t.receive(0, 1, 1, body(1)), Recv::Deliver(run) if run.len() == 1));
+    }
+
+    #[test]
+    fn reordered_frames_are_buffered_and_released_in_order() {
+        let mut t = Transport::new(cfg());
+        assert!(matches!(t.receive(0, 1, 2, body(2)), Recv::Buffered));
+        assert!(matches!(t.receive(0, 1, 1, body(1)), Recv::Buffered));
+        match t.receive(0, 1, 0, body(0)) {
+            Recv::Deliver(run) => {
+                let tags: Vec<_> = run
+                    .iter()
+                    .map(|b| match b {
+                        MsgBody::LockRequest { lock, .. } => lock.0,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                assert_eq!(tags, vec![0, 1, 2], "gap fill releases the full run");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(t.summary().buffered_out_of_order, 2);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_everywhere() {
+        let mut t = Transport::new(cfg());
+        assert!(matches!(t.receive(0, 1, 0, body(0)), Recv::Deliver(_)));
+        assert!(matches!(t.receive(0, 1, 0, body(0)), Recv::Duplicate));
+        assert!(matches!(t.receive(0, 1, 2, body(2)), Recv::Buffered));
+        assert!(matches!(t.receive(0, 1, 2, body(2)), Recv::Duplicate));
+        assert_eq!(t.summary().dup_frames_suppressed, 2);
+    }
+
+    #[test]
+    fn ack_cancels_retry_and_timer_is_lazily_discarded() {
+        let mut t = Transport::new(cfg());
+        let (seq, _) = t.register(0, 1, body(0), SimTime::ZERO);
+        t.on_ack(0, 1, seq, SimTime::from_micros(500));
+        assert_eq!(t.inflight_frames(), 0);
+        assert!(matches!(t.on_timeout(0, 1, seq), TimeoutAction::Cancelled));
+        assert_eq!(t.summary().spurious_timeouts, 1);
+        // A duplicate ack (retransmit raced the first ack) is a no-op.
+        t.on_ack(0, 1, seq, SimTime::from_micros(600));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps_then_exhausts() {
+        let mut t = Transport::new(cfg());
+        let (seq, rto0) = t.register(0, 1, body(0), SimTime::ZERO);
+        assert_eq!(rto0, SimDuration::from_millis(1));
+        let TimeoutAction::Retransmit { rto, .. } = t.on_timeout(0, 1, seq) else {
+            panic!("expected retransmit");
+        };
+        assert_eq!(rto, SimDuration::from_millis(2));
+        let TimeoutAction::Retransmit { rto, .. } = t.on_timeout(0, 1, seq) else {
+            panic!("expected retransmit");
+        };
+        assert_eq!(rto, SimDuration::from_millis(4), "capped at max_rto");
+        let TimeoutAction::Exhausted { attempts } = t.on_timeout(0, 1, seq) else {
+            panic!("expected exhaustion after max_retries retransmissions");
+        };
+        assert_eq!(attempts, 3);
+        assert_eq!(t.summary().retransmissions, 2);
+        assert_eq!(t.summary().max_attempts, 3);
+    }
+
+    #[test]
+    fn rtt_estimate_raises_timeouts_on_slow_links() {
+        let mut t = Transport::new(cfg());
+        // A clean (unretransmitted) ack 100 ms after the send: the
+        // link is slow but lossless, so both the fresh-frame timeout
+        // and the backoff ceiling must stretch well past max_rto.
+        let (seq, _) = t.register(0, 1, body(0), SimTime::ZERO);
+        t.on_ack(0, 1, seq, SimTime::from_millis(100));
+        let (seq, rto) = t.register(0, 1, body(1), SimTime::from_millis(100));
+        assert_eq!(rto, SimDuration::from_millis(200), "2 x srtt");
+        let TimeoutAction::Retransmit { rto, .. } = t.on_timeout(0, 1, seq) else {
+            panic!("expected retransmit");
+        };
+        assert_eq!(
+            rto,
+            SimDuration::from_millis(200),
+            "backoff ceiling follows the measured RTT, not max_rto"
+        );
+    }
+
+    #[test]
+    fn retransmitted_samples_raise_but_never_lower_the_estimate() {
+        let mut t = Transport::new(cfg());
+        // Establish srtt = 100 ms from a clean sample.
+        let (seq, _) = t.register(0, 1, body(0), SimTime::ZERO);
+        t.on_ack(0, 1, seq, SimTime::from_millis(100));
+        // A retransmitted frame acked quickly must not drag the
+        // estimate down (the ack may answer the first transmission).
+        let (seq, _) = t.register(0, 1, body(1), SimTime::from_millis(100));
+        assert!(matches!(
+            t.on_timeout(0, 1, seq),
+            TimeoutAction::Retransmit { .. }
+        ));
+        t.on_ack(0, 1, seq, SimTime::from_millis(101));
+        let (_, rto) = t.register(0, 1, body(2), SimTime::from_millis(101));
+        assert_eq!(
+            rto,
+            SimDuration::from_millis(200),
+            "estimate held at 100 ms"
+        );
+        // But a retransmitted frame acked *late* may raise it: the
+        // first-transmission timestamp only overestimates.
+        let (seq, _) = t.register(0, 1, body(3), SimTime::from_millis(101));
+        assert!(matches!(
+            t.on_timeout(0, 1, seq),
+            TimeoutAction::Retransmit { .. }
+        ));
+        t.on_ack(0, 1, seq, SimTime::from_millis(1101));
+        let (_, rto) = t.register(0, 1, body(4), SimTime::from_millis(1101));
+        assert!(
+            rto > SimDuration::from_millis(200),
+            "late ambiguous sample raised the estimate (rto = {rto})"
+        );
+    }
+}

@@ -1,0 +1,540 @@
+//! Deterministic fault injection for the network model.
+//!
+//! A [`FaultPlan`] describes, per message class, the probability of
+//! dropping, duplicating, or reordering (extra-delaying) a message,
+//! a uniform delivery jitter, scheduled link-degradation windows, and
+//! transient node stalls. The plan is interpreted by a seed-driven
+//! injector inside [`crate::Network`], so the same plan and seed
+//! always produce the same fault schedule — runs stay bit-for-bit
+//! reproducible no matter how hostile the injected conditions are.
+//!
+//! The default plan ([`FaultPlan::none`]) injects nothing, keeping
+//! the base network model's behaviour (and its existing tests)
+//! unchanged: congestion drops of droppable messages are part of the
+//! base model, not of fault injection.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsdsm_simnet::{FaultPlan, NetConfig, Network, Reliability, SimTime};
+//!
+//! let plan = FaultPlan::uniform_loss(7, 0.2).with_duplication(0.1);
+//! let mut net = Network::new(4, NetConfig::atm_155(1));
+//! net.set_fault_plan(plan);
+//! let mut lost = 0;
+//! for i in 0..100 {
+//!     let t = SimTime::from_nanos(i * 1_000_000);
+//!     if net.send(t, 0, 1, 64, Reliability::Reliable, "ctl").arrival_time().is_none() {
+//!         lost += 1;
+//!     }
+//! }
+//! assert!(lost > 0, "20% loss bites eventually");
+//! // Some injected drops are masked by a surviving duplicate copy,
+//! // so the caller observes at most as many losses as were injected.
+//! assert!(net.fault_stats().injected_drops >= lost);
+//! ```
+
+use crate::network::{NodeId, Reliability};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// The traffic classes a [`FaultPlan`] can target independently.
+///
+/// Classes are derived from what the engine already tells the
+/// network: droppable traffic is prefetching, the `"ack"` kind is
+/// transport acknowledgements, everything else is DSM control
+/// traffic (diff fetches, locks, barriers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Reliable DSM protocol traffic (served by the reliable transport).
+    Control,
+    /// Transport-level acknowledgements.
+    Ack,
+    /// Unreliable prefetch requests/replies.
+    Prefetch,
+}
+
+impl FaultClass {
+    /// Classifies a message from its reliability and kind label.
+    pub fn classify(reliability: Reliability, kind: &str) -> FaultClass {
+        if reliability == Reliability::Droppable {
+            FaultClass::Prefetch
+        } else if kind == "ack" {
+            FaultClass::Ack
+        } else {
+            FaultClass::Control
+        }
+    }
+}
+
+/// A probability per [`FaultClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassProbs {
+    /// Probability applied to [`FaultClass::Control`] messages.
+    pub control: f64,
+    /// Probability applied to [`FaultClass::Ack`] messages.
+    pub ack: f64,
+    /// Probability applied to [`FaultClass::Prefetch`] messages.
+    pub prefetch: f64,
+}
+
+impl ClassProbs {
+    /// The same probability for every class.
+    pub fn uniform(p: f64) -> ClassProbs {
+        ClassProbs {
+            control: p,
+            ack: p,
+            prefetch: p,
+        }
+    }
+
+    /// The probability for one class.
+    pub fn for_class(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::Control => self.control,
+            FaultClass::Ack => self.ack,
+            FaultClass::Prefetch => self.prefetch,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.control == 0.0 && self.ack == 0.0 && self.prefetch == 0.0
+    }
+}
+
+/// A scheduled interval during which a link (or the whole fabric)
+/// degrades: extra loss and extra latency for matching messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedWindow {
+    /// Window start (inclusive), compared against the send time.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Restrict to messages touching this node (as source or
+    /// destination); `None` degrades every link.
+    pub node: Option<NodeId>,
+    /// Additional drop probability while degraded (any class).
+    pub extra_drop: f64,
+    /// Additional one-way latency while degraded.
+    pub extra_latency: SimDuration,
+}
+
+impl DegradedWindow {
+    fn applies(&self, sent: SimTime, src: NodeId, dst: NodeId) -> bool {
+        sent >= self.from && sent < self.until && self.node.is_none_or(|n| n == src || n == dst)
+    }
+}
+
+/// A transient stall of one node: messages that would arrive while
+/// the node is stalled are held until the stall ends (its NIC stops
+/// draining, but nothing is lost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStall {
+    /// The stalled node.
+    pub node: NodeId,
+    /// Stall start (inclusive), compared against the arrival time.
+    pub from: SimTime,
+    /// Stall end (exclusive); held messages arrive at this instant.
+    pub until: SimTime,
+}
+
+/// A deterministic, seed-driven fault schedule.
+///
+/// Built with [`FaultPlan::none`] plus the `with_*` builders; handed
+/// to [`crate::Network::set_fault_plan`] (or, at the DSM level, to
+/// the engine configuration, which forwards it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's private random stream. Two networks
+    /// given equal plans (including this seed) inject identical
+    /// fault schedules for identical traffic.
+    pub seed: u64,
+    /// Per-class probability of silently dropping a message.
+    pub drop: ClassProbs,
+    /// Per-class probability of delivering a second copy.
+    pub duplicate: ClassProbs,
+    /// Per-class probability of delaying a message by up to
+    /// [`FaultPlan::reorder_window`], letting later sends overtake it.
+    pub reorder: ClassProbs,
+    /// Maximum extra delay applied to reordered messages.
+    pub reorder_window: SimDuration,
+    /// Uniform random delivery jitter in `[0, jitter]` added to every
+    /// delivered copy.
+    pub jitter: SimDuration,
+    /// Scheduled degradation windows.
+    pub degraded: Vec<DegradedWindow>,
+    /// Scheduled node stalls.
+    pub stalls: Vec<NodeStall>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop: ClassProbs::default(),
+            duplicate: ClassProbs::default(),
+            reorder: ClassProbs::default(),
+            reorder_window: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            degraded: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// Whether this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.drop.is_zero()
+            && self.duplicate.is_zero()
+            && (self.reorder.is_zero() || self.reorder_window.is_zero())
+            && self.jitter.is_zero()
+            && self.degraded.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Uniform loss of probability `p` across every message class.
+    pub fn uniform_loss(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop: ClassProbs::uniform(p),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets a uniform duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> FaultPlan {
+        self.duplicate = ClassProbs::uniform(p);
+        self
+    }
+
+    /// Sets a uniform reorder probability with the given extra-delay
+    /// window.
+    pub fn with_reordering(mut self, p: f64, window: SimDuration) -> FaultPlan {
+        self.reorder = ClassProbs::uniform(p);
+        self.reorder_window = window;
+        self
+    }
+
+    /// Sets the uniform delivery jitter bound.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> FaultPlan {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Adds a degradation window.
+    pub fn with_degraded_window(mut self, window: DegradedWindow) -> FaultPlan {
+        self.degraded.push(window);
+        self
+    }
+
+    /// Adds a transient node stall.
+    pub fn with_node_stall(mut self, stall: NodeStall) -> FaultPlan {
+        self.stalls.push(stall);
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+/// Counters of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently dropped by the plan (excludes the base
+    /// model's congestion drops).
+    pub injected_drops: u64,
+    /// Extra copies delivered.
+    pub duplicates: u64,
+    /// Messages given an extra reorder delay.
+    pub reordered: u64,
+    /// Deliveries pushed back by a node stall.
+    pub stall_delays: u64,
+    /// Messages sent inside an active degradation window.
+    pub degraded_msgs: u64,
+}
+
+/// What the injector decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time of the message itself, or `None` if dropped.
+    pub primary: Option<SimTime>,
+    /// Arrival time of an injected duplicate copy, if any.
+    pub duplicate: Option<SimTime>,
+}
+
+impl Delivery {
+    fn lossless(arrival: SimTime) -> Delivery {
+        Delivery {
+            primary: Some(arrival),
+            duplicate: None,
+        }
+    }
+}
+
+/// Interprets a [`FaultPlan`] with a private deterministic stream.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: DetRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            rng: DetRng::new(plan.seed ^ 0xfa17_fa17_fa17_fa17),
+            stats: FaultStats::default(),
+            plan,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides the fate of a message sent at `sent` that the base
+    /// model would deliver at `nominal`.
+    pub(crate) fn apply(
+        &mut self,
+        class: FaultClass,
+        src: NodeId,
+        dst: NodeId,
+        sent: SimTime,
+        nominal: SimTime,
+    ) -> Delivery {
+        if self.plan.is_none() {
+            return Delivery::lossless(nominal);
+        }
+
+        // Degradation windows active at send time.
+        let mut extra_drop = 0.0;
+        let mut extra_latency = SimDuration::ZERO;
+        for w in &self.plan.degraded {
+            if w.applies(sent, src, dst) {
+                extra_drop += w.extra_drop;
+                extra_latency += w.extra_latency;
+            }
+        }
+        if extra_drop > 0.0 || !extra_latency.is_zero() {
+            self.stats.degraded_msgs += 1;
+        }
+
+        let drop_p = (self.plan.drop.for_class(class) + extra_drop).min(1.0);
+        let primary = if drop_p > 0.0 && self.rng.chance(drop_p) {
+            self.stats.injected_drops += 1;
+            None
+        } else {
+            Some(self.perturb(class, dst, nominal + extra_latency))
+        };
+
+        let dup_p = self.plan.duplicate.for_class(class);
+        let duplicate = if dup_p > 0.0 && self.rng.chance(dup_p) {
+            self.stats.duplicates += 1;
+            Some(self.perturb(class, dst, nominal + extra_latency))
+        } else {
+            None
+        };
+
+        Delivery { primary, duplicate }
+    }
+
+    /// Applies jitter, reorder delay, and stall holds to one copy.
+    fn perturb(&mut self, class: FaultClass, dst: NodeId, mut at: SimTime) -> SimTime {
+        if !self.plan.jitter.is_zero() {
+            at += self.uniform(self.plan.jitter);
+        }
+        let reorder_p = self.plan.reorder.for_class(class);
+        if reorder_p > 0.0 && !self.plan.reorder_window.is_zero() && self.rng.chance(reorder_p) {
+            at += self.uniform(self.plan.reorder_window);
+            self.stats.reordered += 1;
+        }
+        for s in &self.plan.stalls {
+            if s.node == dst && at >= s.from && at < s.until {
+                at = s.until;
+                self.stats.stall_delays += 1;
+            }
+        }
+        at
+    }
+
+    fn uniform(&mut self, bound: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(self.rng.next_below(bound.as_nanos() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for i in 0..100 {
+            let d = inj.apply(FaultClass::Control, 0, 1, t(i), t(i + 5));
+            assert_eq!(d, Delivery::lossless(t(i + 5)));
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform_loss(1, 1.0));
+        for i in 0..50 {
+            let d = inj.apply(FaultClass::Prefetch, 0, 1, t(i), t(i + 5));
+            assert_eq!(d.primary, None);
+        }
+        assert_eq!(inj.stats().injected_drops, 50);
+    }
+
+    #[test]
+    fn class_targeting_spares_other_classes() {
+        let plan = FaultPlan {
+            drop: ClassProbs {
+                control: 0.0,
+                ack: 1.0,
+                prefetch: 0.0,
+            },
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj
+            .apply(FaultClass::Control, 0, 1, t(0), t(5))
+            .primary
+            .is_some());
+        assert!(inj
+            .apply(FaultClass::Ack, 0, 1, t(0), t(5))
+            .primary
+            .is_none());
+        assert!(inj
+            .apply(FaultClass::Prefetch, 0, 1, t(0), t(5))
+            .primary
+            .is_some());
+    }
+
+    #[test]
+    fn duplication_emits_second_copy() {
+        let plan = FaultPlan::none().with_seed(3).with_duplication(1.0);
+        let mut inj = FaultInjector::new(plan);
+        let d = inj.apply(FaultClass::Control, 0, 1, t(0), t(5));
+        assert_eq!(d.primary, Some(t(5)));
+        assert_eq!(d.duplicate, Some(t(5)));
+        assert_eq!(inj.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn degraded_window_adds_loss_and_latency_only_inside() {
+        let plan = FaultPlan::none().with_degraded_window(DegradedWindow {
+            from: t(100),
+            until: t(200),
+            node: Some(1),
+            extra_drop: 1.0,
+            extra_latency: SimDuration::from_micros(50),
+        });
+        let mut inj = FaultInjector::new(plan);
+        // Before the window, and inside it but on another link: intact.
+        assert!(inj
+            .apply(FaultClass::Control, 0, 1, t(50), t(55))
+            .primary
+            .is_some());
+        assert!(inj
+            .apply(FaultClass::Control, 2, 3, t(150), t(155))
+            .primary
+            .is_some());
+        // Inside, touching node 1: dropped.
+        assert!(inj
+            .apply(FaultClass::Control, 0, 1, t(150), t(155))
+            .primary
+            .is_none());
+        assert!(inj
+            .apply(FaultClass::Control, 1, 2, t(150), t(155))
+            .primary
+            .is_none());
+        // After: intact again.
+        assert!(inj
+            .apply(FaultClass::Control, 0, 1, t(250), t(255))
+            .primary
+            .is_some());
+        assert!(inj.stats().degraded_msgs >= 2);
+    }
+
+    #[test]
+    fn stall_holds_arrivals_until_it_ends() {
+        let plan = FaultPlan::none().with_node_stall(NodeStall {
+            node: 1,
+            from: t(100),
+            until: t(300),
+        });
+        let mut inj = FaultInjector::new(plan);
+        let held = inj.apply(FaultClass::Control, 0, 1, t(140), t(150));
+        assert_eq!(held.primary, Some(t(300)));
+        let other_node = inj.apply(FaultClass::Control, 0, 2, t(140), t(150));
+        assert_eq!(other_node.primary, Some(t(150)));
+        let after = inj.apply(FaultClass::Control, 0, 1, t(290), t(310));
+        assert_eq!(after.primary, Some(t(310)));
+        assert_eq!(inj.stats().stall_delays, 1);
+    }
+
+    #[test]
+    fn identical_plans_and_traffic_give_identical_schedules() {
+        let plan = FaultPlan::uniform_loss(42, 0.3)
+            .with_duplication(0.2)
+            .with_reordering(0.25, SimDuration::from_micros(400))
+            .with_jitter(SimDuration::from_micros(30));
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..500 {
+            let da = a.apply(
+                FaultClass::Control,
+                i % 4,
+                (i + 1) % 4,
+                t(i as u64),
+                t(i as u64 + 7),
+            );
+            let db = b.apply(
+                FaultClass::Control,
+                i % 4,
+                (i + 1) % 4,
+                t(i as u64),
+                t(i as u64 + 7),
+            );
+            assert_eq!(da, db);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().injected_drops > 0);
+        assert!(a.stats().duplicates > 0);
+        assert!(a.stats().reordered > 0);
+    }
+
+    #[test]
+    fn classification_matches_engine_labels() {
+        assert_eq!(
+            FaultClass::classify(Reliability::Droppable, "prefetch_req"),
+            FaultClass::Prefetch
+        );
+        assert_eq!(
+            FaultClass::classify(Reliability::Reliable, "ack"),
+            FaultClass::Ack
+        );
+        assert_eq!(
+            FaultClass::classify(Reliability::Reliable, "diff_req"),
+            FaultClass::Control
+        );
+    }
+}

@@ -12,6 +12,9 @@
 //! - [`Network`]: the single-switch ATM LAN model with per-link
 //!   bandwidth, queueing (contention and hot-spotting), and
 //!   congestion-based drops of unreliable (prefetch) messages.
+//! - [`FaultPlan`]: deterministic, seed-driven fault injection —
+//!   drops, duplicates, reordering, jitter, degradation windows, and
+//!   node stalls layered onto the network model.
 //! - [`DetRng`]: seedable generator so every run is reproducible.
 //!
 //! # Examples
@@ -41,11 +44,15 @@
 #![warn(missing_docs)]
 
 mod event;
+mod faults;
 mod network;
 mod rng;
 mod time;
 
 pub use event::EventQueue;
+pub use faults::{
+    ClassProbs, DegradedWindow, Delivery, FaultClass, FaultPlan, FaultStats, NodeStall,
+};
 pub use network::{
     KindStats, NetConfig, NetStats, Network, NodeId, NodeTraffic, Reliability, SendOutcome,
 };

@@ -10,10 +10,18 @@
 //! on the sender's egress link.
 //!
 //! Messages are either [`Reliability::Reliable`] (the DSM's lightweight
-//! reliable protocol retries them; they are never lost here) or
+//! reliable protocol retries them on loss) or
 //! [`Reliability::Droppable`] (prefetch requests/replies, which the
 //! paper deliberately does not retry). A droppable message that meets
 //! a congested queue is dropped with a configurable probability.
+//!
+//! On top of the base model, an optional [`crate::FaultPlan`]
+//! (see [`Network::set_fault_plan`]) injects deterministic drops,
+//! duplicates, reorder delays, jitter, degradation windows, and node
+//! stalls into *any* message class. With a plan installed, even
+//! reliable-class messages can be lost in flight — recovering from
+//! that is the job of the DSM's modeled reliable transport, not of
+//! the network.
 //!
 //! # Examples
 //!
@@ -35,6 +43,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::faults::{Delivery, FaultClass, FaultInjector, FaultPlan, FaultStats};
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -62,16 +71,35 @@ pub enum SendOutcome {
         /// Absolute arrival time at the destination NIC.
         arrival: SimTime,
     },
-    /// The message was dropped due to congestion (droppable only).
+    /// The message will arrive, and an injected duplicate copy will
+    /// arrive too (fault plans only).
+    DeliveredDup {
+        /// Absolute arrival time of the message itself.
+        arrival: SimTime,
+        /// Absolute arrival time of the duplicate copy.
+        dup: SimTime,
+    },
+    /// The message was dropped — by congestion (droppable only) or by
+    /// an injected fault (any class).
     Dropped,
 }
 
 impl SendOutcome {
-    /// The arrival time, or `None` if the message was dropped.
+    /// The primary copy's arrival time, or `None` if it was dropped.
     pub fn arrival_time(self) -> Option<SimTime> {
         match self {
-            SendOutcome::Delivered { arrival } => Some(arrival),
+            SendOutcome::Delivered { arrival } | SendOutcome::DeliveredDup { arrival, .. } => {
+                Some(arrival)
+            }
             SendOutcome::Dropped => None,
+        }
+    }
+
+    /// The injected duplicate's arrival time, if one was created.
+    pub fn dup_time(self) -> Option<SimTime> {
+        match self {
+            SendOutcome::DeliveredDup { dup, .. } => Some(dup),
+            _ => None,
         }
     }
 }
@@ -201,7 +229,8 @@ impl NetStats {
         self.per_node.iter().map(|n| n.bytes_received).sum()
     }
 
-    /// Total droppable messages lost to congestion.
+    /// Total messages lost — droppable messages lost to congestion
+    /// plus any class lost to injected faults.
     pub fn drops(&self) -> u64 {
         self.drops
     }
@@ -234,6 +263,7 @@ pub struct Network {
     ingress_free: Vec<SimTime>,
     rng: DetRng,
     stats: NetStats,
+    faults: FaultInjector,
 }
 
 impl Network {
@@ -249,8 +279,26 @@ impl Network {
             egress_free: vec![SimTime::ZERO; nodes],
             ingress_free: vec![SimTime::ZERO; nodes],
             stats: NetStats::new(nodes),
+            faults: FaultInjector::new(FaultPlan::none()),
             cfg,
         }
+    }
+
+    /// Installs a fault plan, resetting the injector's random stream
+    /// and fault statistics. Typically called once before traffic
+    /// starts; the default is [`FaultPlan::none`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultInjector::new(plan);
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     /// Number of nodes.
@@ -326,19 +374,33 @@ impl Network {
         self.egress_free[src] = egress_done;
         self.ingress_free[dst] = arrival;
 
-        let queue_delay = egress_delay + ingress_delay;
-        self.stats.delivered += 1;
-        self.stats.total_queue_delay += queue_delay;
-        self.stats.max_queue_delay = self.stats.max_queue_delay.max(queue_delay);
-        self.stats.per_node[src].msgs_sent += 1;
-        self.stats.per_node[src].bytes_sent += wire_bytes;
-        self.stats.per_node[dst].msgs_received += 1;
-        self.stats.per_node[dst].bytes_received += wire_bytes;
-        let k = self.stats.per_kind.entry(kind).or_default();
-        k.msgs += 1;
-        k.bytes += wire_bytes;
+        // The base model would deliver at `arrival`; the fault plan
+        // gets the final say (and may add a duplicate copy).
+        let class = FaultClass::classify(reliability, kind);
+        let Delivery { primary, duplicate } = self.faults.apply(class, src, dst, now, arrival);
 
-        SendOutcome::Delivered { arrival }
+        let queue_delay = egress_delay + ingress_delay;
+        for _copy in [primary, duplicate].into_iter().flatten() {
+            self.stats.delivered += 1;
+            self.stats.total_queue_delay += queue_delay;
+            self.stats.max_queue_delay = self.stats.max_queue_delay.max(queue_delay);
+            self.stats.per_node[src].msgs_sent += 1;
+            self.stats.per_node[src].bytes_sent += wire_bytes;
+            self.stats.per_node[dst].msgs_received += 1;
+            self.stats.per_node[dst].bytes_received += wire_bytes;
+            let k = self.stats.per_kind.entry(kind).or_default();
+            k.msgs += 1;
+            k.bytes += wire_bytes;
+        }
+
+        match (primary, duplicate) {
+            (Some(arrival), Some(dup)) => SendOutcome::DeliveredDup { arrival, dup },
+            (Some(arrival), None) => SendOutcome::Delivered { arrival },
+            // The original copy was injected-dropped but its duplicate
+            // survives: the caller sees one delivery.
+            (None, Some(arrival)) => SendOutcome::Delivered { arrival },
+            (None, None) => self.record_drop(kind),
+        }
     }
 
     fn should_drop(&mut self, reliability: Reliability, queue_delay: SimDuration) -> bool {
