@@ -4,7 +4,9 @@
 //! order and dispatches runs, hiding each program's concrete handle
 //! type. The experiment harness sweeps over `Benchmark::ALL`.
 
-use rsdsm_core::{DsmConfig, PrefetchConfig, RunReport, SimError, Simulation};
+use rsdsm_core::{
+    golden_run, DsmConfig, GoldenRun, GrantRecord, PrefetchConfig, RunReport, SimError, Simulation,
+};
 
 use crate::fft::FftApp;
 use crate::lu::LuApp;
@@ -133,6 +135,91 @@ impl Benchmark {
             (Benchmark::WaterSp, Scale::Paper) => sim.run(&WaterSpApp::paper_scale()),
             (Benchmark::WaterSp, Scale::Default) => sim.run(&WaterSpApp::default_scale()),
             (Benchmark::WaterSp, Scale::Test) => sim.run(&WaterSpApp::new(96, 2)),
+        }
+    }
+
+    /// Runs the benchmark through the golden sequential executor
+    /// ([`golden_run`]) at `scale`, using the same problem sizes as
+    /// [`Benchmark::run`], replaying `lock_trace` for per-lock
+    /// critical-section order. The result is the reference final
+    /// memory image for differential checking against a DSM run under
+    /// the same `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a thread panics or the replay
+    /// schedule wedges (see [`golden_run`]).
+    pub fn golden(
+        self,
+        scale: Scale,
+        cfg: &DsmConfig,
+        lock_trace: &[GrantRecord],
+    ) -> Result<GoldenRun, String> {
+        match (self, scale) {
+            (Benchmark::Fft, Scale::Paper) => golden_run(&FftApp::paper_scale(), cfg, lock_trace),
+            (Benchmark::Fft, Scale::Default) => {
+                golden_run(&FftApp::default_scale(), cfg, lock_trace)
+            }
+            (Benchmark::Fft, Scale::Test) => golden_run(&FftApp::new(10), cfg, lock_trace),
+            (Benchmark::LuNcont, Scale::Paper) => {
+                golden_run(&LuApp::paper_ncont(), cfg, lock_trace)
+            }
+            (Benchmark::LuNcont, Scale::Default) => {
+                golden_run(&LuApp::default_ncont(), cfg, lock_trace)
+            }
+            (Benchmark::LuNcont, Scale::Test) => golden_run(
+                &LuApp::new(64, 16, crate::lu::LuLayout::NonContiguous),
+                cfg,
+                lock_trace,
+            ),
+            (Benchmark::LuCont, Scale::Paper) => golden_run(&LuApp::paper_cont(), cfg, lock_trace),
+            (Benchmark::LuCont, Scale::Default) => {
+                golden_run(&LuApp::default_cont(), cfg, lock_trace)
+            }
+            (Benchmark::LuCont, Scale::Test) => golden_run(
+                &LuApp::new(64, 16, crate::lu::LuLayout::Contiguous),
+                cfg,
+                lock_trace,
+            ),
+            (Benchmark::Ocean, Scale::Paper) => {
+                golden_run(&OceanApp::paper_scale(), cfg, lock_trace)
+            }
+            (Benchmark::Ocean, Scale::Default) => {
+                golden_run(&OceanApp::default_scale(), cfg, lock_trace)
+            }
+            (Benchmark::Ocean, Scale::Test) => golden_run(&OceanApp::new(34, 2), cfg, lock_trace),
+            (Benchmark::Radix, Scale::Paper) => {
+                golden_run(&RadixApp::paper_scale(), cfg, lock_trace)
+            }
+            (Benchmark::Radix, Scale::Default) => {
+                golden_run(&RadixApp::default_scale(), cfg, lock_trace)
+            }
+            (Benchmark::Radix, Scale::Test) => {
+                golden_run(&RadixApp::new(1 << 11, 12, 6), cfg, lock_trace)
+            }
+            (Benchmark::Sor, Scale::Paper) => golden_run(&SorApp::paper_scale(), cfg, lock_trace),
+            (Benchmark::Sor, Scale::Default) => {
+                golden_run(&SorApp::default_scale(), cfg, lock_trace)
+            }
+            (Benchmark::Sor, Scale::Test) => golden_run(&SorApp::new(64, 64, 3), cfg, lock_trace),
+            (Benchmark::WaterNsq, Scale::Paper) => {
+                golden_run(&WaterNsqApp::paper_scale(), cfg, lock_trace)
+            }
+            (Benchmark::WaterNsq, Scale::Default) => {
+                golden_run(&WaterNsqApp::default_scale(), cfg, lock_trace)
+            }
+            (Benchmark::WaterNsq, Scale::Test) => {
+                golden_run(&WaterNsqApp::new(48, 2), cfg, lock_trace)
+            }
+            (Benchmark::WaterSp, Scale::Paper) => {
+                golden_run(&WaterSpApp::paper_scale(), cfg, lock_trace)
+            }
+            (Benchmark::WaterSp, Scale::Default) => {
+                golden_run(&WaterSpApp::default_scale(), cfg, lock_trace)
+            }
+            (Benchmark::WaterSp, Scale::Test) => {
+                golden_run(&WaterSpApp::new(96, 2), cfg, lock_trace)
+            }
         }
     }
 }

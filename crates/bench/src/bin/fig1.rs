@@ -4,8 +4,7 @@
 //! Prints, per application, the normalized stacked-bar percentages of
 //! the paper's four baseline categories.
 
-use rsdsm_bench::{run_variant, ExpOpts, Variant};
-use rsdsm_stats::{render_bars, Bar};
+use rsdsm_bench::{fig1_row, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_args();
@@ -14,15 +13,6 @@ fn main() {
         opts.nodes, opts.scale
     );
     for bench in &opts.apps {
-        let report = run_variant(*bench, Variant::Original, &opts);
-        let bars = [Bar::new("O", report.breakdown)];
-        println!(
-            "{}\n  total {}   msgs {}   bytes {}K   misses {}\n",
-            render_bars(bench.name(), &bars, report.breakdown.total()),
-            report.total_time,
-            report.net.total_msgs,
-            report.net.total_bytes / 1024,
-            report.misses.misses,
-        );
+        println!("{}", fig1_row(*bench, &opts));
     }
 }

@@ -2,7 +2,7 @@
 //! factor, total traffic, total misses, and average miss latency for
 //! the original and prefetching runs.
 
-use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_bench::{table1_row, ExpOpts};
 use rsdsm_stats::{Align, AsciiTable};
 
 fn main() {
@@ -36,19 +36,7 @@ fn main() {
         ],
     );
     for bench in &opts.apps {
-        let orig = run_variant(*bench, Variant::Original, &opts);
-        let pf = run_variant(*bench, Variant::Prefetch, &opts);
-        table.add_row(vec![
-            bench.name().to_string(),
-            format!("{:.2}%", pf.prefetch.unnecessary_fraction() * 100.0),
-            format!("{:.2}%", pf.prefetch.coverage() * 100.0),
-            (orig.net.total_bytes / 1024).to_string(),
-            (pf.net.total_bytes / 1024).to_string(),
-            orig.misses.misses.to_string(),
-            pf.misses.misses.to_string(),
-            orig.misses.avg_latency().as_micros().to_string(),
-            pf.misses.avg_latency().as_micros().to_string(),
-        ]);
+        table.add_row(table1_row(*bench, &opts));
     }
     println!("{table}");
 }

@@ -11,6 +11,7 @@
 
 use rsdsm_apps::{Benchmark, Scale};
 use rsdsm_core::{DsmConfig, FaultPlan, PrefetchConfig, RunReport, ThreadConfig};
+use rsdsm_stats::{render_bars, Bar};
 
 /// Shared command-line options for the experiment binaries.
 ///
@@ -179,6 +180,40 @@ pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunRep
         }
     }
     report
+}
+
+/// Renders Figure 1's per-application block for `bench` — exactly the
+/// text the `fig1` binary prints per app, so snapshot tests can pin a
+/// digest of the emitted rows.
+pub fn fig1_row(bench: Benchmark, opts: &ExpOpts) -> String {
+    let report = run_variant(bench, Variant::Original, opts);
+    let bars = [Bar::new("O", report.breakdown)];
+    format!(
+        "{}\n  total {}   msgs {}   bytes {}K   misses {}\n",
+        render_bars(bench.name(), &bars, report.breakdown.total()),
+        report.total_time,
+        report.net.total_msgs,
+        report.net.total_bytes / 1024,
+        report.misses.misses,
+    )
+}
+
+/// Computes Table 1's row cells for `bench` — exactly the strings the
+/// `table1` binary puts in its table, shared with the snapshot tests.
+pub fn table1_row(bench: Benchmark, opts: &ExpOpts) -> Vec<String> {
+    let orig = run_variant(bench, Variant::Original, opts);
+    let pf = run_variant(bench, Variant::Prefetch, opts);
+    vec![
+        bench.name().to_string(),
+        format!("{:.2}%", pf.prefetch.unnecessary_fraction() * 100.0),
+        format!("{:.2}%", pf.prefetch.coverage() * 100.0),
+        (orig.net.total_bytes / 1024).to_string(),
+        (pf.net.total_bytes / 1024).to_string(),
+        orig.misses.misses.to_string(),
+        pf.misses.misses.to_string(),
+        orig.misses.avg_latency().as_micros().to_string(),
+        pf.misses.avg_latency().as_micros().to_string(),
+    ]
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use rsdsm_simnet::{FaultPlan, NetConfig, SimDuration};
 
 use crate::costs::CostModel;
+use crate::oracle::OracleConfig;
 use crate::transport::TransportConfig;
 
 /// How prefetching is enabled for a run (§3, §5.1).
@@ -165,6 +166,10 @@ pub struct DsmConfig {
     /// Safety limit on simulated time; a run exceeding it aborts with
     /// an error rather than looping forever.
     pub max_sim_time: SimDuration,
+    /// Consistency-oracle mode: runtime LRC invariant checking and
+    /// final-image/lock-trace capture for differential testing.
+    /// Off ([`OracleConfig::off`]) by default — zero overhead.
+    pub oracle: OracleConfig,
 }
 
 impl DsmConfig {
@@ -188,6 +193,7 @@ impl DsmConfig {
             faults: FaultPlan::none(),
             transport: TransportConfig::default(),
             max_sim_time: SimDuration::from_secs(36_000),
+            oracle: OracleConfig::off(),
         }
     }
 
@@ -221,6 +227,12 @@ impl DsmConfig {
     /// Sets the thread mode (builder style).
     pub fn with_threads(mut self, threads: ThreadConfig) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the consistency-oracle mode (builder style).
+    pub fn with_oracle(mut self, oracle: OracleConfig) -> Self {
+        self.oracle = oracle;
         self
     }
 

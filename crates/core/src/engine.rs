@@ -24,6 +24,7 @@ use crate::heap::Heap;
 use crate::lock::{AcquireOutcome, ForwardOutcome, GrantOutcome, ReleaseOutcome, RemoteWaiter};
 use crate::msg::{BarrierId, BasePayload, DiffPayload, IntervalRecord, LockId, Msg, MsgBody};
 use crate::node::{Fetch, MissClass, NodeMem, NodeState, SyncKey};
+use crate::oracle::{digest_pages, OracleOutcome, OracleState};
 use crate::program::{DsmProgram, VerifyCtx};
 use crate::report::{fold_counters, NetSummary, RunReport, SimError};
 use crate::thread::{BlockReason, ThreadId, ThreadState};
@@ -152,7 +153,7 @@ impl Simulation {
             match core.run_loop() {
                 Ok(finish) => {
                     core.finish_accounts(finish);
-                    Ok((finish, core.nodes, core.net, core.transport))
+                    Ok((finish, core.nodes, core.net, core.transport, core.oracle))
                 }
                 Err(e) => {
                     // Dropping the core drops the resume channels,
@@ -164,7 +165,7 @@ impl Simulation {
             }
         });
 
-        let (finish, nodes, net, transport) = scope_result.map_err(|e| {
+        let (finish, nodes, net, transport, oracle_state) = scope_result.map_err(|e| {
             if let SimError::AppThread(_) = e {
                 let note = panic_note.lock().expect("panic note mutex").take();
                 SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
@@ -178,6 +179,16 @@ impl Simulation {
 
         let mem_guard = mem.lock().expect("mem mutex");
         let pages = materialize(&heap, &nodes, &mem_guard);
+        let oracle = oracle_state.cfg.enabled().then(|| OracleOutcome {
+            violations: oracle_state.violations,
+            lock_trace: oracle_state.lock_trace,
+            image_digest: digest_pages(&pages),
+            final_image: if oracle_state.cfg.capture {
+                pages.clone()
+            } else {
+                Vec::new()
+            },
+        });
         let verified = app.verify(&VerifyCtx::new(pages), &handles);
 
         let node_breakdowns: Vec<_> = nodes.iter().map(|n| *n.account.breakdown()).collect();
@@ -208,6 +219,7 @@ impl Simulation {
             transport: transport.summary(),
             fault_injection: net.fault_stats(),
             gc_passes,
+            oracle,
         })
     }
 }
@@ -219,11 +231,14 @@ struct Core<'a> {
     mem: Arc<Mutex<Vec<NodeMem>>>,
     nodes: Vec<NodeState>,
     net: Network,
-    transport: Transport,
+    transport: Transport<MsgBody>,
     queue: EventQueue<Event>,
     threads: Vec<ThreadPeer>,
     barrier_mgr: BarrierManager,
     barrier_vcs: std::collections::HashMap<BarrierId, VectorClock>,
+    /// The consistency oracle (invariant violations, lock-grant
+    /// trace); inert unless the config enables it.
+    oracle: OracleState,
     done: usize,
     finish: SimTime,
     /// Event tracing to stderr, enabled by the RSDSM_TRACE env var.
@@ -262,6 +277,7 @@ impl<'a> Core<'a> {
             threads,
             barrier_mgr: BarrierManager::new(cfg.nodes),
             barrier_vcs: std::collections::HashMap::new(),
+            oracle: OracleState::new(cfg.oracle.clone(), cfg.nodes),
             done: 0,
             finish: SimTime::ZERO,
             trace: std::env::var_os("RSDSM_TRACE").is_some(),
@@ -300,6 +316,9 @@ impl<'a> Core<'a> {
                 Event::RetryTimeout { src, dst, seq } => {
                     self.on_retry_timeout(src, dst, seq, now)?
                 }
+            }
+            if self.oracle.cfg.invariants {
+                self.oracle.check_event(&self.nodes, now);
             }
             if self.trace {
                 self.check_token_uniqueness(now);
@@ -864,6 +883,13 @@ impl<'a> Core<'a> {
                 node.board.mark_applied(page, cached.origin, &cached.stamp);
                 continue;
             }
+            if self.oracle.cfg.invariants {
+                let covered = node
+                    .known_set
+                    .contains(&(cached.origin, cached.stamp.get(cached.origin)));
+                self.oracle
+                    .check_coverage(covered, n, page, cached.origin, &cached.stamp, end);
+            }
             cached.diff.apply(&mut entry.data);
             // Keep the twin consistent so our own diff stays minimal
             // (incoming concurrent diffs touch disjoint bytes).
@@ -1016,6 +1042,10 @@ impl<'a> Core<'a> {
             let entry = &mut m.pages[page.index()];
             let twin = entry.twin.take().expect("twin present");
             let diff = Diff::between(&twin, &entry.data);
+            if self.oracle.cfg.invariants {
+                self.oracle
+                    .check_roundtrip(&twin, &entry.data, &diff, n, page, at);
+            }
             if let Some((wp, lo, hi)) = watch {
                 if page.index() == wp && diff.covers(lo, hi) {
                     let val = f64::from_bits(u64::from_le_bytes(
@@ -1090,6 +1120,7 @@ impl<'a> Core<'a> {
     ) -> Result<(), SimError> {
         match self.nodes[n].locks.acquire(lock, tid) {
             AcquireOutcome::Granted => {
+                self.oracle.record_grant(lock, tid);
                 let end = self.charge(
                     n,
                     now,
@@ -1134,6 +1165,7 @@ impl<'a> Core<'a> {
     ) -> Result<(), SimError> {
         match self.nodes[n].locks.release(lock, tid) {
             ReleaseOutcome::PassedLocal(next) => {
+                self.oracle.record_grant(lock, next);
                 let end = self.charge(
                     n,
                     now,
@@ -1165,6 +1197,7 @@ impl<'a> Core<'a> {
             // Degenerate self-grant (the manager routed our own
             // request back to us): no messaging, no new notices.
             if let GrantOutcome::WakeLocal(tid) = self.nodes[n].locks.handle_grant(lock) {
+                self.oracle.record_grant(lock, tid);
                 // Propagate errors as panics here would be wrong; a
                 // wake failure only occurs on engine teardown.
                 let _ = self.wake(tid, at);
@@ -1286,7 +1319,13 @@ impl<'a> Core<'a> {
             .entry(id)
             .or_insert_with(|| VectorClock::new(self.cfg.nodes));
         joined.join(&vc);
+        if self.oracle.cfg.invariants {
+            self.oracle.barrier_arrival(id, from, at);
+        }
         if let Some(union) = self.barrier_mgr.node_arrived(id, from, intervals) {
+            if self.oracle.cfg.invariants {
+                self.oracle.barrier_release(id, self.cfg.nodes, at);
+            }
             let joined = self.barrier_vcs.remove(&id).expect("joined clock");
             let mut end = at;
             for node in 1..self.cfg.nodes {
@@ -1544,6 +1583,7 @@ impl<'a> Core<'a> {
                 self.nodes[n].vc.join(&vc);
                 match self.nodes[n].locks.handle_grant(lock) {
                     GrantOutcome::WakeLocal(tid) => {
+                        self.oracle.record_grant(lock, tid);
                         let end = self.auto_prefetch_at_sync(n, SyncKey::Lock(lock), end);
                         self.wake(tid, end)
                     }
@@ -1644,6 +1684,10 @@ impl<'a> Core<'a> {
                 let entry = &mut mem[m].pages[page.index()];
                 let twin = entry.twin.take().expect("twin present");
                 let diff = Diff::between(&twin, &entry.data);
+                if self.oracle.cfg.invariants {
+                    self.oracle
+                        .check_roundtrip(&twin, &entry.data, &diff, m, page, end);
+                }
                 drop(mem);
                 end = self.charge(
                     m,

@@ -42,10 +42,12 @@ mod conductor;
 mod config;
 mod costs;
 mod engine;
+mod golden;
 mod heap;
 mod lock;
 mod msg;
 mod node;
+mod oracle;
 mod program;
 mod report;
 mod thread;
@@ -56,15 +58,20 @@ pub use conductor::DsmCtx;
 pub use config::{DsmConfig, PrefetchConfig, ThreadConfig};
 pub use costs::CostModel;
 pub use engine::Simulation;
+pub use golden::{golden_run, GoldenRun};
 pub use heap::{Heap, HomePolicy, Pod, SharedVec};
 pub use msg::{BarrierId, LockId};
 pub use node::{AccessCounters, MissClass, NodeCounters};
+pub use oracle::{
+    digest_pages, fnv1a, fnv1a_extend, GrantRecord, InvariantKind, OracleConfig, OracleOutcome,
+    Violation,
+};
 pub use program::{DsmProgram, VerifyCtx};
 pub use report::{
     MissSummary, MtSummary, NetSummary, PrefetchSummary, RunReport, SimError, SyncSummary,
     TrafficRow,
 };
-pub use rsdsm_protocol::PAGE_SIZE;
+pub use rsdsm_protocol::{Page, PAGE_SIZE};
 pub use rsdsm_simnet::{ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeStall};
 pub use thread::ThreadId;
-pub use transport::{TransportConfig, TransportSummary};
+pub use transport::{Recv, TimeoutAction, Transport, TransportConfig, TransportSummary};

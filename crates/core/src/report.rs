@@ -7,6 +7,7 @@ use rsdsm_simnet::{FaultStats, NetStats, SimDuration};
 use crate::accounting::Breakdown;
 use crate::config::DsmConfig;
 use crate::node::{AccessCounters, NodeCounters};
+use crate::oracle::{fnv1a, OracleOutcome};
 use crate::transport::TransportSummary;
 
 /// Errors a simulation run can produce.
@@ -258,9 +259,21 @@ pub struct RunReport {
     pub fault_injection: FaultStats,
     /// Garbage-collection passes across all nodes.
     pub gc_passes: u64,
+    /// Consistency-oracle observations (invariant violations, lock
+    /// trace, final image); `None` unless the run's
+    /// [`OracleConfig`](crate::OracleConfig) enabled something.
+    pub oracle: Option<OracleOutcome>,
 }
 
 impl RunReport {
+    /// FNV-1a digest of the whole report (every counter, breakdown,
+    /// and oracle observation). Two runs with identical (seed,
+    /// config) must produce identical digests — the determinism
+    /// harness in `rsdsm-oracle` asserts exactly that.
+    pub fn digest(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+
     /// Speedup of this run relative to a baseline total time
     /// (e.g. `orig.total_time`); greater than 1 means faster.
     pub fn speedup_vs(&self, baseline: SimDuration) -> f64 {

@@ -137,8 +137,8 @@ pub struct TransportSummary {
 
 /// Sender-side record of an unacknowledged frame.
 #[derive(Debug)]
-struct Inflight {
-    body: MsgBody,
+struct Inflight<B> {
+    body: B,
     /// Transmissions so far (1 = original send).
     attempts: u32,
     /// Timeout armed for the latest transmission.
@@ -148,21 +148,33 @@ struct Inflight {
 }
 
 /// Both endpoints' state for one directed (src, dst) link.
-#[derive(Debug, Default)]
-struct LinkState {
+#[derive(Debug)]
+struct LinkState<B> {
     /// Next sequence number the sender will assign.
     next_seq: u64,
     /// Unacknowledged frames, by sequence number.
-    inflight: BTreeMap<u64, Inflight>,
+    inflight: BTreeMap<u64, Inflight<B>>,
     /// Smoothed round-trip time observed from acks on this link.
     srtt: Option<SimDuration>,
     /// Next sequence number the receiver will deliver.
     recv_next: u64,
     /// Out-of-order frames parked until the gap fills.
-    recv_buf: BTreeMap<u64, MsgBody>,
+    recv_buf: BTreeMap<u64, B>,
 }
 
-impl LinkState {
+impl<B> Default for LinkState<B> {
+    fn default() -> Self {
+        LinkState {
+            next_seq: 0,
+            inflight: BTreeMap::new(),
+            srtt: None,
+            recv_next: 0,
+            recv_buf: BTreeMap::new(),
+        }
+    }
+}
+
+impl<B> LinkState<B> {
     /// The timeout for a fresh transmission: the configured floor, or
     /// twice the smoothed RTT once the link has been measured.
     fn base_rto(&self, cfg: &TransportConfig) -> SimDuration {
@@ -175,13 +187,13 @@ impl LinkState {
 
 /// What the sender should do when a retry timer fires.
 #[derive(Debug)]
-pub(crate) enum TimeoutAction {
+pub enum TimeoutAction<B> {
     /// The frame was acked in the meantime; the timer is stale.
     Cancelled,
     /// Retransmit the frame and re-arm the (backed-off) timer.
     Retransmit {
         /// The frame body to resend.
-        body: MsgBody,
+        body: B,
         /// The timeout to arm for this transmission.
         rto: SimDuration,
     },
@@ -194,9 +206,9 @@ pub(crate) enum TimeoutAction {
 
 /// What the receiver should do with an arriving data frame.
 #[derive(Debug)]
-pub(crate) enum Recv {
+pub enum Recv<B> {
     /// Deliver this in-order run of messages to the protocol.
-    Deliver(Vec<MsgBody>),
+    Deliver(Vec<B>),
     /// Out of order; parked until the gap fills.
     Buffered,
     /// Already delivered or already parked; suppressed.
@@ -204,15 +216,20 @@ pub(crate) enum Recv {
 }
 
 /// The reliable-transport state machine for every directed link.
+///
+/// Generic over the message body `B` it carries so tests (notably the
+/// simnet property tests) can exercise it with simple payloads; the
+/// engine instantiates it with its internal protocol message type.
 #[derive(Debug)]
-pub(crate) struct Transport {
+pub struct Transport<B> {
     cfg: TransportConfig,
-    links: HashMap<(NodeId, NodeId), LinkState>,
+    links: HashMap<(NodeId, NodeId), LinkState<B>>,
     summary: TransportSummary,
 }
 
-impl Transport {
-    pub(crate) fn new(cfg: TransportConfig) -> Self {
+impl<B: Clone> Transport<B> {
+    /// Creates a transport with no links established yet.
+    pub fn new(cfg: TransportConfig) -> Self {
         Transport {
             cfg,
             links: HashMap::new(),
@@ -223,11 +240,11 @@ impl Transport {
     /// Accepts a reliable message for transmission on (src, dst):
     /// assigns its sequence number and records it as inflight.
     /// Returns the sequence number and the timeout to arm.
-    pub(crate) fn register(
+    pub fn register(
         &mut self,
         src: NodeId,
         dst: NodeId,
-        body: MsgBody,
+        body: B,
         now: SimTime,
     ) -> (u64, SimDuration) {
         let link = self.links.entry((src, dst)).or_default();
@@ -249,7 +266,7 @@ impl Transport {
     }
 
     /// Handles a fired retry timer for (src, dst, seq).
-    pub(crate) fn on_timeout(&mut self, src: NodeId, dst: NodeId, seq: u64) -> TimeoutAction {
+    pub fn on_timeout(&mut self, src: NodeId, dst: NodeId, seq: u64) -> TimeoutAction<B> {
         let Some(link) = self.links.get_mut(&(src, dst)) else {
             return TimeoutAction::Cancelled;
         };
@@ -282,7 +299,7 @@ impl Transport {
     /// Handles an acknowledgement arriving at the data sender `src`
     /// from the data receiver `dst`, feeding the link's RTT estimate.
     /// Stale and duplicate acks are ignored.
-    pub(crate) fn on_ack(&mut self, src: NodeId, dst: NodeId, seq: u64, now: SimTime) {
+    pub fn on_ack(&mut self, src: NodeId, dst: NodeId, seq: u64, now: SimTime) {
         let Some(link) = self.links.get_mut(&(src, dst)) else {
             return;
         };
@@ -309,13 +326,13 @@ impl Transport {
     }
 
     /// Books an ack frame the receiver generated.
-    pub(crate) fn note_ack_sent(&mut self) {
+    pub fn note_ack_sent(&mut self) {
         self.summary.acks_sent += 1;
     }
 
     /// Handles a data frame arriving at `dst` from `src`, restoring
     /// per-link FIFO order and suppressing duplicates.
-    pub(crate) fn receive(&mut self, src: NodeId, dst: NodeId, seq: u64, body: MsgBody) -> Recv {
+    pub fn receive(&mut self, src: NodeId, dst: NodeId, seq: u64, body: B) -> Recv<B> {
         let link = self.links.entry((src, dst)).or_default();
         if seq < link.recv_next || link.recv_buf.contains_key(&seq) {
             self.summary.dup_frames_suppressed += 1;
@@ -336,12 +353,12 @@ impl Transport {
     }
 
     /// Frames currently awaiting acknowledgement across all links.
-    #[cfg(test)]
-    pub(crate) fn inflight_frames(&self) -> usize {
+    pub fn inflight_frames(&self) -> usize {
         self.links.values().map(|l| l.inflight.len()).sum()
     }
 
-    pub(crate) fn summary(&self) -> TransportSummary {
+    /// The cumulative per-run tallies.
+    pub fn summary(&self) -> TransportSummary {
         self.summary
     }
 }

@@ -1,0 +1,24 @@
+//! Quick manual smoke run of the oracle over a few cells.
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_core::{DsmConfig, FaultPlan};
+use rsdsm_oracle::{check_technique, Technique};
+
+fn main() {
+    let base = DsmConfig::paper_cluster(4).with_seed(1998);
+    for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
+        for tech in [Technique::Base, Technique::Combined] {
+            for faulty in [false, true] {
+                let cfg = if faulty {
+                    base.clone()
+                        .with_faults(FaultPlan::uniform_loss(0xFA11, 0.05))
+                } else {
+                    base.clone()
+                };
+                match check_technique(bench, Scale::Test, tech, cfg) {
+                    Ok(v) => println!("{} ok={}", v.summary_line(), v.ok()),
+                    Err(e) => println!("{bench} {} faults={faulty}: ERROR {e:?}", tech.label()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The consistency-oracle matrix: golden-model differential checking,
+//! runtime LRC invariants, and determinism over benchmarks ×
+//! techniques × fault plans.
+//!
+//! Every cell asserts the full [`rsdsm_oracle::OracleVerdict::ok`]
+//! obligation: zero invariant violations, a byte-identical final
+//! memory image between the DSM run and the golden sequential
+//! executor, digest-identical same-seed repeat runs, and both
+//! executions passing the application's own verification.
+//!
+//! Per-PR CI runs a fast subset (three representative applications —
+//! including the lock-order-sensitive WATER-NSQ — under the base and
+//! combined techniques). Set `RSDSM_ORACLE=full` for the full
+//! 8 apps × 4 techniques × {no-fault, loss} grid, which the scheduled
+//! CI job runs in release mode.
+
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_core::{DsmConfig, FaultPlan};
+use rsdsm_oracle::{check_technique, Technique};
+
+fn base(nodes: usize) -> DsmConfig {
+    DsmConfig::paper_cluster(nodes).with_seed(1998)
+}
+
+fn loss() -> FaultPlan {
+    FaultPlan::uniform_loss(0xFA11, 0.05)
+}
+
+fn full_grid() -> bool {
+    std::env::var("RSDSM_ORACLE").as_deref() == Ok("full")
+}
+
+fn assert_cell(bench: Benchmark, technique: Technique, faults: Option<FaultPlan>) {
+    let mut cfg = base(4);
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
+    }
+    let verdict = check_technique(bench, Scale::Test, technique, cfg)
+        .unwrap_or_else(|e| panic!("{bench} {}: {e:?}", technique.label()));
+    assert!(verdict.ok(), "oracle failed: {}", verdict.summary_line());
+}
+
+#[test]
+fn fast_subset_no_faults() {
+    for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
+        for technique in [Technique::Base, Technique::Combined] {
+            assert_cell(bench, technique, None);
+        }
+    }
+}
+
+#[test]
+fn fast_subset_under_message_loss() {
+    for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
+        for technique in [Technique::Base, Technique::Combined] {
+            assert_cell(bench, technique, Some(loss()));
+        }
+    }
+}
+
+#[test]
+fn full_matrix() {
+    if !full_grid() {
+        eprintln!("skipping full oracle matrix (set RSDSM_ORACLE=full)");
+        return;
+    }
+    for bench in Benchmark::ALL {
+        for technique in Technique::ALL {
+            for faults in [None, Some(loss())] {
+                assert_cell(bench, technique, faults);
+            }
+        }
+    }
+}

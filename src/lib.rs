@@ -13,6 +13,8 @@
 //! - [`core`]: the TreadMarks-style DSM runtime with non-binding
 //!   prefetching and multithreading — the paper's system.
 //! - [`apps`]: the eight SPLASH-2-style benchmark applications.
+//! - [`oracle`]: golden-model differential checking and determinism
+//!   harness over the full benchmark × technique matrix.
 //! - [`stats`]: execution-time breakdowns and figure/table rendering.
 //!
 //! # Examples
@@ -33,6 +35,7 @@
 
 pub use rsdsm_apps as apps;
 pub use rsdsm_core as core;
+pub use rsdsm_oracle as oracle;
 pub use rsdsm_protocol as protocol;
 pub use rsdsm_simnet as simnet;
 pub use rsdsm_stats as stats;

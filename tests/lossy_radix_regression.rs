@@ -1,0 +1,66 @@
+//! Seeded regression anchor for the fault-injection + reliable
+//! transport stack: one lossy RADIX run with every counter pinned.
+//!
+//! The whole simulation is deterministic for a given (seed, config),
+//! so these exact values must reproduce on every machine and every
+//! run. If a legitimate change to the engine's message schedule moves
+//! them (e.g. a new message type, a cost-model change), re-derive the
+//! constants by printing `report.transport` / `report.fault_injection`
+//! from this exact config — but treat any unexplained drift as a
+//! determinism bug first.
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::{DsmConfig, RunReport};
+use rsdsm::simnet::FaultPlan;
+
+fn lossy_radix() -> RunReport {
+    let cfg = DsmConfig::paper_cluster(4)
+        .with_seed(1998)
+        .with_faults(FaultPlan::uniform_loss(0xFA11, 0.20));
+    Benchmark::Radix
+        .run(Scale::Test, cfg)
+        .expect("lossy RADIX run")
+}
+
+#[test]
+fn transport_and_fault_counters_are_pinned() {
+    let r = lossy_radix();
+    assert!(r.verified, "RADIX must verify under 20% loss");
+
+    let t = r.transport;
+    assert_eq!(t.data_frames, 144);
+    assert_eq!(t.retransmissions, 90);
+    assert_eq!(t.acks_sent, 183);
+    assert_eq!(t.dup_frames_suppressed, 39);
+    assert_eq!(t.buffered_out_of_order, 9);
+    assert_eq!(t.spurious_timeouts, 130);
+    assert_eq!(t.max_attempts, 6);
+
+    let f = r.fault_injection;
+    assert_eq!(f.injected_drops, 94);
+    assert_eq!(f.duplicates, 0);
+    assert_eq!(f.reordered, 0);
+    assert_eq!(f.stall_delays, 0);
+    assert_eq!(f.degraded_msgs, 0);
+}
+
+#[test]
+fn fault_summary_line_is_pinned() {
+    let r = lossy_radix();
+    assert_eq!(
+        r.fault_summary_line().as_deref(),
+        Some(
+            "faults: 94 msgs dropped, 0 duplicated, 0 reordered; \
+             transport: 90 retransmissions (max 6 attempts/frame), \
+             39 duplicate frames suppressed; \
+             prefetch: 0 requests lost, 0 replies lost"
+        )
+    );
+}
+
+#[test]
+fn repeat_runs_are_digest_identical() {
+    // The report digest hashes the entire Debug rendering, so this is
+    // the strongest cheap statement of run-to-run determinism.
+    assert_eq!(lossy_radix().digest(), lossy_radix().digest());
+}
