@@ -10,13 +10,17 @@
 #![warn(missing_docs)]
 
 use rsdsm_apps::{Benchmark, Scale};
-use rsdsm_core::{DsmConfig, FaultPlan, PrefetchConfig, RunReport, ThreadConfig};
+use rsdsm_core::{
+    DsmConfig, FaultPlan, NodeCrash, PrefetchConfig, RecoveryConfig, RunReport, ThreadConfig,
+};
+use rsdsm_simnet::{SimDuration, SimTime};
 use rsdsm_stats::{render_bars, Bar};
 
 /// Shared command-line options for the experiment binaries.
 ///
 /// Usage: `[--paper-scale] [--nodes N] [--app NAME]... [--seed S]
-/// [--fault-loss P]`
+/// [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]...
+/// [--checkpoint-every N]`
 #[derive(Debug, Clone)]
 pub struct ExpOpts {
     /// Problem scale for all runs.
@@ -30,6 +34,12 @@ pub struct ExpOpts {
     /// Uniform message-loss probability injected into every run
     /// (0 disables fault injection; the default).
     pub fault_loss: f64,
+    /// Scheduled node crashes (`--fault-crash`). Any crash enables
+    /// recovery for the run.
+    pub crashes: Vec<NodeCrash>,
+    /// Checkpoint cadence in barrier epochs (`--checkpoint-every`;
+    /// 0 disables checkpointing).
+    pub checkpoint_every: u32,
 }
 
 impl Default for ExpOpts {
@@ -40,6 +50,8 @@ impl Default for ExpOpts {
             apps: Benchmark::ALL.to_vec(),
             seed: 1998,
             fault_loss: 0.0,
+            crashes: Vec::new(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -73,6 +85,23 @@ impl ExpOpts {
                         .filter(|p: &f64| (0.0..1.0).contains(p))
                         .unwrap_or_else(|| usage("--fault-loss needs a probability in [0, 1)"));
                 }
+                "--fault-crash" => {
+                    let spec = args
+                        .next()
+                        .unwrap_or_else(|| usage("--fault-crash needs NODE@MS[:restart=MS]"));
+                    match parse_crash(&spec) {
+                        Some(crash) => opts.crashes.push(crash),
+                        None => usage(&format!(
+                            "bad crash spec {spec:?}; expected NODE@MS[:restart=MS]"
+                        )),
+                    }
+                }
+                "--checkpoint-every" => {
+                    opts.checkpoint_every = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--checkpoint-every needs a number of epochs"));
+                }
                 "--app" => {
                     let name = args.next().unwrap_or_else(|| usage("--app needs a name"));
                     match Benchmark::from_name(&name) {
@@ -92,15 +121,50 @@ impl ExpOpts {
 
     /// The baseline configuration for these options.
     pub fn base_config(&self) -> DsmConfig {
-        let cfg = DsmConfig::paper_cluster(self.nodes).with_seed(self.seed);
+        let mut cfg = DsmConfig::paper_cluster(self.nodes).with_seed(self.seed);
         if self.fault_loss > 0.0 {
             // Derive the plan seed from the run seed so `--seed` alone
             // pins the whole experiment, faults included.
-            cfg.with_faults(FaultPlan::uniform_loss(self.seed ^ 0xfa17, self.fault_loss))
-        } else {
-            cfg
+            cfg = cfg.with_faults(FaultPlan::uniform_loss(self.seed ^ 0xfa17, self.fault_loss));
         }
+        for &crash in &self.crashes {
+            cfg.faults = cfg.faults.with_node_crash(crash);
+        }
+        if !self.crashes.is_empty() || self.checkpoint_every > 0 {
+            // Crashes need the failure detector and restart machinery;
+            // a bare --checkpoint-every measures checkpoint overhead
+            // without them (detection stays off so the run's timeline
+            // is untouched).
+            cfg = cfg.with_recovery(RecoveryConfig {
+                enabled: !self.crashes.is_empty(),
+                checkpoint_every: self.checkpoint_every,
+                ..RecoveryConfig::off()
+            });
+        }
+        cfg
     }
+}
+
+/// Parses a `--fault-crash` spec: `NODE@MS` (crash-stop) or
+/// `NODE@MS:restart=MS` (crash-restart), times in simulated
+/// milliseconds.
+fn parse_crash(spec: &str) -> Option<NodeCrash> {
+    let (head, restart) = match spec.split_once(":restart=") {
+        Some((head, rest)) => (head, Some(rest)),
+        None => (spec, None),
+    };
+    let (node, at_ms) = head.split_once('@')?;
+    let node: usize = node.parse().ok()?;
+    let at_ms: u64 = at_ms.parse().ok()?;
+    let restart_after = match restart {
+        Some(ms) => Some(SimDuration::from_millis(ms.parse().ok()?)),
+        None => None,
+    };
+    Some(NodeCrash {
+        node,
+        at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+        restart_after,
+    })
 }
 
 fn usage(err: &str) -> ! {
@@ -108,7 +172,14 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] [--fault-loss P]"
+        "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] \
+         [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]... [--checkpoint-every N]\n\
+         \n\
+         --fault-crash   crash NODE at MS simulated milliseconds; with :restart=MS the\n\
+         \x20               node reboots after that outage (crash-restart), otherwise a\n\
+         \x20               replacement rejoins from its last checkpoint (crash-stop).\n\
+         \x20               Repeatable. Enables lease-based failure detection and recovery.\n\
+         --checkpoint-every   take a barrier-aligned checkpoint every N barrier epochs"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -173,7 +244,7 @@ pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunRep
         "{bench} [{}] produced a wrong result",
         variant.label()
     );
-    if opts.fault_loss > 0.0 {
+    if opts.fault_loss > 0.0 || !opts.crashes.is_empty() {
         match report.fault_summary_line() {
             Some(line) => println!("  {bench} [{}] {line}", variant.label()),
             None => println!("  {bench} [{}] faults: none observed", variant.label()),
@@ -245,6 +316,46 @@ mod tests {
         let opts = ExpOpts::default();
         assert_eq!(opts.apps.len(), 8);
         assert_eq!(opts.nodes, 8);
+    }
+
+    #[test]
+    fn crash_specs_parse() {
+        let c = parse_crash("3@250").expect("crash-stop spec");
+        assert_eq!(c.node, 3);
+        assert_eq!(c.at, SimTime::ZERO + SimDuration::from_millis(250));
+        assert_eq!(c.restart_after, None);
+        let c = parse_crash("1@10:restart=500").expect("crash-restart spec");
+        assert_eq!(c.node, 1);
+        assert_eq!(c.restart_after, Some(SimDuration::from_millis(500)));
+        assert!(parse_crash("nope").is_none());
+        assert!(parse_crash("1@x").is_none());
+        assert!(parse_crash("1@5:restart=").is_none());
+    }
+
+    #[test]
+    fn crash_flags_enable_recovery() {
+        let mut opts = ExpOpts::default();
+        opts.crashes.push(parse_crash("2@100").unwrap());
+        opts.checkpoint_every = 4;
+        let cfg = opts.base_config();
+        assert_eq!(cfg.faults.crashes.len(), 1);
+        assert!(cfg.recovery.enabled);
+        assert_eq!(cfg.recovery.checkpoint_every, 4);
+
+        // Checkpointing alone measures overhead: detection stays off.
+        let ckpt_only = ExpOpts {
+            checkpoint_every: 2,
+            ..ExpOpts::default()
+        };
+        let cfg = ckpt_only.base_config();
+        assert!(!cfg.recovery.enabled);
+        assert_eq!(cfg.recovery.checkpoint_every, 2);
+
+        // And the default stays exactly off.
+        assert_eq!(
+            ExpOpts::default().base_config().recovery,
+            RecoveryConfig::off()
+        );
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Barrier-aligned checkpoints of recoverable protocol state.
+//!
+//! At configurable barrier epochs (see
+//! [`RecoveryConfig::checkpoint_every`](crate::RecoveryConfig)) each
+//! node snapshots the state a replacement would need to rejoin the
+//! run: its page images, vector clock, locally-created diffs (the
+//! write-notice log payloads), the interval log, and the lock tokens
+//! it holds. Barriers are the natural cut: every local interval is
+//! closed, twins are empty, and the barrier epoch number totally
+//! orders checkpoints across nodes.
+//!
+//! Checkpoints have a deterministic byte encoding — so their size can
+//! be accounted and a digest pinned — and a [`Checkpoint::digest`]
+//! built from the same FNV-1a the consistency oracle uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsdsm_core::{Checkpoint, PageImage, Page};
+//! use rsdsm_protocol::VectorClock;
+//!
+//! let ckpt = Checkpoint {
+//!     node: 1,
+//!     epoch: 4,
+//!     vc: VectorClock::from_entries(&[3, 7]),
+//!     pages: vec![PageImage { index: 0, valid: true, data: Page::new() }],
+//!     diffs: vec![],
+//!     intervals: vec![],
+//!     tokens: vec![],
+//! };
+//! let bytes = ckpt.encode();
+//! let back = Checkpoint::decode(&bytes).unwrap();
+//! assert_eq!(back, ckpt);
+//! assert_eq!(back.digest(), ckpt.digest());
+//! ```
+
+use rsdsm_protocol::{Diff, Page, PageId, VectorClock, PAGE_SIZE};
+
+use crate::msg::{IntervalRecord, LockId};
+use crate::node::{NodeMem, NodeState};
+use crate::oracle::fnv1a;
+
+/// A node's copy of one page at checkpoint time. Only pages the node
+/// ever held a valid copy of are captured (others would be fetched
+/// from their home on first touch anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageImage {
+    /// Global page index.
+    pub index: u32,
+    /// Whether the copy was accessible when captured (invalid copies
+    /// are kept too: they seed diff application after rejoin).
+    pub valid: bool,
+    /// The page contents.
+    pub data: Page,
+}
+
+/// One locally-created diff retained in the checkpoint — the
+/// write-notice log payload used to re-resolve in-flight diff
+/// requests after a failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRecord {
+    /// Page the diff applies to.
+    pub page: u32,
+    /// The creator's vector-clock element when the interval closed.
+    pub seq: u32,
+    /// The run-length-encoded modifications.
+    pub diff: Diff,
+}
+
+/// A barrier-aligned snapshot of one node's recoverable protocol
+/// state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The node that took the snapshot.
+    pub node: u32,
+    /// Barrier epoch at which it was taken (epochs count processed
+    /// barrier releases, starting at 1).
+    pub epoch: u32,
+    /// The node's vector clock.
+    pub vc: VectorClock,
+    /// Page images, ascending by index.
+    pub pages: Vec<PageImage>,
+    /// Locally-created diffs, ascending by (page, seq).
+    pub diffs: Vec<DiffRecord>,
+    /// The node's interval log (its own and received write notices).
+    pub intervals: Vec<IntervalRecord>,
+    /// Lock tokens the node held, ascending.
+    pub tokens: Vec<LockId>,
+}
+
+const MAGIC: u32 = 0x5243_4b31; // "RCK1"
+
+impl Checkpoint {
+    /// Snapshots `node`'s recoverable state at barrier epoch `epoch`.
+    ///
+    /// Must be called at a barrier release point: all local intervals
+    /// are closed there, so no twins exist and the page images are
+    /// exactly the post-merge state.
+    pub(crate) fn capture(node: u32, epoch: u32, state: &NodeState, mem: &NodeMem) -> Self {
+        let pages = mem
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.ever_valid)
+            .map(|(i, e)| {
+                debug_assert!(e.twin.is_none(), "open interval at a barrier checkpoint");
+                PageImage {
+                    index: i as u32,
+                    valid: e.valid,
+                    data: e.data.clone(),
+                }
+            })
+            .collect();
+        let mut diffs: Vec<DiffRecord> = state
+            .own_diffs
+            .iter()
+            .map(|(&(page, seq), diff)| DiffRecord {
+                page: page as u32,
+                seq,
+                diff: diff.clone(),
+            })
+            .collect();
+        diffs.sort_by_key(|d| (d.page, d.seq));
+        let mut tokens = state.locks.tokens_held();
+        tokens.sort();
+        Checkpoint {
+            node,
+            epoch,
+            vc: state.vc.clone(),
+            pages,
+            diffs,
+            intervals: state.known_intervals.clone(),
+            tokens,
+        }
+    }
+
+    /// Serializes the checkpoint to its deterministic little-endian
+    /// byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.pages.len() * (PAGE_SIZE + 8));
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, self.node);
+        put_u32(&mut out, self.epoch);
+        put_clock(&mut out, &self.vc);
+        put_u32(&mut out, self.pages.len() as u32);
+        for p in &self.pages {
+            put_u32(&mut out, p.index);
+            out.push(p.valid as u8);
+            out.extend_from_slice(p.data.bytes());
+        }
+        put_u32(&mut out, self.diffs.len() as u32);
+        for d in &self.diffs {
+            put_u32(&mut out, d.page);
+            put_u32(&mut out, d.seq);
+            put_u32(&mut out, d.diff.run_count() as u32);
+            for (offset, bytes) in d.diff.runs() {
+                put_u32(&mut out, offset as u32);
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        put_u32(&mut out, self.intervals.len() as u32);
+        for iv in &self.intervals {
+            put_u32(&mut out, iv.origin as u32);
+            put_clock(&mut out, &iv.stamp);
+            put_u32(&mut out, iv.pages.len() as u32);
+            for page in &iv.pages {
+                put_u32(&mut out, page.index() as u32);
+            }
+        }
+        put_u32(&mut out, self.tokens.len() as u32);
+        for t in &self.tokens {
+            put_u32(&mut out, t.0);
+        }
+        out
+    }
+
+    /// Parses a checkpoint from bytes produced by
+    /// [`Checkpoint::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut c = Cursor { bytes, at: 0 };
+        if c.u32()? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let node = c.u32()?;
+        let epoch = c.u32()?;
+        let vc = c.clock()?;
+        let mut pages = Vec::new();
+        for _ in 0..c.u32()? {
+            let index = c.u32()?;
+            let valid = c.u8()? != 0;
+            let mut data = Page::new();
+            data.bytes_mut().copy_from_slice(c.take(PAGE_SIZE)?);
+            pages.push(PageImage { index, valid, data });
+        }
+        let mut diffs = Vec::new();
+        for _ in 0..c.u32()? {
+            let page = c.u32()?;
+            let seq = c.u32()?;
+            let runs = c.u32()?;
+            let mut collected = Vec::with_capacity(runs as usize);
+            for _ in 0..runs {
+                let offset = c.u32()? as usize;
+                let len = c.u32()? as usize;
+                if offset + len > PAGE_SIZE {
+                    return Err(CheckpointError::Corrupt("diff run extends past page"));
+                }
+                collected.push((offset, c.take(len)?.to_vec()));
+            }
+            diffs.push(DiffRecord {
+                page,
+                seq,
+                diff: Diff::from_runs(collected),
+            });
+        }
+        let mut intervals = Vec::new();
+        for _ in 0..c.u32()? {
+            let origin = c.u32()? as usize;
+            let stamp = c.clock()?;
+            let mut ivpages = Vec::new();
+            for _ in 0..c.u32()? {
+                ivpages.push(PageId::new(c.u32()?));
+            }
+            intervals.push(IntervalRecord {
+                origin,
+                stamp,
+                pages: ivpages,
+            });
+        }
+        let mut tokens = Vec::new();
+        for _ in 0..c.u32()? {
+            tokens.push(LockId(c.u32()?));
+        }
+        if c.at != bytes.len() {
+            return Err(CheckpointError::Corrupt("trailing bytes"));
+        }
+        Ok(Checkpoint {
+            node,
+            epoch,
+            vc,
+            pages,
+            diffs,
+            intervals,
+            tokens,
+        })
+    }
+
+    /// FNV-1a digest of the encoded checkpoint (the same hash the
+    /// consistency oracle uses for page images).
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.encode())
+    }
+}
+
+/// Why a checkpoint byte string failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The input ended before the structure was complete.
+    Truncated,
+    /// The magic number was wrong (not a checkpoint).
+    BadMagic,
+    /// A structural invariant was violated.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_clock(out: &mut Vec<u8>, vc: &VectorClock) {
+    put_u32(out, vc.len() as u32);
+    for p in 0..vc.len() {
+        put_u32(out, vc.get(p));
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        if self.at + n > self.bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn clock(&mut self) -> Result<VectorClock, CheckpointError> {
+        let n = self.u32()? as usize;
+        if n == 0 || n > 1024 {
+            return Err(CheckpointError::Corrupt("implausible clock width"));
+        }
+        let mut elems = Vec::with_capacity(n);
+        for _ in 0..n {
+            elems.push(self.u32()?);
+        }
+        Ok(VectorClock::from_entries(&elems))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut page = Page::new();
+        page.write_u64(64, 0xdead_beef);
+        let twin = Page::new();
+        Checkpoint {
+            node: 2,
+            epoch: 8,
+            vc: VectorClock::from_entries(&[5, 0, 9, 1]),
+            pages: vec![
+                PageImage {
+                    index: 0,
+                    valid: true,
+                    data: page.clone(),
+                },
+                PageImage {
+                    index: 3,
+                    valid: false,
+                    data: Page::new(),
+                },
+            ],
+            diffs: vec![DiffRecord {
+                page: 0,
+                seq: 4,
+                diff: Diff::between(&twin, &page),
+            }],
+            intervals: vec![IntervalRecord {
+                origin: 2,
+                stamp: VectorClock::from_entries(&[4, 0, 8, 1]),
+                pages: vec![PageId::new(0), PageId::new(3)],
+            }],
+            tokens: vec![LockId(1), LockId(7)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ckpt = sample();
+        let bytes = ckpt.encode();
+        let back = Checkpoint::decode(&bytes).expect("decode");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.digest(), ckpt.digest());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in [0, 3, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xff;
+        assert_eq!(Checkpoint::decode(&bytes), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let a = sample();
+        let mut b = sample();
+        b.epoch += 1;
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -9,6 +9,7 @@ use rsdsm_simnet::{FaultPlan, NetConfig, SimDuration};
 
 use crate::costs::CostModel;
 use crate::oracle::OracleConfig;
+use crate::recovery::RecoveryConfig;
 use crate::transport::TransportConfig;
 
 /// How prefetching is enabled for a run (§3, §5.1).
@@ -170,6 +171,10 @@ pub struct DsmConfig {
     /// final-image/lock-trace capture for differential testing.
     /// Off ([`OracleConfig::off`]) by default — zero overhead.
     pub oracle: OracleConfig,
+    /// Failure detection, barrier-aligned checkpointing, and
+    /// crash recovery. Off ([`RecoveryConfig::off`]) by default —
+    /// retry exhaustion aborts the run as before.
+    pub recovery: RecoveryConfig,
 }
 
 impl DsmConfig {
@@ -194,6 +199,7 @@ impl DsmConfig {
             transport: TransportConfig::default(),
             max_sim_time: SimDuration::from_secs(36_000),
             oracle: OracleConfig::off(),
+            recovery: RecoveryConfig::off(),
         }
     }
 
@@ -233,6 +239,13 @@ impl DsmConfig {
     /// Sets the consistency-oracle mode (builder style).
     pub fn with_oracle(mut self, oracle: OracleConfig) -> Self {
         self.oracle = oracle;
+        self
+    }
+
+    /// Sets the failure-detection / checkpoint / recovery parameters
+    /// (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
         self
     }
 

@@ -14,10 +14,11 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 
 use rsdsm_protocol::{CachedDiff, Diff, Page, PageId, VectorClock, WriteNotice};
-use rsdsm_simnet::{EventQueue, Network, NodeId, Reliability, SimTime};
+use rsdsm_simnet::{EventQueue, Network, NodeId, Reliability, SimDuration, SimTime};
 
 use crate::accounting::{Category, IdleReason};
 use crate::barrier::BarrierManager;
+use crate::checkpoint::Checkpoint;
 use crate::conductor::{CallMsg, Charges, DsmCtx, Syscall};
 use crate::config::DsmConfig;
 use crate::heap::Heap;
@@ -26,6 +27,7 @@ use crate::msg::{BarrierId, BasePayload, DiffPayload, IntervalRecord, LockId, Ms
 use crate::node::{Fetch, MissClass, NodeMem, NodeState, SyncKey};
 use crate::oracle::{digest_pages, OracleOutcome, OracleState};
 use crate::program::{DsmProgram, VerifyCtx};
+use crate::recovery::{FailureDetector, PeerStatus, RecoveryStats};
 use crate::report::{fold_counters, NetSummary, RunReport, SimError};
 use crate::thread::{BlockReason, ThreadId, ThreadState};
 use crate::transport::{Frame, Packet, Recv, TimeoutAction, Transport};
@@ -49,6 +51,26 @@ enum Event {
         /// The frame's per-link sequence number.
         seq: u64,
     },
+    /// A scheduled crash from the fault plan: the node's NIC goes
+    /// dead and its local activity freezes.
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+        /// `Some(outage)` for crash-restart, `None` for crash-stop
+        /// (the node only comes back if recovery provisions a
+        /// replacement).
+        restart_after: Option<SimDuration>,
+    },
+    /// A crashed node rejoins the run (its outage plus the modeled
+    /// restore/replay cost has elapsed).
+    Restart(NodeId),
+    /// Periodic failure-detector tick at one node: checks peers'
+    /// leases and sends explicit heartbeats on idle links. Only
+    /// scheduled when recovery is enabled.
+    HeartbeatTick(NodeId),
+    /// The manager's grace period after a suspicion expired; decide
+    /// whether the suspect is really down.
+    ConfirmFailure(NodeId),
 }
 
 /// Engine-side handle to one application thread.
@@ -59,6 +81,90 @@ struct ThreadPeer {
     pending_syscall: Option<Syscall>,
     run_busy: rsdsm_simnet::SimDuration,
     last_block: Option<BlockReason>,
+}
+
+/// Consecutive manager heartbeat ticks with no other event before the
+/// engine declares the run deadlocked. With recovery enabled the
+/// recurring ticks keep the event queue non-empty, so the usual
+/// queue-drained deadlock check never fires; this bounds the silence
+/// instead.
+const IDLE_TICK_LIMIT: u32 = 256;
+
+/// Engine-side crash and recovery bookkeeping. The policy types
+/// (config, detector, stats) live in [`crate::recovery`]; this is the
+/// mutable state the event loop threads them through.
+struct RecoveryState {
+    /// Ground truth: which nodes are currently crashed.
+    down: Vec<bool>,
+    /// Count of `true` entries in `down` (fast path: zero almost
+    /// always).
+    downs: usize,
+    /// When each down node crashed.
+    crash_time: Vec<SimTime>,
+    /// A scheduled [`Event::Restart`], if any, per node — guards
+    /// against double-restarting a crash-restart victim that the
+    /// failure detector also confirms.
+    restart_at: Vec<Option<SimTime>>,
+    /// Whether a [`Event::ConfirmFailure`] is already queued per node.
+    confirm_pending: Vec<bool>,
+    /// Events frozen because their node was down, with the time they
+    /// would have fired; replayed time-shifted at restart.
+    parked_events: Vec<(NodeId, SimTime, Event)>,
+    /// Reliable frames that exhausted their retries toward a
+    /// suspected peer, as (src, dst, seq); re-armed when the peer is
+    /// cleared or rejoins.
+    parked_frames: Vec<(NodeId, NodeId, u64)>,
+    /// Per-link leases and peer beliefs.
+    detector: FailureDetector,
+    /// Last outbound frame per (src, dst) — explicit heartbeats are
+    /// suppressed on links with recent traffic.
+    last_sent: Vec<Vec<SimTime>>,
+    /// Each node's accumulated busy time at its last checkpoint; the
+    /// difference at crash time is the modeled replay cost.
+    busy_at_ckpt: Vec<SimDuration>,
+    /// Barrier releases processed per node (the checkpoint cadence
+    /// counter).
+    epochs_done: Vec<u32>,
+    /// Latest checkpoint per node.
+    ckpts: Vec<Option<Checkpoint>>,
+    /// Counters surfaced in [`RunReport`].
+    stats: RecoveryStats,
+    /// Consecutive idle manager ticks (see [`IDLE_TICK_LIMIT`]).
+    idle_tick_rounds: u32,
+    /// Whether any non-tick event ran since the last manager tick.
+    progressed: bool,
+}
+
+impl RecoveryState {
+    fn new(cfg: &DsmConfig) -> Self {
+        let n = cfg.nodes;
+        RecoveryState {
+            down: vec![false; n],
+            downs: 0,
+            crash_time: vec![SimTime::ZERO; n],
+            restart_at: vec![None; n],
+            confirm_pending: vec![false; n],
+            parked_events: Vec::new(),
+            parked_frames: Vec::new(),
+            detector: FailureDetector::new(n, cfg.recovery.lease_timeout),
+            last_sent: vec![vec![SimTime::ZERO; n]; n],
+            busy_at_ckpt: vec![SimDuration::ZERO; n],
+            epochs_done: vec![0; n],
+            ckpts: vec![None; n],
+            stats: RecoveryStats::default(),
+            idle_tick_rounds: 0,
+            progressed: false,
+        }
+    }
+}
+
+/// Statistics label for a frame dropped at a dead NIC.
+fn frame_kind(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Data { body, .. } | Frame::Datagram { body } => body.kind(),
+        Frame::Ack { .. } => "ack",
+        Frame::Heartbeat => "hb",
+    }
 }
 
 /// A configured simulation, ready to run programs.
@@ -153,7 +259,14 @@ impl Simulation {
             match core.run_loop() {
                 Ok(finish) => {
                     core.finish_accounts(finish);
-                    Ok((finish, core.nodes, core.net, core.transport, core.oracle))
+                    Ok((
+                        finish,
+                        core.nodes,
+                        core.net,
+                        core.transport,
+                        core.oracle,
+                        core.recov.stats,
+                    ))
                 }
                 Err(e) => {
                     // Dropping the core drops the resume channels,
@@ -165,14 +278,15 @@ impl Simulation {
             }
         });
 
-        let (finish, nodes, net, transport, oracle_state) = scope_result.map_err(|e| {
-            if let SimError::AppThread(_) = e {
-                let note = panic_note.lock().expect("panic note mutex").take();
-                SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
-            } else {
-                e
-            }
-        })?;
+        let (finish, nodes, net, transport, oracle_state, recovery_stats) =
+            scope_result.map_err(|e| {
+                if let SimError::AppThread(_) = e {
+                    let note = panic_note.lock().expect("panic note mutex").take();
+                    SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
+                } else {
+                    e
+                }
+            })?;
         if let Some(msg) = panic_note.lock().expect("panic note mutex").take() {
             return Err(SimError::AppThread(msg));
         }
@@ -218,6 +332,7 @@ impl Simulation {
             mt,
             transport: transport.summary(),
             fault_injection: net.fault_stats(),
+            recovery: recovery_stats,
             gc_passes,
             oracle,
         })
@@ -239,6 +354,9 @@ struct Core<'a> {
     /// The consistency oracle (invariant violations, lock-grant
     /// trace); inert unless the config enables it.
     oracle: OracleState,
+    /// Crash/recovery bookkeeping; inert unless the fault plan
+    /// schedules crashes or the config enables recovery.
+    recov: RecoveryState,
     done: usize,
     finish: SimTime,
     /// Event tracing to stderr, enabled by the RSDSM_TRACE env var.
@@ -262,6 +380,34 @@ impl<'a> Core<'a> {
         for t in 0..threads.len() {
             queue.push(SimTime::ZERO, Event::Start(ThreadId(t)));
         }
+        for crash in &cfg.faults.crashes {
+            assert!(
+                crash.node < cfg.nodes,
+                "crash plan names node {} in a {}-node cluster",
+                crash.node,
+                cfg.nodes
+            );
+            assert_ne!(
+                crash.node, MANAGER,
+                "node 0 hosts the lock/barrier managers and the recovery \
+                 coordinator; crashing it is not supported"
+            );
+            queue.push(
+                crash.at,
+                Event::Crash {
+                    node: crash.node,
+                    restart_after: crash.restart_after,
+                },
+            );
+        }
+        if cfg.recovery.enabled {
+            for n in 0..cfg.nodes {
+                queue.push(
+                    SimTime::ZERO + cfg.recovery.heartbeat_every,
+                    Event::HeartbeatTick(n),
+                );
+            }
+        }
         let mut net = Network::new(cfg.nodes, cfg.net.clone());
         net.set_fault_plan(cfg.faults.clone());
         Core {
@@ -278,6 +424,7 @@ impl<'a> Core<'a> {
             barrier_mgr: BarrierManager::new(cfg.nodes),
             barrier_vcs: std::collections::HashMap::new(),
             oracle: OracleState::new(cfg.oracle.clone(), cfg.nodes),
+            recov: RecoveryState::new(cfg),
             done: 0,
             finish: SimTime::ZERO,
             trace: std::env::var_os("RSDSM_TRACE").is_some(),
@@ -305,6 +452,12 @@ impl<'a> Core<'a> {
             if now > limit {
                 return Err(SimError::TimeLimit);
             }
+            if !matches!(event, Event::HeartbeatTick(_)) {
+                self.recov.progressed = true;
+            }
+            let Some(event) = self.intercept_crashed(now, event) else {
+                continue;
+            };
             match event {
                 Event::Start(tid) => {
                     let n = tid.node(self.tpn());
@@ -316,6 +469,13 @@ impl<'a> Core<'a> {
                 Event::RetryTimeout { src, dst, seq } => {
                     self.on_retry_timeout(src, dst, seq, now)?
                 }
+                Event::Crash {
+                    node,
+                    restart_after,
+                } => self.on_crash(node, restart_after, now),
+                Event::Restart(node) => self.on_restart(node, now),
+                Event::HeartbeatTick(node) => self.on_heartbeat_tick(node, now)?,
+                Event::ConfirmFailure(node) => self.on_confirm_failure(node, now),
             }
             if self.oracle.cfg.invariants {
                 self.oracle.check_event(&self.nodes, now);
@@ -365,6 +525,334 @@ impl<'a> Core<'a> {
     fn finish_accounts(&mut self, finish: SimTime) {
         for node in &mut self.nodes {
             node.account.finish(finish, IdleReason::Sync);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash handling and recovery
+    // ------------------------------------------------------------------
+
+    /// Filters one popped event against the set of crashed nodes:
+    /// local activity (thread events, retry timers) of a down node is
+    /// parked for replay at restart; frames arriving at a dead NIC
+    /// are dropped and counted. Frames *from* a recently-crashed node
+    /// that were already on the wire still deliver. Returns `None`
+    /// when the event was consumed.
+    fn intercept_crashed(&mut self, now: SimTime, event: Event) -> Option<Event> {
+        if self.recov.downs == 0 {
+            return Some(event);
+        }
+        match &event {
+            Event::Start(tid) | Event::SyscallReady(tid) => {
+                let n = tid.node(self.tpn());
+                if self.recov.down[n] {
+                    self.recov.parked_events.push((n, now, event));
+                    return None;
+                }
+            }
+            Event::Arrival(pkt) if self.recov.down[pkt.dst] => {
+                self.net.note_crash_drop(frame_kind(&pkt.frame));
+                return None;
+            }
+            Event::RetryTimeout { src, .. } if self.recov.down[*src] => {
+                self.recov.parked_events.push((*src, now, event));
+                return None;
+            }
+            _ => {}
+        }
+        Some(event)
+    }
+
+    /// A scheduled crash fires: the NIC goes dead (subsequent frames
+    /// to and from the node are dropped by the network) and the
+    /// node's local activity freezes. For crash-restart faults the
+    /// rejoin is scheduled immediately — outage plus, when recovery
+    /// is on, the modeled restore and replay costs.
+    fn on_crash(&mut self, x: NodeId, restart_after: Option<SimDuration>, now: SimTime) {
+        if self.trace {
+            eprintln!("[{now}] CRASH n{x} (restart_after {restart_after:?})");
+        }
+        self.net.set_node_down(x, true);
+        self.recov.down[x] = true;
+        self.recov.downs += 1;
+        self.recov.crash_time[x] = now;
+        self.recov.stats.crashes += 1;
+        if let Some(outage) = restart_after {
+            let at = if self.cfg.recovery.enabled {
+                now + outage + self.restore_cost(x) + self.replay_cost(x)
+            } else {
+                // Recovery disabled: a pure outage. The run survives
+                // only if the retry budget outlasts it.
+                now + outage
+            };
+            self.recov.restart_at[x] = Some(at);
+            self.queue.push(at, Event::Restart(x));
+        }
+    }
+
+    /// A crashed node rejoins. The simulation models recovery as
+    /// checkpoint restore plus deterministic replay: the replica
+    /// re-executes from the last barrier-aligned checkpoint and —
+    /// because the simulation is deterministic — arrives at exactly
+    /// the state the victim had at the crash instant. The cost of
+    /// doing so was charged when the restart was scheduled
+    /// ([`Core::restore_cost`] + [`Core::replay_cost`]), so here the
+    /// frozen state simply resumes, time-shifted by the outage.
+    fn on_restart(&mut self, x: NodeId, now: SimTime) {
+        if !self.recov.down[x] {
+            return;
+        }
+        self.net.set_node_down(x, false);
+        self.recov.down[x] = false;
+        self.recov.downs -= 1;
+        self.recov.restart_at[x] = None;
+        self.recov.confirm_pending[x] = false;
+        let shift = now.saturating_since(self.recov.crash_time[x]);
+        self.recov.stats.recoveries += 1;
+        self.recov.stats.recovery_time += shift;
+        let parked = std::mem::take(&mut self.recov.parked_events);
+        for (node, at, ev) in parked {
+            if node == x {
+                self.queue.push(at + shift, ev);
+            } else {
+                self.recov.parked_events.push((node, at, ev));
+            }
+        }
+        // An in-progress compute burst resumes where it stopped.
+        if let Some(burst) = &mut self.nodes[x].burst {
+            burst.end += shift;
+        }
+        self.unpark_frames_to(x, now);
+        self.recov.detector.clear(x, now);
+        if self.trace {
+            eprintln!("[{now}] RESTART n{x} after {shift}");
+        }
+    }
+
+    /// Re-arms every parked reliable frame destined for `peer` (it
+    /// rejoined, or its suspicion proved false).
+    fn unpark_frames_to(&mut self, peer: NodeId, now: SimTime) {
+        let parked = std::mem::take(&mut self.recov.parked_frames);
+        for (src, dst, seq) in parked {
+            if dst != peer {
+                self.recov.parked_frames.push((src, dst, seq));
+            } else if self.transport.reset_frame(src, dst, seq).is_some() {
+                self.queue.push(now, Event::RetryTimeout { src, dst, seq });
+            }
+        }
+    }
+
+    /// One failure-detector tick at node `n`: re-arms itself, sends
+    /// explicit heartbeats on idle links, and checks peer leases.
+    /// The manager's tick doubles as the engine's liveness watchdog
+    /// (the recurring ticks defeat the queue-drained deadlock check).
+    fn on_heartbeat_tick(&mut self, n: NodeId, now: SimTime) -> Result<(), SimError> {
+        let every = self.cfg.recovery.heartbeat_every;
+        self.queue.push(now + every, Event::HeartbeatTick(n));
+        if n == MANAGER {
+            if self.recov.progressed {
+                self.recov.idle_tick_rounds = 0;
+            } else {
+                self.recov.idle_tick_rounds += 1;
+                if self.recov.idle_tick_rounds > IDLE_TICK_LIMIT {
+                    return Err(SimError::Deadlock(self.describe_blocked()));
+                }
+            }
+            self.recov.progressed = false;
+        }
+        if self.recov.down[n] {
+            return Ok(());
+        }
+        for peer in 0..self.cfg.nodes {
+            if peer == n {
+                continue;
+            }
+            if self.recov.detector.status(n, peer) != PeerStatus::Down
+                && self.recov.last_sent[n][peer] + every <= now
+            {
+                self.recov.last_sent[n][peer] = now;
+                self.recov.stats.heartbeats_sent += 1;
+                if self.trace {
+                    eprintln!("[{now}] hb n{n} -> n{peer}");
+                }
+                self.charge(
+                    n,
+                    now,
+                    self.cfg.costs.ack_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                let outcome = self.net.send(
+                    now,
+                    n,
+                    peer,
+                    self.cfg.transport.ack_bytes,
+                    Reliability::Droppable,
+                    "hb",
+                );
+                let dup = outcome.dup_time();
+                for arrival in outcome.arrival_time().into_iter().chain(dup) {
+                    self.queue.push(
+                        arrival,
+                        Event::Arrival(Packet {
+                            src: n,
+                            dst: peer,
+                            frame: Frame::Heartbeat,
+                        }),
+                    );
+                }
+            }
+            // Nobody suspects the manager: it hosts the lock/barrier
+            // managers and the recovery coordinator and is assumed
+            // stable (the crash planner rejects node 0).
+            if peer != MANAGER
+                && self.recov.detector.status(n, peer) == PeerStatus::Alive
+                && self.recov.detector.lease_expired(n, peer, now)
+            {
+                self.raise_suspicion(n, peer, now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a suspicion episode: `observer` stopped hearing from
+    /// `peer` (lease expiry or retry exhaustion). The manager decides
+    /// failures, so a non-manager observer reports to it.
+    fn raise_suspicion(&mut self, observer: NodeId, peer: NodeId, now: SimTime) {
+        if !self.recov.detector.suspect(observer, peer) {
+            return;
+        }
+        self.recov.stats.suspicions += 1;
+        if !self.recov.down[peer] {
+            self.recov.stats.false_suspicions += 1;
+        }
+        if self.trace {
+            eprintln!("[{now}] n{observer} suspects n{peer}");
+        }
+        if observer == MANAGER {
+            self.schedule_confirm(peer, now);
+        } else {
+            let end = self.charge(
+                observer,
+                now,
+                self.cfg.costs.msg_send,
+                Category::DsmOverhead,
+                None,
+            );
+            self.post(
+                end,
+                observer,
+                MANAGER,
+                MsgBody::SuspectReport { suspect: peer },
+            );
+        }
+    }
+
+    /// Queues a [`Event::ConfirmFailure`] for `victim` after the
+    /// grace period, once per suspicion episode.
+    fn schedule_confirm(&mut self, victim: NodeId, now: SimTime) {
+        if victim == MANAGER
+            || self.recov.confirm_pending[victim]
+            || self.recov.detector.status(MANAGER, victim) == PeerStatus::Down
+        {
+            return;
+        }
+        self.recov.confirm_pending[victim] = true;
+        self.queue.push(
+            now + self.cfg.recovery.confirm_grace,
+            Event::ConfirmFailure(victim),
+        );
+    }
+
+    /// The manager's confirmation deadline for a suspect. The
+    /// simulator resolves the detector's uncertainty against ground
+    /// truth — standing in for a direct probe round — so a suspect
+    /// that is actually up is cleared (a false alarm), and a dead one
+    /// triggers coordinated recovery: survivors are told via
+    /// [`MsgBody::RecoveryStart`], and a replacement restart is
+    /// scheduled unless the crash-restart plan already did.
+    fn on_confirm_failure(&mut self, victim: NodeId, now: SimTime) {
+        self.recov.confirm_pending[victim] = false;
+        if !self.recov.down[victim] {
+            self.recov.detector.clear(victim, now);
+            self.unpark_frames_to(victim, now);
+            return;
+        }
+        if self.recov.detector.status(MANAGER, victim) == PeerStatus::Down {
+            return;
+        }
+        self.recov.detector.mark_down(MANAGER, victim);
+        let epoch = self.recov.ckpts[victim].as_ref().map_or(0, |c| c.epoch);
+        if self.trace {
+            eprintln!("[{now}] n{victim} confirmed down; recovering from epoch {epoch}");
+        }
+        let mut end = now;
+        for p in 0..self.cfg.nodes {
+            if p == MANAGER || p == victim || self.recov.down[p] {
+                continue;
+            }
+            end = self.charge(
+                MANAGER,
+                end,
+                self.cfg.costs.msg_send,
+                Category::DsmOverhead,
+                None,
+            );
+            self.post(end, MANAGER, p, MsgBody::RecoveryStart { victim, epoch });
+        }
+        if self.recov.restart_at[victim].is_none() {
+            let at = now
+                + self.cfg.recovery.restart_base
+                + self.restore_cost(victim)
+                + self.replay_cost(victim);
+            self.recov.restart_at[victim] = Some(at);
+            self.queue.push(at, Event::Restart(victim));
+        }
+    }
+
+    /// Modeled time to reload `x`'s last checkpoint on a replacement.
+    fn restore_cost(&self, x: NodeId) -> SimDuration {
+        let pages = self.recov.ckpts[x]
+            .as_ref()
+            .map_or(0, |c| c.pages.len() as u64);
+        self.cfg.recovery.restore_per_page * pages
+    }
+
+    /// Modeled time to re-execute `x`'s work since its last
+    /// checkpoint (deterministic replay reaches the crash-instant
+    /// state; see [`Core::on_restart`]).
+    fn replay_cost(&self, x: NodeId) -> SimDuration {
+        self.nodes[x].account.breakdown()[Category::Busy].saturating_sub(self.recov.busy_at_ckpt[x])
+    }
+
+    /// Captures node `n`'s barrier-aligned checkpoint. Deliberately
+    /// charges no CPU time and consumes no randomness: the model
+    /// treats the snapshot as copy-on-write work off the critical
+    /// path, so a crash-free run's event timeline — and its
+    /// `RunReport` digest, recovery fields aside — is identical with
+    /// checkpointing on or off.
+    fn take_checkpoint(&mut self, n: NodeId) {
+        let epoch = self.recov.epochs_done[n];
+        let ckpt = {
+            let mem = self.mem.lock().expect("mem mutex");
+            Checkpoint::capture(n as u32, epoch, &self.nodes[n], &mem[n])
+        };
+        let bytes = ckpt.encode().len() as u64;
+        self.recov.stats.checkpoints_taken += 1;
+        self.recov.stats.checkpoint_bytes += bytes;
+        self.recov.busy_at_ckpt[n] = self.nodes[n].account.breakdown()[Category::Busy];
+        self.recov.ckpts[n] = Some(ckpt);
+        if self.trace {
+            eprintln!("checkpoint n{n} epoch {epoch} ({bytes} bytes)");
+        }
+    }
+
+    /// Records an outbound frame on (src, dst) so the next heartbeat
+    /// tick skips the explicit heartbeat for that link.
+    fn note_sent(&mut self, src: NodeId, dst: NodeId, at: SimTime) {
+        if self.cfg.recovery.enabled {
+            let slot = &mut self.recov.last_sent[src][dst];
+            *slot = (*slot).max(at);
         }
     }
 
@@ -1392,6 +1880,13 @@ impl<'a> Core<'a> {
             let mut mem = self.mem.lock().expect("mem mutex");
             mem[n].epoch_prefetched.clear();
         }
+        // Barrier-aligned checkpoint: every local interval is closed
+        // here (no twins), making this the natural recovery line.
+        self.recov.epochs_done[n] += 1;
+        let every = self.cfg.recovery.checkpoint_every;
+        if every > 0 && self.recov.epochs_done[n].is_multiple_of(every) {
+            self.take_checkpoint(n);
+        }
         let end = self.auto_prefetch_at_sync(n, SyncKey::Barrier(id), end);
         let woken = self.nodes[n].barrier.release(id);
         for tid in woken {
@@ -1410,7 +1905,26 @@ impl<'a> Core<'a> {
     /// messages dispatch; acks settle the sender's retry state.
     fn on_arrival(&mut self, pkt: Packet, now: SimTime) -> Result<(), SimError> {
         let n = pkt.dst;
+        // Every frame is an implicit heartbeat: hearing anything from
+        // the peer refreshes its lease.
+        if self.cfg.recovery.enabled {
+            self.recov.detector.heard(n, pkt.src, now);
+        }
         match pkt.frame {
+            Frame::Heartbeat => {
+                if self.trace {
+                    eprintln!("[{now}] hb-arrive n{} -> n{n}", pkt.src);
+                }
+                let idle = self.idle_reason(n);
+                self.charge(
+                    n,
+                    now,
+                    self.cfg.costs.ack_process,
+                    Category::DsmOverhead,
+                    idle,
+                );
+                Ok(())
+            }
             Frame::Ack { seq } => {
                 let idle = self.idle_reason(n);
                 self.charge(
@@ -1615,6 +2129,31 @@ impl<'a> Core<'a> {
             }
             MsgBody::BarrierRelease { id, vc, intervals } => {
                 self.process_barrier_release(n, id, &vc, &intervals, end)
+            }
+            MsgBody::SuspectReport { suspect } => {
+                debug_assert_eq!(n, MANAGER);
+                let end = self.charge(
+                    n,
+                    end,
+                    self.cfg.costs.sync_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                if self.cfg.recovery.enabled {
+                    self.schedule_confirm(suspect, end);
+                }
+                Ok(())
+            }
+            MsgBody::RecoveryStart { victim, .. } => {
+                self.charge(
+                    n,
+                    end,
+                    self.cfg.costs.sync_process,
+                    Category::DsmOverhead,
+                    None,
+                );
+                self.recov.detector.mark_down(n, victim);
+                Ok(())
             }
         }
     }
@@ -1899,6 +2438,7 @@ impl<'a> Core<'a> {
     /// retransmitted until delivered (or the retry budget aborts the
     /// run).
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, body: MsgBody) -> bool {
+        self.note_sent(src, dst, at);
         if body.droppable() {
             let outcome = self.net.send(
                 at,
@@ -1942,6 +2482,7 @@ impl<'a> Core<'a> {
         body: MsgBody,
         rto: rsdsm_simnet::SimDuration,
     ) {
+        self.note_sent(src, dst, at);
         let outcome = self.net.send(
             at,
             src,
@@ -1982,6 +2523,7 @@ impl<'a> Core<'a> {
             None,
         );
         let end = at + self.cfg.costs.ack_process;
+        self.note_sent(n, src, end);
         self.transport.note_ack_sent();
         // Acks are single-shot: a lost ack provokes a retransmission,
         // which provokes a fresh ack. The fault plan may still drop
@@ -2020,9 +2562,26 @@ impl<'a> Core<'a> {
     ) -> Result<(), SimError> {
         match self.transport.on_timeout(src, dst, seq) {
             TimeoutAction::Cancelled => Ok(()),
-            TimeoutAction::Exhausted { attempts } => Err(SimError::Transport(format!(
-                "frame n{src}->n{dst} seq {seq} unacknowledged after {attempts} transmissions (gave up at {now})"
-            ))),
+            TimeoutAction::Exhausted { attempts } => {
+                // With recovery off this is fatal, as it always was.
+                // The manager is unrecoverable either way: it hosts
+                // the coordination state recovery itself needs.
+                if !self.cfg.recovery.enabled || dst == MANAGER {
+                    return Err(SimError::Transport(format!(
+                        "frame n{src}->n{dst} seq {seq} unacknowledged after {attempts} transmissions (gave up at {now})"
+                    )));
+                }
+                // Recovery on: park the frame and hand the peer to
+                // the failure detector. The frame re-arms when the
+                // peer is cleared or rejoins.
+                if self.trace {
+                    eprintln!("[{now}] park n{src}->n{dst} seq {seq} after {attempts} attempts");
+                }
+                self.recov.parked_frames.push((src, dst, seq));
+                self.recov.stats.frames_parked += 1;
+                self.raise_suspicion(src, dst, now);
+                Ok(())
+            }
             TimeoutAction::Retransmit { body, rto } => {
                 if self.trace {
                     eprintln!(

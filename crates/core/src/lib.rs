@@ -38,6 +38,7 @@
 
 mod accounting;
 mod barrier;
+mod checkpoint;
 mod conductor;
 mod config;
 mod costs;
@@ -49,29 +50,32 @@ mod msg;
 mod node;
 mod oracle;
 mod program;
+mod recovery;
 mod report;
 mod thread;
 mod transport;
 
 pub use accounting::{Breakdown, Category, IdleReason, NodeAccount, NormalizedBreakdown};
+pub use checkpoint::{Checkpoint, CheckpointError, DiffRecord, PageImage};
 pub use conductor::DsmCtx;
 pub use config::{DsmConfig, PrefetchConfig, ThreadConfig};
 pub use costs::CostModel;
 pub use engine::Simulation;
 pub use golden::{golden_run, GoldenRun};
 pub use heap::{Heap, HomePolicy, Pod, SharedVec};
-pub use msg::{BarrierId, LockId};
+pub use msg::{BarrierId, IntervalRecord, LockId};
 pub use node::{AccessCounters, MissClass, NodeCounters};
 pub use oracle::{
     digest_pages, fnv1a, fnv1a_extend, GrantRecord, InvariantKind, OracleConfig, OracleOutcome,
     Violation,
 };
 pub use program::{DsmProgram, VerifyCtx};
+pub use recovery::{FailureDetector, PeerStatus, RecoveryConfig, RecoveryStats};
 pub use report::{
     MissSummary, MtSummary, NetSummary, PrefetchSummary, RunReport, SimError, SyncSummary,
     TrafficRow,
 };
 pub use rsdsm_protocol::{Page, PAGE_SIZE};
-pub use rsdsm_simnet::{ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeStall};
+pub use rsdsm_simnet::{ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall};
 pub use thread::ThreadId;
 pub use transport::{Recv, TimeoutAction, Transport, TransportConfig, TransportSummary};

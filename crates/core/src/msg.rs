@@ -165,6 +165,23 @@ pub enum MsgBody {
         /// Union of intervals from all arrivals.
         intervals: Vec<IntervalRecord>,
     },
+    /// A node's lease on a peer expired, or a reliable frame to it
+    /// exhausted its retries; reported to the manager, which owns
+    /// failure confirmation.
+    SuspectReport {
+        /// The peer believed failed.
+        suspect: NodeId,
+    },
+    /// The manager confirmed a failure: survivors mark the victim
+    /// down and prepare for it to rejoin from its checkpoint.
+    RecoveryStart {
+        /// The failed node.
+        victim: NodeId,
+        /// The victim's last checkpointed barrier epoch (0 when it
+        /// never checkpointed and will rejoin from its initial
+        /// state).
+        epoch: u32,
+    },
 }
 
 /// A protocol message in flight.
@@ -218,6 +235,8 @@ impl MsgBody {
                             .map(IntervalRecord::wire_bytes)
                             .sum::<usize>()
                 }
+                // Node id / epoch fit inside the fixed header.
+                MsgBody::SuspectReport { .. } | MsgBody::RecoveryStart { .. } => 0,
             }
     }
 
@@ -237,6 +256,8 @@ impl MsgBody {
             MsgBody::LockGrant { .. } => "lock_grant",
             MsgBody::BarrierArrive { .. } => "barrier_arrive",
             MsgBody::BarrierRelease { .. } => "barrier_release",
+            MsgBody::SuspectReport { .. } => "suspect_report",
+            MsgBody::RecoveryStart { .. } => "recovery_start",
         }
     }
 

@@ -1,0 +1,250 @@
+//! Crash-stop failure detection and recovery policy.
+//!
+//! The paper's protocol assumes all nodes stay up for the whole run;
+//! this module supplies the pieces that let a run survive a scheduled
+//! [`NodeCrash`](rsdsm_simnet::NodeCrash):
+//!
+//! - [`RecoveryConfig`]: lease parameters, checkpoint cadence, and
+//!   modeled restart/restore costs.
+//! - [`FailureDetector`]: per-link leases refreshed by any arriving
+//!   frame (heartbeats piggyback on protocol traffic; explicit
+//!   heartbeat frames are sent only on idle links), surfacing
+//!   suspicion as a typed [`PeerStatus`] instead of silently
+//!   aborting on retry exhaustion.
+//! - [`RecoveryStats`]: counters reported in
+//!   [`RunReport`](crate::RunReport) and
+//!   [`fault_summary_line`](crate::RunReport::fault_summary_line).
+//!
+//! The engine owns the actual recovery sequencing (event parking,
+//! checkpoint capture at barriers, restart scheduling); see
+//! `DESIGN.md` §6e for the protocol.
+
+use rsdsm_simnet::{NodeId, SimDuration, SimTime};
+
+/// What a node currently believes about a peer's liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerStatus {
+    /// The lease is fresh; the peer is assumed up.
+    #[default]
+    Alive,
+    /// The lease expired or a reliable frame exhausted its retries;
+    /// the manager has been asked to confirm.
+    Suspected,
+    /// The manager confirmed the failure; traffic to the peer is
+    /// parked until it rejoins from its checkpoint.
+    Down,
+}
+
+/// Tunables for failure detection, checkpointing, and recovery.
+///
+/// Defaults to [`RecoveryConfig::off`]: no heartbeats, no
+/// checkpoints, and retry exhaustion aborts the run exactly as
+/// before. With `enabled`, exhaustion and lease expiry instead feed
+/// the failure detector, and crashed nodes are restarted from their
+/// last barrier-aligned checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Master switch for heartbeats, detection, and restart. Crash
+    /// events in the fault plan take effect regardless; this governs
+    /// whether the system reacts to them or (as before) aborts once
+    /// retries are exhausted.
+    pub enabled: bool,
+    /// Take a checkpoint every this many barrier epochs (0 = never).
+    /// Independent of `enabled` so checkpoint overhead can be
+    /// measured on crash-free runs.
+    pub checkpoint_every: u32,
+    /// Period of per-node heartbeat ticks. Each tick checks leases
+    /// and sends an explicit heartbeat frame on links with no
+    /// outbound traffic within the last period.
+    pub heartbeat_every: SimDuration,
+    /// A peer is suspected when nothing has been heard from it for
+    /// this long.
+    pub lease_timeout: SimDuration,
+    /// Grace period between suspicion reaching the manager and the
+    /// failure being confirmed (absorbs false suspicions).
+    pub confirm_grace: SimDuration,
+    /// Modeled time for a replacement node to boot before state
+    /// restore begins (crash-stop failures only; crash-restart
+    /// outages use the plan's `restart_after`).
+    pub restart_base: SimDuration,
+    /// Modeled per-page cost of reloading the last checkpoint on the
+    /// restarted node.
+    pub restore_per_page: SimDuration,
+}
+
+impl RecoveryConfig {
+    /// Recovery disabled: the pre-recovery abort-on-exhaustion
+    /// behavior, with zero overhead and bit-identical runs.
+    pub fn off() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            checkpoint_every: 0,
+            heartbeat_every: SimDuration::from_micros(10_000),
+            lease_timeout: SimDuration::from_micros(50_000),
+            confirm_grace: SimDuration::from_micros(10_000),
+            restart_base: SimDuration::from_micros(500_000),
+            restore_per_page: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Recovery enabled with checkpoints every `checkpoint_every`
+    /// barrier epochs and default lease parameters.
+    pub fn on(checkpoint_every: u32) -> Self {
+        RecoveryConfig {
+            enabled: true,
+            checkpoint_every,
+            ..RecoveryConfig::off()
+        }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig::off()
+    }
+}
+
+/// Counters for crashes, detection, checkpointing, and recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Crash events injected from the fault plan.
+    pub crashes: u64,
+    /// Explicit heartbeat frames sent (idle links only).
+    pub heartbeats_sent: u64,
+    /// Suspicion episodes raised (lease expiry or retry exhaustion).
+    pub suspicions: u64,
+    /// Suspicions raised against a node that was in fact up.
+    pub false_suspicions: u64,
+    /// Reliable frames parked after exhausting retries toward a
+    /// suspected peer (re-armed when the peer is cleared or rejoins).
+    pub frames_parked: u64,
+    /// Barrier-aligned checkpoints captured.
+    pub checkpoints_taken: u64,
+    /// Total encoded size of those checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Nodes brought back into the run from a checkpoint.
+    pub recoveries: u64,
+    /// Total simulated time from each crash to the matching rejoin.
+    pub recovery_time: SimDuration,
+}
+
+/// Per-link lease bookkeeping: when each node last heard from each
+/// peer, and what it currently believes about the peer.
+#[derive(Debug)]
+pub struct FailureDetector {
+    lease: SimDuration,
+    last_heard: Vec<Vec<SimTime>>,
+    status: Vec<Vec<PeerStatus>>,
+}
+
+impl FailureDetector {
+    /// A detector for `nodes` nodes with the given lease timeout; all
+    /// leases start fresh at time zero.
+    pub fn new(nodes: usize, lease: SimDuration) -> Self {
+        FailureDetector {
+            lease,
+            last_heard: vec![vec![SimTime::ZERO; nodes]; nodes],
+            status: vec![vec![PeerStatus::Alive; nodes]; nodes],
+        }
+    }
+
+    /// Records that `observer` heard from `peer` (any frame arrival
+    /// counts — this is the ack/data piggyback path). A suspected
+    /// peer that is heard from again is cleared back to alive; a
+    /// confirmed-down peer is not, until recovery completes.
+    pub fn heard(&mut self, observer: NodeId, peer: NodeId, now: SimTime) {
+        self.last_heard[observer][peer] = now;
+        if self.status[observer][peer] == PeerStatus::Suspected {
+            self.status[observer][peer] = PeerStatus::Alive;
+        }
+    }
+
+    /// True when `observer` has heard nothing from `peer` for longer
+    /// than the lease timeout.
+    pub fn lease_expired(&self, observer: NodeId, peer: NodeId, now: SimTime) -> bool {
+        now > self.last_heard[observer][peer] + self.lease
+    }
+
+    /// `observer`'s current belief about `peer`.
+    pub fn status(&self, observer: NodeId, peer: NodeId) -> PeerStatus {
+        self.status[observer][peer]
+    }
+
+    /// Marks `peer` suspected at `observer`. Returns `true` when this
+    /// starts a new suspicion episode (the peer was believed alive).
+    pub fn suspect(&mut self, observer: NodeId, peer: NodeId) -> bool {
+        if self.status[observer][peer] == PeerStatus::Alive {
+            self.status[observer][peer] = PeerStatus::Suspected;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks `peer` confirmed down at `observer`.
+    pub fn mark_down(&mut self, observer: NodeId, peer: NodeId) {
+        self.status[observer][peer] = PeerStatus::Down;
+    }
+
+    /// Clears all state about `peer` (it rejoined, or a suspicion was
+    /// resolved as false): every observer believes it alive with a
+    /// fresh lease, and `peer` itself gets fresh leases on everyone.
+    pub fn clear(&mut self, peer: NodeId, now: SimTime) {
+        let nodes = self.status.len();
+        for observer in 0..nodes {
+            self.status[observer][peer] = PeerStatus::Alive;
+            self.last_heard[observer][peer] = now;
+            self.last_heard[peer][observer] = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn lease_expires_only_after_timeout() {
+        let mut d = FailureDetector::new(3, us(100));
+        let t0 = SimTime::ZERO;
+        d.heard(0, 1, t0 + us(50));
+        assert!(!d.lease_expired(0, 1, t0 + us(150)));
+        assert!(d.lease_expired(0, 1, t0 + us(151)));
+    }
+
+    #[test]
+    fn hearing_from_a_suspect_clears_it() {
+        let mut d = FailureDetector::new(2, us(10));
+        assert!(d.suspect(0, 1), "first suspicion is new");
+        assert!(!d.suspect(0, 1), "repeat suspicion is not");
+        assert_eq!(d.status(0, 1), PeerStatus::Suspected);
+        d.heard(0, 1, SimTime::ZERO + us(5));
+        assert_eq!(d.status(0, 1), PeerStatus::Alive);
+    }
+
+    #[test]
+    fn down_is_sticky_until_cleared() {
+        let mut d = FailureDetector::new(2, us(10));
+        d.mark_down(0, 1);
+        d.heard(0, 1, SimTime::ZERO + us(1));
+        assert_eq!(d.status(0, 1), PeerStatus::Down);
+        d.clear(1, SimTime::ZERO + us(2));
+        assert_eq!(d.status(0, 1), PeerStatus::Alive);
+        assert!(!d.lease_expired(1, 0, SimTime::ZERO + us(3)));
+    }
+
+    #[test]
+    fn default_config_is_off() {
+        let cfg = RecoveryConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.checkpoint_every, 0);
+        let on = RecoveryConfig::on(4);
+        assert!(on.enabled);
+        assert_eq!(on.checkpoint_every, 4);
+        assert_eq!(on.lease_timeout, cfg.lease_timeout);
+    }
+}

@@ -8,6 +8,7 @@ use crate::accounting::Breakdown;
 use crate::config::DsmConfig;
 use crate::node::{AccessCounters, NodeCounters};
 use crate::oracle::{fnv1a, OracleOutcome};
+use crate::recovery::RecoveryStats;
 use crate::transport::TransportSummary;
 
 /// Errors a simulation run can produce.
@@ -257,6 +258,8 @@ pub struct RunReport {
     pub transport: TransportSummary,
     /// Fault-injection tallies from the network layer.
     pub fault_injection: FaultStats,
+    /// Crash, failure-detection, checkpoint, and recovery tallies.
+    pub recovery: RecoveryStats,
     /// Garbage-collection passes across all nodes.
     pub gc_passes: u64,
     /// Consistency-oracle observations (invariant violations, lock
@@ -290,15 +293,18 @@ impl RunReport {
     pub fn fault_summary_line(&self) -> Option<String> {
         let f = &self.fault_injection;
         let t = &self.transport;
+        let r = &self.recovery;
         let quiet = f.injected_drops == 0
             && f.duplicates == 0
             && f.reordered == 0
             && t.retransmissions == 0
-            && self.net.drops == 0;
+            && self.net.drops == 0
+            && r.crashes == 0
+            && r.suspicions == 0;
         if quiet {
             return None;
         }
-        Some(format!(
+        let mut line = format!(
             "faults: {} msgs dropped, {} duplicated, {} reordered; \
              transport: {} retransmissions (max {} attempts/frame), \
              {} duplicate frames suppressed; \
@@ -311,7 +317,21 @@ impl RunReport {
             t.dup_frames_suppressed,
             self.prefetch.send_drops,
             self.prefetch.reply_drops,
-        ))
+        );
+        if r.crashes > 0 || r.suspicions > 0 || r.recoveries > 0 || r.checkpoints_taken > 0 {
+            line.push_str(&format!(
+                "; recovery: {} crashes, {} suspicions ({} false), \
+                 {} checkpoints ({} bytes), {} recoveries ({} us down)",
+                r.crashes,
+                r.suspicions,
+                r.false_suspicions,
+                r.checkpoints_taken,
+                r.checkpoint_bytes,
+                r.recoveries,
+                r.recovery_time.as_micros(),
+            ));
+        }
+        Some(line)
     }
 }
 

@@ -102,6 +102,11 @@ pub(crate) enum Frame {
         /// The acknowledged sequence number.
         seq: u64,
     },
+    /// Explicit failure-detector heartbeat, sent only on links with
+    /// no recent outbound traffic (any frame refreshes the peer's
+    /// lease, so data and acks act as implicit heartbeats).
+    /// Unsequenced and droppable, like a datagram.
+    Heartbeat,
 }
 
 /// A frame in flight between two nodes.
@@ -197,7 +202,9 @@ pub enum TimeoutAction<B> {
         /// The timeout to arm for this transmission.
         rto: SimDuration,
     },
-    /// The retry budget is exhausted; the run must abort.
+    /// The retry budget is exhausted. With recovery disabled the run
+    /// aborts (the pre-recovery behavior); with recovery enabled the
+    /// engine parks the frame and suspects the peer instead.
     Exhausted {
         /// Total transmissions attempted.
         attempts: u32,
@@ -294,6 +301,20 @@ impl<B: Clone> Transport<B> {
             body: inf.body.clone(),
             rto: inf.rto,
         }
+    }
+
+    /// Restores the retry budget of a frame that was parked after
+    /// exhausting its retries toward a crashed (or falsely suspected)
+    /// peer: the attempt count and timeout reset as if freshly sent,
+    /// so the engine can re-arm a retry timer. Returns the timeout to
+    /// arm, or `None` when the frame was acked in the meantime.
+    pub fn reset_frame(&mut self, src: NodeId, dst: NodeId, seq: u64) -> Option<SimDuration> {
+        let link = self.links.get_mut(&(src, dst))?;
+        let rto = link.base_rto(&self.cfg);
+        let inf = link.inflight.get_mut(&seq)?;
+        inf.attempts = 1;
+        inf.rto = rto;
+        Some(rto)
     }
 
     /// Handles an acknowledgement arriving at the data sender `src`

@@ -1,0 +1,125 @@
+//! Property tests for the checkpoint byte encoding: arbitrary
+//! recoverable-state snapshots survive an encode/decode round trip
+//! exactly, digests track content, and the format is self-delimiting
+//! (no strict prefix of a valid encoding parses).
+
+use proptest::prelude::*;
+use rsdsm_core::{Checkpoint, DiffRecord, IntervalRecord, LockId, PageImage};
+use rsdsm_protocol::{Diff, Page, PageId, VectorClock, PAGE_SIZE};
+
+/// Raw page spec: sparse (word, value) writes into a zeroed page.
+type PageSpec = Vec<(usize, u64)>;
+/// Raw diff spec: a walk of (gap, payload) segments.
+type DiffSpec = Vec<(usize, Vec<u8>)>;
+
+fn build_page(writes: &PageSpec) -> Page {
+    let mut page = Page::new();
+    for &(word, value) in writes {
+        page.write_u64(word * 8, value);
+    }
+    page
+}
+
+/// Turns (gap, payload) segments into ascending, non-overlapping runs
+/// for [`Diff::from_runs`], truncating the walk at the page boundary.
+fn build_diff(segments: &DiffSpec) -> Diff {
+    let mut runs = Vec::new();
+    let mut offset = 0usize;
+    for (gap, bytes) in segments {
+        let start = offset + gap;
+        if start + bytes.len() > PAGE_SIZE {
+            break;
+        }
+        offset = start + bytes.len();
+        runs.push((start, bytes.clone()));
+    }
+    Diff::from_runs(runs)
+}
+
+#[allow(clippy::type_complexity)]
+fn build_checkpoint(
+    node: u32,
+    epoch: u32,
+    vc: &[u32],
+    pages: &[(u32, bool, PageSpec)],
+    diffs: &[(u32, u32, DiffSpec)],
+    intervals: &[(usize, Vec<u32>, Vec<u32>)],
+    tokens: &[u32],
+) -> Checkpoint {
+    Checkpoint {
+        node,
+        epoch,
+        vc: VectorClock::from_entries(vc),
+        pages: pages
+            .iter()
+            .map(|(index, valid, spec)| PageImage {
+                index: *index,
+                valid: *valid,
+                data: build_page(spec),
+            })
+            .collect(),
+        diffs: diffs
+            .iter()
+            .map(|(page, seq, spec)| DiffRecord {
+                page: *page,
+                seq: *seq,
+                diff: build_diff(spec),
+            })
+            .collect(),
+        intervals: intervals
+            .iter()
+            .map(|(origin, stamp, pages)| IntervalRecord {
+                origin: *origin,
+                stamp: VectorClock::from_entries(stamp),
+                pages: pages.iter().copied().map(PageId::new).collect(),
+            })
+            .collect(),
+        tokens: tokens.iter().copied().map(LockId).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn encode_decode_round_trips(
+        node in 0u32..8,
+        epoch in 1u32..100,
+        vc in prop::collection::vec(0u32..1000, 1..8),
+        pages in prop::collection::vec(
+            (0u32..256, any::<bool>(),
+             prop::collection::vec((0usize..PAGE_SIZE / 8, any::<u64>()), 0..8)),
+            0..6),
+        diffs in prop::collection::vec(
+            (0u32..256, 0u32..1000,
+             prop::collection::vec((0usize..64, prop::collection::vec(any::<u8>(), 1..16)), 0..6)),
+            0..6),
+        intervals in prop::collection::vec(
+            (0usize..8,
+             prop::collection::vec(0u32..1000, 1..8),
+             prop::collection::vec(0u32..256, 0..10)),
+            0..6),
+        tokens in prop::collection::vec(0u32..64, 0..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let ckpt = build_checkpoint(node, epoch, &vc, &pages, &diffs, &intervals, &tokens);
+        let bytes = ckpt.encode();
+        let back = Checkpoint::decode(&bytes).expect("decode");
+        prop_assert_eq!(&back, &ckpt);
+        prop_assert_eq!(back.digest(), ckpt.digest());
+        // Re-encoding is byte-stable (digests are well-defined).
+        prop_assert_eq!(back.encode(), bytes);
+
+        // Self-delimiting: no strict prefix parses.
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(
+            Checkpoint::decode(&bytes[..cut]).is_err(),
+            "a {}-byte prefix of a {}-byte checkpoint decoded",
+            cut,
+            bytes.len()
+        );
+    }
+}

@@ -42,6 +42,21 @@ impl VectorClock {
         VectorClock { elems: vec![0; n] }
     }
 
+    /// Rebuilds a clock from its raw elements (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems` is empty.
+    pub fn from_entries(elems: &[u32]) -> Self {
+        assert!(
+            !elems.is_empty(),
+            "vector clock needs at least one processor"
+        );
+        VectorClock {
+            elems: elems.to_vec(),
+        }
+    }
+
     /// Number of processors this clock covers.
     pub fn len(&self) -> usize {
         self.elems.len()

@@ -112,6 +112,37 @@ impl Diff {
         self.payload_bytes() + RUN_HEADER_BYTES * self.runs.len()
     }
 
+    /// Iterates the modified-byte runs as `(offset, bytes)` pairs in
+    /// ascending offset order (checkpoint serialization).
+    pub fn runs(&self) -> impl Iterator<Item = (usize, &[u8])> + '_ {
+        self.runs
+            .iter()
+            .map(|r| (r.offset as usize, r.bytes.as_slice()))
+    }
+
+    /// Rebuilds a diff from `(offset, bytes)` runs as produced by
+    /// [`Diff::runs`] (checkpoint restore). Runs must stay inside the
+    /// page and be given in ascending, non-overlapping order.
+    pub fn from_runs(runs: impl IntoIterator<Item = (usize, Vec<u8>)>) -> Self {
+        let runs: Vec<DiffRun> = runs
+            .into_iter()
+            .map(|(offset, bytes)| {
+                assert!(offset + bytes.len() <= PAGE_SIZE, "run extends past page");
+                DiffRun {
+                    offset: offset as u32,
+                    bytes,
+                }
+            })
+            .collect();
+        for pair in runs.windows(2) {
+            assert!(
+                pair[0].offset as usize + pair[0].bytes.len() <= pair[1].offset as usize,
+                "runs must be ascending and non-overlapping"
+            );
+        }
+        Diff { runs }
+    }
+
     /// True if the diff modifies any byte in `lo..hi` (diagnostics).
     pub fn covers(&self, lo: usize, hi: usize) -> bool {
         self.runs.iter().any(|r| {

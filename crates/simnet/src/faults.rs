@@ -138,6 +138,24 @@ pub struct NodeStall {
     pub until: SimTime,
 }
 
+/// A scheduled crash-stop failure of one node.
+///
+/// At `at` the node's NIC goes dead: messages addressed to it are
+/// dropped (unlike a [`NodeStall`], which holds them), and the engine
+/// freezes its CPU. With `restart_after` set the host reboots after
+/// that outage and the node rejoins (crash-restart); without it the
+/// node stays down until the DSM's recovery layer provisions a
+/// replacement from the last checkpoint (crash-stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Crash instant.
+    pub at: SimTime,
+    /// Reboot delay for crash-restart; `None` means crash-stop.
+    pub restart_after: Option<SimDuration>,
+}
+
 /// A deterministic, seed-driven fault schedule.
 ///
 /// Built with [`FaultPlan::none`] plus the `with_*` builders; handed
@@ -165,6 +183,9 @@ pub struct FaultPlan {
     pub degraded: Vec<DegradedWindow>,
     /// Scheduled node stalls.
     pub stalls: Vec<NodeStall>,
+    /// Scheduled node crashes (interpreted by the DSM engine; the
+    /// network only models the dead NIC while a node is down).
+    pub crashes: Vec<NodeCrash>,
 }
 
 impl FaultPlan {
@@ -179,6 +200,7 @@ impl FaultPlan {
             jitter: SimDuration::ZERO,
             degraded: Vec::new(),
             stalls: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -190,6 +212,7 @@ impl FaultPlan {
             && self.jitter.is_zero()
             && self.degraded.is_empty()
             && self.stalls.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Uniform loss of probability `p` across every message class.
@@ -238,6 +261,12 @@ impl FaultPlan {
         self.stalls.push(stall);
         self
     }
+
+    /// Adds a scheduled node crash.
+    pub fn with_node_crash(mut self, crash: NodeCrash) -> FaultPlan {
+        self.crashes.push(crash);
+        self
+    }
 }
 
 impl Default for FaultPlan {
@@ -260,6 +289,11 @@ pub struct FaultStats {
     pub stall_delays: u64,
     /// Messages sent inside an active degradation window.
     pub degraded_msgs: u64,
+    /// Node crashes executed (counted when a node goes down).
+    pub crashes_injected: u64,
+    /// Messages lost at a dead NIC — sent to (or queued for) a node
+    /// while it was down.
+    pub crash_drops: u64,
 }
 
 /// What the injector decided for one message.
@@ -303,6 +337,14 @@ impl FaultInjector {
 
     pub(crate) fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    pub(crate) fn note_crash(&mut self) {
+        self.stats.crashes_injected += 1;
+    }
+
+    pub(crate) fn note_crash_drop(&mut self) {
+        self.stats.crash_drops += 1;
     }
 
     /// Decides the fate of a message sent at `sent` that the base

@@ -51,7 +51,7 @@ mod time;
 
 pub use event::EventQueue;
 pub use faults::{
-    ClassProbs, DegradedWindow, Delivery, FaultClass, FaultPlan, FaultStats, NodeStall,
+    ClassProbs, DegradedWindow, Delivery, FaultClass, FaultPlan, FaultStats, NodeCrash, NodeStall,
 };
 pub use network::{
     KindStats, NetConfig, NetStats, Network, NodeId, NodeTraffic, Reliability, SendOutcome,

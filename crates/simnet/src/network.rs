@@ -261,6 +261,7 @@ pub struct Network {
     cfg: NetConfig,
     egress_free: Vec<SimTime>,
     ingress_free: Vec<SimTime>,
+    down: Vec<bool>,
     rng: DetRng,
     stats: NetStats,
     faults: FaultInjector,
@@ -278,6 +279,7 @@ impl Network {
             rng: DetRng::new(cfg.seed),
             egress_free: vec![SimTime::ZERO; nodes],
             ingress_free: vec![SimTime::ZERO; nodes],
+            down: vec![false; nodes],
             stats: NetStats::new(nodes),
             faults: FaultInjector::new(FaultPlan::none()),
             cfg,
@@ -299,6 +301,31 @@ impl Network {
     /// Counters of faults injected so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.stats()
+    }
+
+    /// Marks a node's NIC dead (crashed) or alive again. While down,
+    /// every message addressed to the node is lost and counted as a
+    /// crash drop. Counts one injected crash per down transition.
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        assert!(node < self.num_nodes(), "node id out of range");
+        if down && !self.down[node] {
+            self.faults.note_crash();
+        }
+        self.down[node] = down;
+    }
+
+    /// Whether a node's NIC is currently dead.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down[node]
+    }
+
+    /// Records the loss of a message that was already in flight when
+    /// its destination crashed (the engine discards such arrivals at
+    /// the dead NIC and reports them here).
+    pub fn note_crash_drop(&mut self, kind: &'static str) {
+        self.faults.note_crash_drop();
+        self.stats.drops += 1;
+        self.stats.per_kind.entry(kind).or_default().dropped += 1;
     }
 
     /// Number of nodes.
@@ -347,6 +374,20 @@ impl Network {
 
         let tx = self.cfg.tx_time(payload_bytes);
         let wire_bytes = payload_bytes as u64 + self.cfg.header_bytes as u64;
+
+        // A crashed source cannot transmit at all; a message to a
+        // crashed destination serializes normally but dies at the dead
+        // NIC (the switch has no idea the port's host is gone).
+        if self.down[src] {
+            self.faults.note_crash_drop();
+            return self.record_drop(kind);
+        }
+        if self.down[dst] {
+            let egress_start = now.max(self.egress_free[src]);
+            self.egress_free[src] = egress_start + tx;
+            self.faults.note_crash_drop();
+            return self.record_drop(kind);
+        }
 
         // Egress: queue behind whatever src is already transmitting.
         let egress_start = now.max(self.egress_free[src]);
@@ -557,6 +598,48 @@ mod tests {
     fn loopback_send_panics() {
         let mut net = Network::new(2, cfg());
         net.send(SimTime::ZERO, 0, 0, 10, Reliability::Reliable, "d");
+    }
+
+    #[test]
+    fn messages_to_a_down_node_are_crash_dropped() {
+        let mut net = Network::new(3, cfg());
+        net.set_node_down(1, true);
+        assert!(net.node_is_down(1));
+        assert_eq!(net.fault_stats().crashes_injected, 1);
+        // To the dead node: lost, even though reliable.
+        let out = net.send(SimTime::ZERO, 0, 1, 100, Reliability::Reliable, "d");
+        assert_eq!(out, SendOutcome::Dropped);
+        // Between live nodes: unaffected.
+        let ok = net.send(SimTime::ZERO, 0, 2, 100, Reliability::Reliable, "d");
+        assert!(ok.arrival_time().is_some());
+        // From the dead node: nothing leaves the host.
+        let out = net.send(SimTime::ZERO, 1, 2, 100, Reliability::Reliable, "d");
+        assert_eq!(out, SendOutcome::Dropped);
+        assert_eq!(net.fault_stats().crash_drops, 2);
+        // Back up: traffic flows again, and no second crash is counted
+        // for the same down transition.
+        net.set_node_down(1, false);
+        net.set_node_down(1, true);
+        net.set_node_down(1, false);
+        assert_eq!(net.fault_stats().crashes_injected, 2);
+        let ok = net.send(
+            SimTime::from_nanos(1),
+            0,
+            1,
+            100,
+            Reliability::Reliable,
+            "d",
+        );
+        assert!(ok.arrival_time().is_some());
+    }
+
+    #[test]
+    fn note_crash_drop_counts_in_flight_losses() {
+        let mut net = Network::new(2, cfg());
+        net.note_crash_drop("diff_reply");
+        assert_eq!(net.fault_stats().crash_drops, 1);
+        assert_eq!(net.stats().drops(), 1);
+        assert_eq!(net.stats().kind("diff_reply").unwrap().dropped, 1);
     }
 
     #[test]

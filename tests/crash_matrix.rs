@@ -1,0 +1,158 @@
+//! The crash matrix: every application survives a mid-run crash-stop
+//! node failure — and, in the full grid, a crash-restart outage —
+//! under every latency-tolerance technique, with the full oracle
+//! obligation intact: zero invariant violations, a final memory image
+//! byte-identical to the golden sequential executor, digest-identical
+//! same-seed repeat runs, and both executions passing the
+//! application's own verification.
+//!
+//! Each cell sizes the crash from a crash-free dry run of the same
+//! configuration: the victim dies at half the dry run's completion
+//! time, which lands mid-computation for every (app, technique) pair
+//! without per-cell hand tuning.
+//!
+//! The default run covers a smoke-sized subset so `cargo test` stays
+//! fast; set `RSDSM_CRASH_MATRIX=full` for the full 8 apps ×
+//! {O, P, 2T, 2TP} × {crash-stop, crash-restart} grid.
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::{DsmConfig, RecoveryConfig};
+use rsdsm::oracle::{check_technique, Technique};
+use rsdsm::simnet::{NodeCrash, SimDuration, SimTime};
+
+/// The victim. Node 0 hosts the managers and the recovery
+/// coordinator and is assumed stable; any other node may die.
+const VICTIM: usize = 2;
+
+fn base(nodes: usize) -> DsmConfig {
+    DsmConfig::paper_cluster(nodes).with_seed(1998)
+}
+
+/// Lease parameters sized for `Scale::Test` runs: detection settles
+/// well before the run ends without drowning it in heartbeats.
+fn test_recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        heartbeat_every: SimDuration::from_micros(200),
+        lease_timeout: SimDuration::from_micros(1_000),
+        confirm_grace: SimDuration::from_micros(200),
+        restart_base: SimDuration::from_micros(1_000),
+        restore_per_page: SimDuration::from_micros(5),
+        ..RecoveryConfig::on(2)
+    }
+}
+
+fn full_grid() -> bool {
+    std::env::var("RSDSM_CRASH_MATRIX").as_deref() == Ok("full")
+}
+
+/// One cell: dry-run for timing, crash the victim halfway, then run
+/// the full oracle check (DSM run + golden model + repeat run) on the
+/// crashing configuration.
+fn assert_cell(bench: Benchmark, technique: Technique, restart_after: Option<SimDuration>) {
+    let cfg = base(4).with_recovery(test_recovery());
+    let dry = bench
+        .run(Scale::Test, technique.configure(bench, cfg.clone()))
+        .unwrap_or_else(|e| panic!("{bench} {} dry run: {e}", technique.label()));
+    let mid = SimTime::ZERO + dry.total_time / 2;
+
+    let mut cfg = cfg;
+    cfg.faults = cfg.faults.with_node_crash(NodeCrash {
+        node: VICTIM,
+        at: mid,
+        restart_after,
+    });
+    let crashed = bench
+        .run(Scale::Test, technique.configure(bench, cfg.clone()))
+        .unwrap_or_else(|e| panic!("{bench} {} crash at {mid}: {e}", technique.label()));
+    assert!(
+        crashed.verified,
+        "{bench} {}: result corrupted by crash at {mid}",
+        technique.label()
+    );
+    assert_eq!(crashed.recovery.crashes, 1);
+    assert!(
+        crashed.recovery.recoveries >= 1,
+        "{bench} {}: victim never rejoined after crash at {mid}",
+        technique.label()
+    );
+    assert!(
+        crashed.recovery.checkpoints_taken >= 1,
+        "{bench} {}: no checkpoint was ever captured",
+        technique.label()
+    );
+
+    let verdict = check_technique(bench, Scale::Test, technique, cfg)
+        .unwrap_or_else(|e| panic!("{bench} {} oracle: {e:?}", technique.label()));
+    assert!(
+        verdict.ok(),
+        "oracle failed with crash at {mid}: {}",
+        verdict.summary_line()
+    );
+}
+
+#[test]
+fn fast_subset_crash_stop() {
+    for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
+        for technique in [Technique::Base, Technique::Combined] {
+            assert_cell(bench, technique, None);
+        }
+    }
+}
+
+#[test]
+fn fast_subset_crash_restart() {
+    for bench in [Benchmark::Sor, Benchmark::Radix] {
+        for technique in [Technique::Base, Technique::Combined] {
+            assert_cell(bench, technique, Some(SimDuration::from_millis(5)));
+        }
+    }
+}
+
+/// Checkpoint capture stays off the critical path: a crash-free run
+/// with barrier-aligned checkpointing enabled is digest-identical to
+/// the same seed without it, once the explicitly-accounted checkpoint
+/// fields (the recovery counters and the config that enables them)
+/// are factored out. Capture charges no CPU, draws no randomness, and
+/// schedules no events — it must not perturb the run it protects.
+#[test]
+fn checkpointing_is_digest_transparent() {
+    use rsdsm::core::RecoveryStats;
+
+    let plain = Benchmark::Radix
+        .run(Scale::Test, base(4))
+        .expect("plain run");
+    let mut ckpt = Benchmark::Radix
+        .run(
+            Scale::Test,
+            base(4).with_recovery(RecoveryConfig {
+                checkpoint_every: 4,
+                ..RecoveryConfig::off()
+            }),
+        )
+        .expect("checkpointing run");
+    assert!(ckpt.recovery.checkpoints_taken >= 1, "no checkpoint taken");
+    assert_eq!(ckpt.recovery.crashes, 0);
+
+    ckpt.recovery = RecoveryStats::default();
+    ckpt.config.recovery = RecoveryConfig::off();
+    assert_eq!(
+        plain.digest(),
+        ckpt.digest(),
+        "checkpoint capture perturbed a crash-free run"
+    );
+}
+
+#[test]
+fn full_matrix() {
+    if !full_grid() {
+        eprintln!("skipping full crash matrix (set RSDSM_CRASH_MATRIX=full)");
+        return;
+    }
+    for bench in Benchmark::ALL {
+        for technique in Technique::ALL {
+            for restart in [None, Some(SimDuration::from_millis(5))] {
+                assert_cell(bench, technique, restart);
+            }
+        }
+    }
+}
