@@ -6,6 +6,7 @@
 
 use rsdsm_core::{
     golden_run, DsmConfig, GoldenRun, GrantRecord, PrefetchConfig, RunReport, SimError, Simulation,
+    Trace,
 };
 
 use crate::fft::FftApp;
@@ -27,6 +28,115 @@ pub enum Scale {
     Paper,
     /// Tiny sizes for tests.
     Test,
+}
+
+/// Dispatches a `(Benchmark, Scale)` pair to the concrete application
+/// value, binding it to `$app` inside `$body`. [`DsmProgram`]
+/// (rsdsm_core::DsmProgram) has an associated `Handles` type, so it is
+/// not object-safe; this macro is how [`Benchmark::run`],
+/// [`Benchmark::run_traced`], and [`Benchmark::golden`] share the
+/// 24-arm problem-size table without trait objects.
+macro_rules! with_app {
+    ($bench:expr, $scale:expr, |$app:ident| $body:expr) => {
+        match ($bench, $scale) {
+            (Benchmark::Fft, Scale::Paper) => {
+                let $app = FftApp::paper_scale();
+                $body
+            }
+            (Benchmark::Fft, Scale::Default) => {
+                let $app = FftApp::default_scale();
+                $body
+            }
+            (Benchmark::Fft, Scale::Test) => {
+                let $app = FftApp::new(10);
+                $body
+            }
+            (Benchmark::LuNcont, Scale::Paper) => {
+                let $app = LuApp::paper_ncont();
+                $body
+            }
+            (Benchmark::LuNcont, Scale::Default) => {
+                let $app = LuApp::default_ncont();
+                $body
+            }
+            (Benchmark::LuNcont, Scale::Test) => {
+                let $app = LuApp::new(64, 16, crate::lu::LuLayout::NonContiguous);
+                $body
+            }
+            (Benchmark::LuCont, Scale::Paper) => {
+                let $app = LuApp::paper_cont();
+                $body
+            }
+            (Benchmark::LuCont, Scale::Default) => {
+                let $app = LuApp::default_cont();
+                $body
+            }
+            (Benchmark::LuCont, Scale::Test) => {
+                let $app = LuApp::new(64, 16, crate::lu::LuLayout::Contiguous);
+                $body
+            }
+            (Benchmark::Ocean, Scale::Paper) => {
+                let $app = OceanApp::paper_scale();
+                $body
+            }
+            (Benchmark::Ocean, Scale::Default) => {
+                let $app = OceanApp::default_scale();
+                $body
+            }
+            (Benchmark::Ocean, Scale::Test) => {
+                let $app = OceanApp::new(34, 2);
+                $body
+            }
+            (Benchmark::Radix, Scale::Paper) => {
+                let $app = RadixApp::paper_scale();
+                $body
+            }
+            (Benchmark::Radix, Scale::Default) => {
+                let $app = RadixApp::default_scale();
+                $body
+            }
+            (Benchmark::Radix, Scale::Test) => {
+                let $app = RadixApp::new(1 << 11, 12, 6);
+                $body
+            }
+            (Benchmark::Sor, Scale::Paper) => {
+                let $app = SorApp::paper_scale();
+                $body
+            }
+            (Benchmark::Sor, Scale::Default) => {
+                let $app = SorApp::default_scale();
+                $body
+            }
+            (Benchmark::Sor, Scale::Test) => {
+                let $app = SorApp::new(64, 64, 3);
+                $body
+            }
+            (Benchmark::WaterNsq, Scale::Paper) => {
+                let $app = WaterNsqApp::paper_scale();
+                $body
+            }
+            (Benchmark::WaterNsq, Scale::Default) => {
+                let $app = WaterNsqApp::default_scale();
+                $body
+            }
+            (Benchmark::WaterNsq, Scale::Test) => {
+                let $app = WaterNsqApp::new(48, 2);
+                $body
+            }
+            (Benchmark::WaterSp, Scale::Paper) => {
+                let $app = WaterSpApp::paper_scale();
+                $body
+            }
+            (Benchmark::WaterSp, Scale::Default) => {
+                let $app = WaterSpApp::default_scale();
+                $body
+            }
+            (Benchmark::WaterSp, Scale::Test) => {
+                let $app = WaterSpApp::new(96, 2);
+                $body
+            }
+        }
+    };
 }
 
 /// One of the paper's eight applications.
@@ -106,36 +216,24 @@ impl Benchmark {
     /// Propagates any [`SimError`] from the engine.
     pub fn run(self, scale: Scale, cfg: DsmConfig) -> Result<RunReport, SimError> {
         let sim = Simulation::new(cfg);
-        match (self, scale) {
-            (Benchmark::Fft, Scale::Paper) => sim.run(&FftApp::paper_scale()),
-            (Benchmark::Fft, Scale::Default) => sim.run(&FftApp::default_scale()),
-            (Benchmark::Fft, Scale::Test) => sim.run(&FftApp::new(10)),
-            (Benchmark::LuNcont, Scale::Paper) => sim.run(&LuApp::paper_ncont()),
-            (Benchmark::LuNcont, Scale::Default) => sim.run(&LuApp::default_ncont()),
-            (Benchmark::LuNcont, Scale::Test) => {
-                sim.run(&LuApp::new(64, 16, crate::lu::LuLayout::NonContiguous))
-            }
-            (Benchmark::LuCont, Scale::Paper) => sim.run(&LuApp::paper_cont()),
-            (Benchmark::LuCont, Scale::Default) => sim.run(&LuApp::default_cont()),
-            (Benchmark::LuCont, Scale::Test) => {
-                sim.run(&LuApp::new(64, 16, crate::lu::LuLayout::Contiguous))
-            }
-            (Benchmark::Ocean, Scale::Paper) => sim.run(&OceanApp::paper_scale()),
-            (Benchmark::Ocean, Scale::Default) => sim.run(&OceanApp::default_scale()),
-            (Benchmark::Ocean, Scale::Test) => sim.run(&OceanApp::new(34, 2)),
-            (Benchmark::Radix, Scale::Paper) => sim.run(&RadixApp::paper_scale()),
-            (Benchmark::Radix, Scale::Default) => sim.run(&RadixApp::default_scale()),
-            (Benchmark::Radix, Scale::Test) => sim.run(&RadixApp::new(1 << 11, 12, 6)),
-            (Benchmark::Sor, Scale::Paper) => sim.run(&SorApp::paper_scale()),
-            (Benchmark::Sor, Scale::Default) => sim.run(&SorApp::default_scale()),
-            (Benchmark::Sor, Scale::Test) => sim.run(&SorApp::new(64, 64, 3)),
-            (Benchmark::WaterNsq, Scale::Paper) => sim.run(&WaterNsqApp::paper_scale()),
-            (Benchmark::WaterNsq, Scale::Default) => sim.run(&WaterNsqApp::default_scale()),
-            (Benchmark::WaterNsq, Scale::Test) => sim.run(&WaterNsqApp::new(48, 2)),
-            (Benchmark::WaterSp, Scale::Paper) => sim.run(&WaterSpApp::paper_scale()),
-            (Benchmark::WaterSp, Scale::Default) => sim.run(&WaterSpApp::default_scale()),
-            (Benchmark::WaterSp, Scale::Test) => sim.run(&WaterSpApp::new(96, 2)),
-        }
+        with_app!(self, scale, |app| sim.run(&app))
+    }
+
+    /// Runs the benchmark at `scale` under `cfg` with event tracing
+    /// enabled, returning the report (with its `trace` metrics
+    /// populated) and the full event [`Trace`].
+    ///
+    /// The traced run is event-for-event identical to what
+    /// [`Benchmark::run`] would simulate: tracing charges no cost,
+    /// draws no randomness, and the returned report digests
+    /// identically to the untraced one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the engine.
+    pub fn run_traced(self, scale: Scale, cfg: DsmConfig) -> Result<(RunReport, Trace), SimError> {
+        let sim = Simulation::new(cfg);
+        with_app!(self, scale, |app| sim.run_traced(&app))
     }
 
     /// Runs the benchmark through the golden sequential executor
@@ -155,72 +253,7 @@ impl Benchmark {
         cfg: &DsmConfig,
         lock_trace: &[GrantRecord],
     ) -> Result<GoldenRun, String> {
-        match (self, scale) {
-            (Benchmark::Fft, Scale::Paper) => golden_run(&FftApp::paper_scale(), cfg, lock_trace),
-            (Benchmark::Fft, Scale::Default) => {
-                golden_run(&FftApp::default_scale(), cfg, lock_trace)
-            }
-            (Benchmark::Fft, Scale::Test) => golden_run(&FftApp::new(10), cfg, lock_trace),
-            (Benchmark::LuNcont, Scale::Paper) => {
-                golden_run(&LuApp::paper_ncont(), cfg, lock_trace)
-            }
-            (Benchmark::LuNcont, Scale::Default) => {
-                golden_run(&LuApp::default_ncont(), cfg, lock_trace)
-            }
-            (Benchmark::LuNcont, Scale::Test) => golden_run(
-                &LuApp::new(64, 16, crate::lu::LuLayout::NonContiguous),
-                cfg,
-                lock_trace,
-            ),
-            (Benchmark::LuCont, Scale::Paper) => golden_run(&LuApp::paper_cont(), cfg, lock_trace),
-            (Benchmark::LuCont, Scale::Default) => {
-                golden_run(&LuApp::default_cont(), cfg, lock_trace)
-            }
-            (Benchmark::LuCont, Scale::Test) => golden_run(
-                &LuApp::new(64, 16, crate::lu::LuLayout::Contiguous),
-                cfg,
-                lock_trace,
-            ),
-            (Benchmark::Ocean, Scale::Paper) => {
-                golden_run(&OceanApp::paper_scale(), cfg, lock_trace)
-            }
-            (Benchmark::Ocean, Scale::Default) => {
-                golden_run(&OceanApp::default_scale(), cfg, lock_trace)
-            }
-            (Benchmark::Ocean, Scale::Test) => golden_run(&OceanApp::new(34, 2), cfg, lock_trace),
-            (Benchmark::Radix, Scale::Paper) => {
-                golden_run(&RadixApp::paper_scale(), cfg, lock_trace)
-            }
-            (Benchmark::Radix, Scale::Default) => {
-                golden_run(&RadixApp::default_scale(), cfg, lock_trace)
-            }
-            (Benchmark::Radix, Scale::Test) => {
-                golden_run(&RadixApp::new(1 << 11, 12, 6), cfg, lock_trace)
-            }
-            (Benchmark::Sor, Scale::Paper) => golden_run(&SorApp::paper_scale(), cfg, lock_trace),
-            (Benchmark::Sor, Scale::Default) => {
-                golden_run(&SorApp::default_scale(), cfg, lock_trace)
-            }
-            (Benchmark::Sor, Scale::Test) => golden_run(&SorApp::new(64, 64, 3), cfg, lock_trace),
-            (Benchmark::WaterNsq, Scale::Paper) => {
-                golden_run(&WaterNsqApp::paper_scale(), cfg, lock_trace)
-            }
-            (Benchmark::WaterNsq, Scale::Default) => {
-                golden_run(&WaterNsqApp::default_scale(), cfg, lock_trace)
-            }
-            (Benchmark::WaterNsq, Scale::Test) => {
-                golden_run(&WaterNsqApp::new(48, 2), cfg, lock_trace)
-            }
-            (Benchmark::WaterSp, Scale::Paper) => {
-                golden_run(&WaterSpApp::paper_scale(), cfg, lock_trace)
-            }
-            (Benchmark::WaterSp, Scale::Default) => {
-                golden_run(&WaterSpApp::default_scale(), cfg, lock_trace)
-            }
-            (Benchmark::WaterSp, Scale::Test) => {
-                golden_run(&WaterSpApp::new(96, 2), cfg, lock_trace)
-            }
-        }
+        with_app!(self, scale, |app| golden_run(&app, cfg, lock_trace))
     }
 }
 

@@ -14,13 +14,13 @@ use rsdsm_core::{
     DsmConfig, FaultPlan, NodeCrash, PrefetchConfig, RecoveryConfig, RunReport, ThreadConfig,
 };
 use rsdsm_simnet::{SimDuration, SimTime};
-use rsdsm_stats::{render_bars, Bar};
+use rsdsm_stats::{chrome_trace_json, render_bars, Bar};
 
 /// Shared command-line options for the experiment binaries.
 ///
 /// Usage: `[--paper-scale] [--nodes N] [--app NAME]... [--seed S]
 /// [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]...
-/// [--checkpoint-every N]`
+/// [--checkpoint-every N] [--trace OUT] [--trace-metrics]`
 #[derive(Debug, Clone)]
 pub struct ExpOpts {
     /// Problem scale for all runs.
@@ -40,6 +40,13 @@ pub struct ExpOpts {
     /// Checkpoint cadence in barrier epochs (`--checkpoint-every`;
     /// 0 disables checkpointing).
     pub checkpoint_every: u32,
+    /// Chrome trace-event JSON output path (`--trace`). Each traced
+    /// run writes a per-run `OUT-APP-VARIANT.json` next to it, plus
+    /// the exact `OUT` path (last run wins), so a single-run sweep
+    /// leaves its trace exactly where asked.
+    pub trace_out: Option<String>,
+    /// Print trace-derived metrics per run (`--trace-metrics`).
+    pub trace_metrics: bool,
 }
 
 impl Default for ExpOpts {
@@ -52,6 +59,8 @@ impl Default for ExpOpts {
             fault_loss: 0.0,
             crashes: Vec::new(),
             checkpoint_every: 0,
+            trace_out: None,
+            trace_metrics: false,
         }
     }
 }
@@ -102,6 +111,11 @@ impl ExpOpts {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--checkpoint-every needs a number of epochs"));
                 }
+                "--trace" => {
+                    opts.trace_out =
+                        Some(args.next().unwrap_or_else(|| usage("--trace needs a path")));
+                }
+                "--trace-metrics" => opts.trace_metrics = true,
                 "--app" => {
                     let name = args.next().unwrap_or_else(|| usage("--app needs a name"));
                     match Benchmark::from_name(&name) {
@@ -174,12 +188,19 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] \
          [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]... [--checkpoint-every N]\n\
+         \x20             [--trace OUT] [--trace-metrics]\n\
          \n\
          --fault-crash   crash NODE at MS simulated milliseconds; with :restart=MS the\n\
          \x20               node reboots after that outage (crash-restart), otherwise a\n\
          \x20               replacement rejoins from its last checkpoint (crash-stop).\n\
          \x20               Repeatable. Enables lease-based failure detection and recovery.\n\
-         --checkpoint-every   take a barrier-aligned checkpoint every N barrier epochs"
+         --checkpoint-every   take a barrier-aligned checkpoint every N barrier epochs\n\
+         --trace OUT     record every simulated event and write a Chrome trace-event\n\
+         \x20               JSON (Perfetto-loadable) per run; tracing never changes the\n\
+         \x20               run itself (same events, same digest)\n\
+         --trace-metrics   print trace-derived metrics per run (per-class message\n\
+         \x20               latency, fault service time, retry timelines, prefetch\n\
+         \x20               coverage/accuracy/lateness)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -230,15 +251,99 @@ impl Variant {
     }
 }
 
+/// Per-run trace output path: `OUT-APP-VARIANT.json` (extension
+/// preserved when `OUT` has one).
+fn trace_run_path(out: &str, bench: Benchmark, variant: Variant) -> String {
+    let suffix = format!("-{}-{}", bench.name(), variant.label());
+    match out.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}{suffix}.{ext}"),
+        _ => format!("{out}{suffix}"),
+    }
+}
+
+/// Prints the trace-derived metrics block for one traced run.
+fn print_trace_metrics(bench: Benchmark, variant: Variant, report: &RunReport) {
+    let Some(m) = &report.trace else { return };
+    let label = variant.label();
+    println!("  {bench} [{label}] trace metrics: {} events", m.events);
+    for (kind, h) in &m.msg_latency {
+        println!(
+            "    msg {kind:<16} {:>6} msgs  mean {:>9.1} ns  min {} max {}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.max(),
+        );
+    }
+    if m.fault_service.count() > 0 {
+        println!(
+            "    fault service    {:>6} faults mean {:>9.1} ns  min {} max {}",
+            m.fault_service.count(),
+            m.fault_service.mean(),
+            m.fault_service.min(),
+            m.fault_service.max(),
+        );
+    }
+    for l in &m.retry_links {
+        println!(
+            "    retries n{}->n{}  {} retransmissions between {} and {} (max rto {})",
+            l.src, l.dst, l.retries, l.first, l.last, l.max_rto,
+        );
+    }
+    let p = &m.prefetch;
+    if p.issued > 0 || p.covered() + p.no_pf > 0 {
+        println!(
+            "    prefetch         {} issued; coverage {:.1}%  accuracy {:.1}%  lateness {:.1}%  \
+             ({} hit / {} late / {} invalidated / {} no-pf; {} reqs lost, {} replies lost)",
+            p.issued,
+            p.coverage() * 100.0,
+            p.accuracy() * 100.0,
+            p.lateness() * 100.0,
+            p.hits,
+            p.too_late,
+            p.invalidated,
+            p.no_pf,
+            p.requests_lost,
+            p.replies_lost,
+        );
+    }
+}
+
 /// Runs `bench` under `variant`, panicking with context on failure
 /// (experiments must not silently drop bars).
 ///
 /// With `--fault-loss` active, each run also prints its injected-fault
-/// and retry counters so figures produced under loss say so.
+/// and retry counters so figures produced under loss say so. With
+/// `--trace`/`--trace-metrics` the run records its full event trace
+/// (same events, same digest as the untraced run) and exports it.
 pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunReport {
-    let report = bench
-        .run(opts.scale, variant.config(bench, opts))
-        .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()));
+    let cfg = variant.config(bench, opts);
+    let report = if opts.trace_out.is_some() || opts.trace_metrics {
+        let (report, trace) = bench
+            .run_traced(opts.scale, cfg)
+            .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()));
+        if let Some(out) = &opts.trace_out {
+            let json = chrome_trace_json(&trace);
+            let per_run = trace_run_path(out, bench, variant);
+            for path in [per_run.as_str(), out.as_str()] {
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+            }
+            println!(
+                "  {bench} [{}] trace: {} events, digest {:016x} -> {per_run}",
+                variant.label(),
+                trace.len(),
+                trace.digest(),
+            );
+        }
+        if opts.trace_metrics {
+            print_trace_metrics(bench, variant, &report);
+        }
+        report
+    } else {
+        bench
+            .run(opts.scale, cfg)
+            .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()))
+    };
     assert!(
         report.verified,
         "{bench} [{}] produced a wrong result",

@@ -374,6 +374,43 @@ mod tests {
         assert_eq!(n.total_fraction(), 0.0);
     }
 
+    /// A zero base with *nonzero* values is the dangerous division:
+    /// every fraction, percent, and rendered string must come out
+    /// zero and finite, never NaN or infinity (figure output prints
+    /// these verbatim).
+    #[test]
+    fn zero_base_never_produces_nan() {
+        let mut b = Breakdown::new();
+        b[Category::Busy] = SimDuration::from_micros(123);
+        b[Category::SyncIdle] = SimDuration::from_micros(456);
+        let n = b.normalized_to(SimDuration::ZERO);
+        for c in Category::ALL {
+            assert_eq!(n.fraction(c), 0.0, "{c:?} fraction must be exactly zero");
+            assert!(n.percent(c).is_finite());
+        }
+        assert_eq!(n.total_fraction(), 0.0);
+        let rendered = n.to_string();
+        assert!(
+            !rendered.contains("NaN") && !rendered.contains("inf"),
+            "rendered normalized breakdown leaked a non-finite value: {rendered}"
+        );
+    }
+
+    /// The all-empty case (zero values, zero base) stays finite in
+    /// both fraction space and rendered form.
+    #[test]
+    fn empty_breakdown_renders_finite() {
+        let n = Breakdown::new().normalized_to(SimDuration::ZERO);
+        for c in Category::ALL {
+            assert!(n.percent(c).is_finite());
+        }
+        let rendered = n.to_string();
+        assert!(
+            !rendered.contains("NaN") && !rendered.contains("inf"),
+            "{rendered}"
+        );
+    }
+
     #[test]
     fn accumulate_sums_nodes() {
         let mut a = Breakdown::new();

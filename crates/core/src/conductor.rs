@@ -349,6 +349,9 @@ impl DsmCtx {
                         entry.twin = Some(Box::new(entry.data.clone()));
                         self.pending.dsm += self.costs.twin_create;
                         m.dirty.push(page);
+                        if m.twin_log_on {
+                            m.twin_log.push(page);
+                        }
                     }
                     return body(&mut m.pages[page.index()]);
                 }

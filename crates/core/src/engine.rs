@@ -30,6 +30,7 @@ use crate::program::{DsmProgram, VerifyCtx};
 use crate::recovery::{FailureDetector, PeerStatus, RecoveryStats};
 use crate::report::{fold_counters, NetSummary, RunReport, SimError};
 use crate::thread::{BlockReason, ThreadId, ThreadState};
+use crate::trace::{class, kind, Trace, TraceEvent, Tracer, NO_CAUSE, NO_THREAD};
 use crate::transport::{Frame, Packet, Recv, TimeoutAction, Transport};
 
 /// Events processed by the engine.
@@ -167,6 +168,23 @@ fn frame_kind(frame: &Frame) -> &'static str {
     }
 }
 
+/// Trace message-class code for a protocol body.
+fn kind_code(body: &MsgBody) -> u8 {
+    match body.kind() {
+        "diff_request" => kind::DIFF_REQUEST,
+        "diff_reply" => kind::DIFF_REPLY,
+        "prefetch_request" => kind::PREFETCH_REQUEST,
+        "prefetch_reply" => kind::PREFETCH_REPLY,
+        "lock_request" => kind::LOCK_REQUEST,
+        "lock_forward" => kind::LOCK_FORWARD,
+        "lock_grant" => kind::LOCK_GRANT,
+        "barrier_arrive" => kind::BARRIER_ARRIVE,
+        "barrier_release" => kind::BARRIER_RELEASE,
+        "suspect_report" => kind::SUSPECT_REPORT,
+        _ => kind::RECOVERY_START,
+    }
+}
+
 /// A configured simulation, ready to run programs.
 ///
 /// See [`DsmProgram`] for a complete end-to-end example.
@@ -195,6 +213,28 @@ impl Simulation {
     /// deadlocks (which indicates an application synchronization bug,
     /// e.g. mismatched barrier arrivals).
     pub fn run<P: DsmProgram>(&self, app: &P) -> Result<RunReport, SimError> {
+        self.run_inner(app, false).map(|(report, _)| report)
+    }
+
+    /// Runs `app` like [`Simulation::run`] while recording a
+    /// structured [`Trace`] of every simulated event. Tracing is
+    /// observation only: the report (and its digest) is identical to
+    /// an untraced run, and the trace itself is deterministic — same
+    /// seed + config ⇒ same [`Trace::digest`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulation::run`].
+    pub fn run_traced<P: DsmProgram>(&self, app: &P) -> Result<(RunReport, Trace), SimError> {
+        self.run_inner(app, true)
+            .map(|(report, trace)| (report, trace.expect("traced run yields a trace")))
+    }
+
+    fn run_inner<P: DsmProgram>(
+        &self,
+        app: &P,
+        traced: bool,
+    ) -> Result<(RunReport, Option<Trace>), SimError> {
         let cfg = &self.cfg;
         let mut heap = Heap::new(cfg.nodes);
         let handles = app.allocate(&mut heap);
@@ -204,7 +244,12 @@ impl Simulation {
 
         let mem: Arc<Mutex<Vec<NodeMem>>> = Arc::new(Mutex::new(
             (0..cfg.nodes)
-                .map(|n| NodeMem::new(total_pages, |p| heap.home(PageId::new(p as u32)) == n))
+                .map(|n| {
+                    let mut m =
+                        NodeMem::new(total_pages, |p| heap.home(PageId::new(p as u32)) == n);
+                    m.twin_log_on = traced;
+                    m
+                })
                 .collect(),
         ));
         let panic_note: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
@@ -255,7 +300,7 @@ impl Simulation {
                     }
                 });
             }
-            let mut core = Core::new(cfg, &heap, Arc::clone(&mem), peers);
+            let mut core = Core::new(cfg, &heap, Arc::clone(&mem), peers, traced);
             match core.run_loop() {
                 Ok(finish) => {
                     core.finish_accounts(finish);
@@ -266,6 +311,7 @@ impl Simulation {
                         core.transport,
                         core.oracle,
                         core.recov.stats,
+                        core.tracer.finish(),
                     ))
                 }
                 Err(e) => {
@@ -278,8 +324,8 @@ impl Simulation {
             }
         });
 
-        let (finish, nodes, net, transport, oracle_state, recovery_stats) =
-            scope_result.map_err(|e| {
+        let (finish, nodes, net, transport, oracle_state, recovery_stats, trace) = scope_result
+            .map_err(|e| {
                 if let SimError::AppThread(_) = e {
                     let note = panic_note.lock().expect("panic note mutex").take();
                     SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
@@ -317,25 +363,30 @@ impl Simulation {
                 .map(|(n, m)| (n.counters, m.counters)),
         );
 
-        Ok(RunReport {
-            app: app.name(),
-            config: cfg.clone(),
-            total_time: finish.saturating_since(SimTime::ZERO),
-            node_breakdowns,
-            breakdown,
-            verified,
-            net: NetSummary::from_stats(net.stats()),
-            misses,
-            locks,
-            barriers,
-            prefetch,
-            mt,
-            transport: transport.summary(),
-            fault_injection: net.fault_stats(),
-            recovery: recovery_stats,
-            gc_passes,
-            oracle,
-        })
+        let trace = traced.then_some(trace);
+        Ok((
+            RunReport {
+                app: app.name(),
+                config: cfg.clone(),
+                total_time: finish.saturating_since(SimTime::ZERO),
+                node_breakdowns,
+                breakdown,
+                verified,
+                net: NetSummary::from_stats(net.stats()),
+                misses,
+                locks,
+                barriers,
+                prefetch,
+                mt,
+                transport: transport.summary(),
+                fault_injection: net.fault_stats(),
+                recovery: recovery_stats,
+                gc_passes,
+                oracle,
+                trace: trace.as_ref().map(Trace::metrics),
+            },
+            trace,
+        ))
     }
 }
 
@@ -359,6 +410,9 @@ struct Core<'a> {
     recov: RecoveryState,
     done: usize,
     finish: SimTime,
+    /// Structured event tracing (see [`crate::trace`]); inert unless
+    /// the run was started via [`Simulation::run_traced`].
+    tracer: Tracer,
     /// Event tracing to stderr, enabled by the RSDSM_TRACE env var.
     trace: bool,
     /// Byte-range watch (RSDSM_WATCH="page,lo,hi"), for diagnostics.
@@ -374,6 +428,7 @@ impl<'a> Core<'a> {
         heap: &'a Heap,
         mem: Arc<Mutex<Vec<NodeMem>>>,
         threads: Vec<ThreadPeer>,
+        traced: bool,
     ) -> Self {
         let tpn = cfg.threads.threads_per_node;
         let mut queue = EventQueue::new();
@@ -427,6 +482,7 @@ impl<'a> Core<'a> {
             recov: RecoveryState::new(cfg),
             done: 0,
             finish: SimTime::ZERO,
+            tracer: Tracer::new(traced, cfg.nodes as u32, tpn as u32),
             trace: std::env::var_os("RSDSM_TRACE").is_some(),
             watch: std::env::var("RSDSM_WATCH").ok().and_then(|v| {
                 let mut it = v.split(',').map(|x| x.parse().ok());
@@ -458,6 +514,7 @@ impl<'a> Core<'a> {
             let Some(event) = self.intercept_crashed(now, event) else {
                 continue;
             };
+            self.tracer.begin_event();
             match event {
                 Event::Start(tid) => {
                     let n = tid.node(self.tpn());
@@ -572,6 +629,15 @@ impl<'a> Core<'a> {
         if self.trace {
             eprintln!("[{now}] CRASH n{x} (restart_after {restart_after:?})");
         }
+        self.tracer.emit(
+            now,
+            x as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::Crash {
+                restarts: restart_after.is_some(),
+            },
+        );
         self.net.set_node_down(x, true);
         self.recov.down[x] = true;
         self.recov.downs += 1;
@@ -602,6 +668,8 @@ impl<'a> Core<'a> {
         if !self.recov.down[x] {
             return;
         }
+        self.tracer
+            .emit(now, x as u32, NO_THREAD, NO_CAUSE, TraceEvent::Restart);
         self.net.set_node_down(x, false);
         self.recov.down[x] = false;
         self.recov.downs -= 1;
@@ -682,6 +750,19 @@ impl<'a> Core<'a> {
                     Category::DsmOverhead,
                     None,
                 );
+                let send_id = self.tracer.emit(
+                    now,
+                    n as u32,
+                    NO_THREAD,
+                    NO_CAUSE,
+                    TraceEvent::MsgSend {
+                        kind: kind::HEARTBEAT,
+                        peer: peer as u32,
+                        seq: 0,
+                        bytes: self.cfg.transport.ack_bytes,
+                        retransmit: false,
+                    },
+                );
                 let outcome = self.net.send(
                     now,
                     n,
@@ -698,6 +779,7 @@ impl<'a> Core<'a> {
                             src: n,
                             dst: peer,
                             frame: Frame::Heartbeat,
+                            cause: send_id,
                         }),
                     );
                 }
@@ -729,6 +811,13 @@ impl<'a> Core<'a> {
         if self.trace {
             eprintln!("[{now}] n{observer} suspects n{peer}");
         }
+        self.tracer.emit(
+            now,
+            observer as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::Suspect { peer: peer as u32 },
+        );
         if observer == MANAGER {
             self.schedule_confirm(peer, now);
         } else {
@@ -786,6 +875,15 @@ impl<'a> Core<'a> {
         if self.trace {
             eprintln!("[{now}] n{victim} confirmed down; recovering from epoch {epoch}");
         }
+        self.tracer.emit(
+            now,
+            MANAGER as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::ConfirmDown {
+                peer: victim as u32,
+            },
+        );
         let mut end = now;
         for p in 0..self.cfg.nodes {
             if p == MANAGER || p == victim || self.recov.down[p] {
@@ -831,13 +929,23 @@ impl<'a> Core<'a> {
     /// path, so a crash-free run's event timeline — and its
     /// `RunReport` digest, recovery fields aside — is identical with
     /// checkpointing on or off.
-    fn take_checkpoint(&mut self, n: NodeId) {
+    fn take_checkpoint(&mut self, n: NodeId, at: SimTime) {
         let epoch = self.recov.epochs_done[n];
         let ckpt = {
             let mem = self.mem.lock().expect("mem mutex");
             Checkpoint::capture(n as u32, epoch, &self.nodes[n], &mem[n])
         };
         let bytes = ckpt.encode().len() as u64;
+        self.tracer.emit(
+            at,
+            n as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::CheckpointTaken {
+                epoch,
+                bytes: bytes as u32,
+            },
+        );
         self.recov.stats.checkpoints_taken += 1;
         self.recov.stats.checkpoint_bytes += bytes;
         self.recov.busy_at_ckpt[n] = self.nodes[n].account.breakdown()[Category::Busy];
@@ -920,6 +1028,13 @@ impl<'a> Core<'a> {
         let mut at = now;
         if is_switch {
             self.nodes[n].counters.switches += 1;
+            self.tracer.emit(
+                now,
+                n as u32,
+                tid.0 as u32,
+                NO_CAUSE,
+                TraceEvent::ThreadSwitch { to: tid.0 as u32 },
+            );
             at = self.charge(
                 n,
                 now,
@@ -951,6 +1066,26 @@ impl<'a> Core<'a> {
                 .recv()
                 .map_err(|_| SimError::AppThread(String::new()))?
         };
+        if self.tracer.is_on() {
+            // Twins are created inside the conductor while the app
+            // thread runs its burst; the log is drained here so their
+            // records land in the engine's deterministic event order.
+            let twins = {
+                let mut mem = self.mem.lock().expect("mem mutex");
+                std::mem::take(&mut mem[n].twin_log)
+            };
+            for page in twins {
+                self.tracer.emit(
+                    at,
+                    n as u32,
+                    tid.0 as u32,
+                    NO_CAUSE,
+                    TraceEvent::TwinCreate {
+                        page: page.index() as u32,
+                    },
+                );
+            }
+        }
         let Charges {
             busy,
             dsm,
@@ -1115,6 +1250,16 @@ impl<'a> Core<'a> {
             None,
         );
         self.nodes[n].counters.faults += 1;
+        let begin_id = self.tracer.emit(
+            now,
+            n as u32,
+            tid.0 as u32,
+            NO_CAUSE,
+            TraceEvent::FaultBegin {
+                page: page.index() as u32,
+                write: _write,
+            },
+        );
 
         // Request combining: join an in-flight fetch.
         if let Some(f) = self.nodes[n].fetches.get_mut(&page) {
@@ -1136,6 +1281,16 @@ impl<'a> Core<'a> {
             } else {
                 MissClass::NoPf
             });
+            self.tracer.emit(
+                apply_end,
+                n as u32,
+                tid.0 as u32,
+                begin_id,
+                TraceEvent::FaultEnd {
+                    page: page.index() as u32,
+                    class: if had_pf { class::HIT } else { class::NO_PF },
+                },
+            );
             return self.run_thread(tid, apply_end, None);
         }
 
@@ -1160,6 +1315,17 @@ impl<'a> Core<'a> {
             }
         };
         self.nodes[n].counters.classify(class);
+        self.tracer.note_fault(
+            n as u32,
+            page.index() as u32,
+            begin_id,
+            match class {
+                MissClass::Hit => class::HIT,
+                MissClass::NoPf => class::NO_PF,
+                MissClass::TooLate => class::TOO_LATE,
+                MissClass::Invalidated => class::INVALIDATED,
+            },
+        );
 
         let end = self
             .send_fetch_requests(n, page, &missing, need_base, end, false)
@@ -1255,6 +1421,16 @@ impl<'a> Core<'a> {
                 delivered += 1;
             } else {
                 self.nodes[n].counters.pf_send_drops += 1;
+                self.tracer.emit(
+                    end,
+                    n as u32,
+                    NO_THREAD,
+                    NO_CAUSE,
+                    TraceEvent::PrefetchDrop {
+                        page: page.index() as u32,
+                        reply: false,
+                    },
+                );
             }
             if prefetch {
                 self.nodes[n].counters.pf_messages += 1;
@@ -1275,6 +1451,16 @@ impl<'a> Core<'a> {
                 delivered += 1;
             } else {
                 self.nodes[n].counters.pf_send_drops += 1;
+                self.tracer.emit(
+                    end,
+                    n as u32,
+                    NO_THREAD,
+                    NO_CAUSE,
+                    TraceEvent::PrefetchDrop {
+                        page: page.index() as u32,
+                        reply: false,
+                    },
+                );
             }
             if prefetch {
                 self.nodes[n].counters.pf_messages += 1;
@@ -1385,6 +1571,21 @@ impl<'a> Core<'a> {
                 cached.diff.apply(twin);
             }
             node.board.mark_applied(page, cached.origin, &cached.stamp);
+            let seq = cached.stamp.get(cached.origin);
+            let cause =
+                self.tracer
+                    .notice_id(n as u32, page.index() as u32, cached.origin as u32, seq);
+            self.tracer.emit(
+                end,
+                n as u32,
+                NO_THREAD,
+                cause,
+                TraceEvent::DiffApply {
+                    page: page.index() as u32,
+                    origin: cached.origin as u32,
+                    seq,
+                },
+            );
             apply_cost += self.cfg.costs.diff_apply(cached.diff.payload_bytes());
         }
         if let Some((wp, lo, _hi)) = watch {
@@ -1452,6 +1653,15 @@ impl<'a> Core<'a> {
                     meta.wanted_base = true;
                 }
             }
+            self.tracer.emit(
+                end,
+                n as u32,
+                NO_THREAD,
+                NO_CAUSE,
+                TraceEvent::PrefetchIssue {
+                    page: page.index() as u32,
+                },
+            );
             let (new_end, _delivered) =
                 self.send_fetch_requests(n, page, &missing, need_base, end, true);
             end = new_end;
@@ -1543,6 +1753,17 @@ impl<'a> Core<'a> {
                 }
             }
             cost += self.cfg.costs.diff_create(diff.payload_bytes());
+            self.tracer.emit(
+                at,
+                n as u32,
+                NO_THREAD,
+                NO_CAUSE,
+                TraceEvent::DiffCreate {
+                    page: page.index() as u32,
+                    seq,
+                    bytes: diff.encoded_bytes() as u32,
+                },
+            );
             node.own_diff_bytes += diff.encoded_bytes();
             node.own_diffs.insert((page.index(), seq), diff);
             pages_list.push(page);
@@ -1565,7 +1786,7 @@ impl<'a> Core<'a> {
 
     /// Records the write notices of `rec` at node `n`, invalidating
     /// affected pages (skipping the node's own intervals).
-    fn record_interval(&mut self, n: NodeId, rec: &IntervalRecord) {
+    fn record_interval(&mut self, n: NodeId, rec: &IntervalRecord, at: SimTime) {
         self.nodes[n].learn_interval(rec);
         if rec.origin == n {
             return;
@@ -1589,6 +1810,27 @@ impl<'a> Core<'a> {
                         rec.origin, rec.stamp
                     );
                 }
+                if self.tracer.is_on() {
+                    let seq = rec.stamp.get(rec.origin);
+                    let id = self.tracer.emit(
+                        at,
+                        n as u32,
+                        NO_THREAD,
+                        NO_CAUSE,
+                        TraceEvent::WriteNotice {
+                            page: page.index() as u32,
+                            origin: rec.origin as u32,
+                            seq,
+                        },
+                    );
+                    self.tracer.note_notice(
+                        n as u32,
+                        page.index() as u32,
+                        rec.origin as u32,
+                        seq,
+                        id,
+                    );
+                }
                 let mut mem = self.mem.lock().expect("mem mutex");
                 mem[n].pages[page.index()].valid = false;
             }
@@ -1606,6 +1848,13 @@ impl<'a> Core<'a> {
         lock: LockId,
         now: SimTime,
     ) -> Result<(), SimError> {
+        let req_id = self.tracer.emit(
+            now,
+            n as u32,
+            tid.0 as u32,
+            NO_CAUSE,
+            TraceEvent::LockRequest { lock: lock.0 },
+        );
         match self.nodes[n].locks.acquire(lock, tid) {
             AcquireOutcome::Granted => {
                 self.oracle.record_grant(lock, tid);
@@ -1615,6 +1864,13 @@ impl<'a> Core<'a> {
                     self.cfg.costs.lock_local_pass,
                     Category::DsmOverhead,
                     None,
+                );
+                self.tracer.emit(
+                    end,
+                    n as u32,
+                    tid.0 as u32,
+                    req_id,
+                    TraceEvent::LockGrant { lock: lock.0 },
                 );
                 self.run_thread(tid, end, None)
             }
@@ -1661,6 +1917,13 @@ impl<'a> Core<'a> {
                     Category::DsmOverhead,
                     None,
                 );
+                self.tracer.emit(
+                    end,
+                    n as u32,
+                    next.0 as u32,
+                    NO_CAUSE,
+                    TraceEvent::LockLocalPass { lock: lock.0 },
+                );
                 self.wake(next, end)?;
                 self.run_thread(tid, end, None)
             }
@@ -1686,6 +1949,13 @@ impl<'a> Core<'a> {
             // request back to us): no messaging, no new notices.
             if let GrantOutcome::WakeLocal(tid) = self.nodes[n].locks.handle_grant(lock) {
                 self.oracle.record_grant(lock, tid);
+                self.tracer.emit(
+                    at,
+                    n as u32,
+                    tid.0 as u32,
+                    NO_CAUSE,
+                    TraceEvent::LockGrant { lock: lock.0 },
+                );
                 // Propagate errors as panics here would be wrong; a
                 // wake failure only occurs on engine teardown.
                 let _ = self.wake(tid, at);
@@ -1695,6 +1965,13 @@ impl<'a> Core<'a> {
         let end = self.close_interval(n, at);
         let intervals = self.nodes[n].intervals_unknown_to(&waiter.vc);
         let mut end = self.charge(n, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
+        self.tracer.emit(
+            end,
+            n as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::LockGrant { lock: lock.0 },
+        );
         let vc = self.nodes[n].vc.clone();
         let new_owner = waiter.node;
         self.post(
@@ -1761,6 +2038,13 @@ impl<'a> Core<'a> {
             return self.block(tid, n, BlockReason::Barrier, end);
         }
         self.nodes[n].counters.barrier_events += 1;
+        self.tracer.emit(
+            end,
+            n as u32,
+            tid.0 as u32,
+            NO_CAUSE,
+            TraceEvent::BarrierArrive { barrier: id.0 },
+        );
         let horizon = self.nodes[n].last_release_vc.clone();
         let intervals = self.nodes[n].intervals_unknown_to(&horizon);
         let vc = self.nodes[n].vc.clone();
@@ -1856,7 +2140,7 @@ impl<'a> Core<'a> {
             None,
         );
         for rec in intervals {
-            self.record_interval(n, rec);
+            self.record_interval(n, rec, end);
         }
         self.nodes[n].vc.join(vc);
         self.nodes[n].last_release_vc = self.nodes[n].vc.clone();
@@ -1883,9 +2167,19 @@ impl<'a> Core<'a> {
         // Barrier-aligned checkpoint: every local interval is closed
         // here (no twins), making this the natural recovery line.
         self.recov.epochs_done[n] += 1;
+        self.tracer.emit(
+            end,
+            n as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::BarrierRelease {
+                barrier: id.0,
+                epoch: self.recov.epochs_done[n],
+            },
+        );
         let every = self.cfg.recovery.checkpoint_every;
         if every > 0 && self.recov.epochs_done[n].is_multiple_of(every) {
-            self.take_checkpoint(n);
+            self.take_checkpoint(n, end);
         }
         let end = self.auto_prefetch_at_sync(n, SyncKey::Barrier(id), end);
         let woken = self.nodes[n].barrier.release(id);
@@ -1909,6 +2203,27 @@ impl<'a> Core<'a> {
         // the peer refreshes its lease.
         if self.cfg.recovery.enabled {
             self.recov.detector.heard(n, pkt.src, now);
+        }
+        if self.tracer.is_on() {
+            let (k, seq) = match &pkt.frame {
+                Frame::Heartbeat => (kind::HEARTBEAT, 0),
+                Frame::Ack { seq } => (kind::ACK, *seq),
+                Frame::Datagram { body } => (kind_code(body), 0),
+                Frame::Data { seq, body } => (kind_code(body), *seq),
+            };
+            let id = self.tracer.emit(
+                now,
+                n as u32,
+                NO_THREAD,
+                pkt.cause,
+                TraceEvent::MsgRecv {
+                    kind: k,
+                    peer: pkt.src as u32,
+                    seq,
+                },
+            );
+            // Everything this frame triggers inherits it as cause.
+            self.tracer.set_current(id);
         }
         match pkt.frame {
             Frame::Heartbeat => {
@@ -1935,6 +2250,7 @@ impl<'a> Core<'a> {
                     idle,
                 );
                 self.transport.on_ack(n, pkt.src, seq, now);
+                self.tracer.forget_send(n as u32, pkt.src as u32, seq);
                 Ok(())
             }
             Frame::Datagram { body } => {
@@ -2029,7 +2345,7 @@ impl<'a> Core<'a> {
                 // come from intervals causally after ones we have not
                 // heard about yet.
                 for rec in &intervals {
-                    self.record_interval(n, rec);
+                    self.record_interval(n, rec, end);
                 }
                 self.handle_diff_reply(n, page, diffs, base, prefetch, end)
             }
@@ -2092,7 +2408,7 @@ impl<'a> Core<'a> {
                     None,
                 );
                 for rec in &intervals {
-                    self.record_interval(n, rec);
+                    self.record_interval(n, rec, end);
                 }
                 self.nodes[n].vc.join(&vc);
                 match self.nodes[n].locks.handle_grant(lock) {
@@ -2247,6 +2563,17 @@ impl<'a> Core<'a> {
                         eprintln!("WATCH splitclose n{m}: stamp {stamp} seq {seq} val {val}");
                     }
                 }
+                self.tracer.emit(
+                    end,
+                    m as u32,
+                    NO_THREAD,
+                    NO_CAUSE,
+                    TraceEvent::DiffCreate {
+                        page: page.index() as u32,
+                        seq,
+                        bytes: diff.encoded_bytes() as u32,
+                    },
+                );
                 let node = &mut self.nodes[m];
                 node.own_diff_bytes += diff.encoded_bytes();
                 node.own_diffs.insert((page.index(), seq), diff.clone());
@@ -2326,6 +2653,16 @@ impl<'a> Core<'a> {
             // requester's demand-fault path recovers, and the loss
             // shows up as a too-late or no-pf fault there.
             self.nodes[m].counters.pf_reply_drops += 1;
+            self.tracer.emit(
+                end,
+                m as u32,
+                NO_THREAD,
+                NO_CAUSE,
+                TraceEvent::PrefetchDrop {
+                    page: page.index() as u32,
+                    reply: true,
+                },
+            );
         }
     }
 
@@ -2421,6 +2758,19 @@ impl<'a> Core<'a> {
 
         self.validate_page(n, page);
         self.nodes[n].counters.miss_latency_sum += end.saturating_since(fetch.started);
+        if let Some((begin, cls)) = self.tracer.take_fault(n as u32, page.index() as u32) {
+            let thread = fetch.waiters.first().map_or(NO_THREAD, |t| t.0 as u32);
+            self.tracer.emit(
+                end,
+                n as u32,
+                thread,
+                begin,
+                TraceEvent::FaultEnd {
+                    page: page.index() as u32,
+                    class: cls,
+                },
+            );
+        }
         for tid in fetch.waiters {
             self.wake(tid, end)?;
         }
@@ -2448,6 +2798,19 @@ impl<'a> Core<'a> {
                 Reliability::Droppable,
                 body.kind(),
             );
+            let send_id = self.tracer.emit(
+                at,
+                src as u32,
+                NO_THREAD,
+                NO_CAUSE,
+                TraceEvent::MsgSend {
+                    kind: kind_code(&body),
+                    peer: dst as u32,
+                    seq: 0,
+                    bytes: body.wire_bytes() as u32,
+                    retransmit: false,
+                },
+            );
             let dup = outcome.dup_time();
             let delivered = outcome.arrival_time().is_some();
             for arrival in outcome.arrival_time().into_iter().chain(dup) {
@@ -2457,13 +2820,14 @@ impl<'a> Core<'a> {
                         src,
                         dst,
                         frame: Frame::Datagram { body: body.clone() },
+                        cause: send_id,
                     }),
                 );
             }
             delivered
         } else {
             let (seq, rto) = self.transport.register(src, dst, body.clone(), at);
-            self.transmit_data(at, src, dst, seq, body, rto);
+            self.transmit_data(at, src, dst, seq, body, rto, false);
             true
         }
     }
@@ -2473,6 +2837,7 @@ impl<'a> Core<'a> {
     /// itself may still be lost or duplicated by the fault plan; the
     /// timer covers the loss case and the receiver's transport
     /// suppresses the duplicate case.
+    #[allow(clippy::too_many_arguments)]
     fn transmit_data(
         &mut self,
         at: SimTime,
@@ -2481,6 +2846,7 @@ impl<'a> Core<'a> {
         seq: u64,
         body: MsgBody,
         rto: rsdsm_simnet::SimDuration,
+        retransmit: bool,
     ) {
         self.note_sent(src, dst, at);
         let outcome = self.net.send(
@@ -2491,6 +2857,28 @@ impl<'a> Core<'a> {
             Reliability::Reliable,
             body.kind(),
         );
+        let cause = if retransmit {
+            self.tracer.first_send(src as u32, dst as u32, seq)
+        } else {
+            NO_CAUSE
+        };
+        let send_id = self.tracer.emit(
+            at,
+            src as u32,
+            NO_THREAD,
+            cause,
+            TraceEvent::MsgSend {
+                kind: kind_code(&body),
+                peer: dst as u32,
+                seq,
+                bytes: body.wire_bytes() as u32,
+                retransmit,
+            },
+        );
+        if !retransmit {
+            self.tracer
+                .note_first_send(src as u32, dst as u32, seq, send_id);
+        }
         let dup = outcome.dup_time();
         for arrival in outcome.arrival_time().into_iter().chain(dup) {
             self.queue.push(
@@ -2502,6 +2890,7 @@ impl<'a> Core<'a> {
                         seq,
                         body: body.clone(),
                     },
+                    cause: send_id,
                 }),
             );
         }
@@ -2536,6 +2925,19 @@ impl<'a> Core<'a> {
             Reliability::Reliable,
             "ack",
         );
+        let send_id = self.tracer.emit(
+            end,
+            n as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::MsgSend {
+                kind: kind::ACK,
+                peer: src as u32,
+                seq,
+                bytes: self.cfg.transport.ack_bytes,
+                retransmit: false,
+            },
+        );
         let dup = outcome.dup_time();
         for arrival in outcome.arrival_time().into_iter().chain(dup) {
             self.queue.push(
@@ -2544,6 +2946,7 @@ impl<'a> Core<'a> {
                     src: n,
                     dst: src,
                     frame: Frame::Ack { seq },
+                    cause: send_id,
                 }),
             );
         }
@@ -2579,6 +2982,16 @@ impl<'a> Core<'a> {
                 }
                 self.recov.parked_frames.push((src, dst, seq));
                 self.recov.stats.frames_parked += 1;
+                self.tracer.emit(
+                    now,
+                    src as u32,
+                    NO_THREAD,
+                    self.tracer.first_send(src as u32, dst as u32, seq),
+                    TraceEvent::FrameParked {
+                        peer: dst as u32,
+                        seq,
+                    },
+                );
                 self.raise_suspicion(src, dst, now);
                 Ok(())
             }
@@ -2597,7 +3010,18 @@ impl<'a> Core<'a> {
                     Category::DsmOverhead,
                     idle,
                 );
-                self.transmit_data(end, src, dst, seq, body, rto);
+                self.tracer.emit(
+                    now,
+                    src as u32,
+                    NO_THREAD,
+                    self.tracer.first_send(src as u32, dst as u32, seq),
+                    TraceEvent::TransportRetry {
+                        peer: dst as u32,
+                        seq,
+                        rto_ns: rto.as_nanos(),
+                    },
+                );
+                self.transmit_data(end, src, dst, seq, body, rto, true);
                 Ok(())
             }
         }

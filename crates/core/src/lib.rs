@@ -53,6 +53,7 @@ mod program;
 mod recovery;
 mod report;
 mod thread;
+mod trace;
 mod transport;
 
 pub use accounting::{Breakdown, Category, IdleReason, NodeAccount, NormalizedBreakdown};
@@ -78,4 +79,9 @@ pub use report::{
 pub use rsdsm_protocol::{Page, PAGE_SIZE};
 pub use rsdsm_simnet::{ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall};
 pub use thread::ThreadId;
+pub use trace::{
+    class as trace_class, kind as trace_kind, kind_label, Histogram, PrefetchTraceSummary,
+    RetryTimeline, Trace, TraceError, TraceEvent, TraceMetrics, TraceRecord, Tracer, NO_CAUSE,
+    NO_THREAD,
+};
 pub use transport::{Recv, TimeoutAction, Transport, TransportConfig, TransportSummary};

@@ -83,6 +83,13 @@ pub(crate) struct NodeMem {
     /// order (may contain stale entries whose twin was already
     /// dropped by a prefetch-induced interval split).
     pub dirty: Vec<PageId>,
+    /// Twin creations since the engine last drained them into the
+    /// event trace, in creation order. Only populated when
+    /// `twin_log_on` — kept empty otherwise so untraced runs do no
+    /// extra work.
+    pub twin_log: Vec<PageId>,
+    /// Whether twin creations should be logged for tracing.
+    pub twin_log_on: bool,
     /// Fast-path counters.
     pub counters: AccessCounters,
 }
@@ -100,6 +107,8 @@ impl NodeMem {
             epoch_prefetched: std::collections::HashSet::new(),
             throttle_seq: 0,
             dirty: Vec::new(),
+            twin_log: Vec::new(),
+            twin_log_on: false,
             counters: AccessCounters::default(),
         }
     }

@@ -9,6 +9,7 @@ use crate::config::DsmConfig;
 use crate::node::{AccessCounters, NodeCounters};
 use crate::oracle::{fnv1a, OracleOutcome};
 use crate::recovery::RecoveryStats;
+use crate::trace::TraceMetrics;
 use crate::transport::TransportSummary;
 
 /// Errors a simulation run can produce.
@@ -266,15 +267,30 @@ pub struct RunReport {
     /// trace, final image); `None` unless the run's
     /// [`OracleConfig`](crate::OracleConfig) enabled something.
     pub oracle: Option<OracleOutcome>,
+    /// Trace-derived metrics (per-class latency histograms, fault
+    /// service times, retry timelines, §3.3 prefetch taxonomy);
+    /// `None` unless the run was started with
+    /// [`Simulation::run_traced`](crate::Simulation::run_traced).
+    /// Excluded from [`digest`](RunReport::digest) so tracing has
+    /// zero observer effect on the determinism fingerprint.
+    pub trace: Option<TraceMetrics>,
 }
 
 impl RunReport {
     /// FNV-1a digest of the whole report (every counter, breakdown,
     /// and oracle observation). Two runs with identical (seed,
     /// config) must produce identical digests — the determinism
-    /// harness in `rsdsm-oracle` asserts exactly that.
+    /// harness in `rsdsm-oracle` asserts exactly that. The
+    /// trace-metrics field is masked out first so a traced and an
+    /// untraced run of the same (seed, config) digest identically.
     pub fn digest(&self) -> u64 {
-        fnv1a(format!("{self:?}").as_bytes())
+        if self.trace.is_some() {
+            let mut masked = self.clone();
+            masked.trace = None;
+            fnv1a(format!("{masked:?}").as_bytes())
+        } else {
+            fnv1a(format!("{self:?}").as_bytes())
+        }
     }
 
     /// Speedup of this run relative to a baseline total time

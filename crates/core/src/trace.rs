@@ -1,0 +1,1296 @@
+//! Deterministic structured event tracing.
+//!
+//! When enabled (via [`crate::Simulation::run_traced`]) the engine
+//! emits one [`TraceRecord`] per simulated event — message send/recv
+//! per class, page-fault begin/end, diff create/apply, twin create,
+//! lock request/grant/local-pass, barrier arrive/release, thread
+//! switch, prefetch issue/drop, transport retry, crash/suspect/
+//! recover — stamped with sim-time, node, thread, and a causal link
+//! to the record that triggered it. Because the simulation is
+//! deterministic for a given (seed, config), the trace is a
+//! *total-order fingerprint* of a run: same seed + config ⇒ the exact
+//! same byte sequence under [`Trace::encode`], hence the same
+//! [`Trace::digest`].
+//!
+//! Contracts:
+//!
+//! - **Zero cost when disabled**: every [`Tracer`] entry point
+//!   early-returns on the `off` path; the engine never allocates,
+//!   charges simulated time, or branches on trace *content* for an
+//!   untraced run.
+//! - **Observer effect = 0**: enabling tracing changes no simulated
+//!   behavior — [`crate::RunReport::digest`] is identical with
+//!   tracing on or off (locked down by `tests/trace_determinism.rs`).
+//! - **Causality**: a record's `cause` names the id of the record
+//!   that triggered it (the received frame for protocol handlers, the
+//!   wire send for a receive, the fault begin for a fault end, the
+//!   write notice for a diff apply, the first transmission for a
+//!   retransmit). `0` means "no recorded cause".
+//!
+//! The binary format `RTR1` mirrors the `RCK1` checkpoint encoding:
+//! little-endian, self-delimiting, FNV-1a digested, with decode
+//! errors for truncation, bad magic, and trailing bytes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use rsdsm_simnet::{SimDuration, SimTime};
+
+use crate::oracle::fnv1a;
+
+/// `thread` value for records emitted by the engine itself rather
+/// than on behalf of an application thread.
+pub const NO_THREAD: u32 = u32::MAX;
+
+/// `cause` value for records with no recorded cause.
+pub const NO_CAUSE: u64 = 0;
+
+/// Message-class codes used in [`TraceEvent::MsgSend`] /
+/// [`TraceEvent::MsgRecv`]. The first eleven match
+/// `MsgBody::kind()`; `ACK` and `HEARTBEAT` cover transport-level
+/// frames that carry no protocol body.
+pub mod kind {
+    /// Demand diff/page request.
+    pub const DIFF_REQUEST: u8 = 0;
+    /// Demand diff/page reply.
+    pub const DIFF_REPLY: u8 = 1;
+    /// Non-binding prefetch request.
+    pub const PREFETCH_REQUEST: u8 = 2;
+    /// Prefetch reply.
+    pub const PREFETCH_REPLY: u8 = 3;
+    /// Lock token request to the manager.
+    pub const LOCK_REQUEST: u8 = 4;
+    /// Manager-forwarded lock request chasing the token.
+    pub const LOCK_FORWARD: u8 = 5;
+    /// Lock token grant.
+    pub const LOCK_GRANT: u8 = 6;
+    /// Barrier arrival at the manager.
+    pub const BARRIER_ARRIVE: u8 = 7;
+    /// Barrier release fan-out.
+    pub const BARRIER_RELEASE: u8 = 8;
+    /// Failure suspicion report to the manager.
+    pub const SUSPECT_REPORT: u8 = 9;
+    /// Manager-confirmed recovery broadcast.
+    pub const RECOVERY_START: u8 = 10;
+    /// Transport-level acknowledgement frame.
+    pub const ACK: u8 = 11;
+    /// Idle-link heartbeat frame.
+    pub const HEARTBEAT: u8 = 12;
+}
+
+/// Human-readable label for a message-class code.
+pub fn kind_label(code: u8) -> &'static str {
+    match code {
+        kind::DIFF_REQUEST => "diff_request",
+        kind::DIFF_REPLY => "diff_reply",
+        kind::PREFETCH_REQUEST => "prefetch_request",
+        kind::PREFETCH_REPLY => "prefetch_reply",
+        kind::LOCK_REQUEST => "lock_request",
+        kind::LOCK_FORWARD => "lock_forward",
+        kind::LOCK_GRANT => "lock_grant",
+        kind::BARRIER_ARRIVE => "barrier_arrive",
+        kind::BARRIER_RELEASE => "barrier_release",
+        kind::SUSPECT_REPORT => "suspect_report",
+        kind::RECOVERY_START => "recovery_start",
+        kind::ACK => "ack",
+        kind::HEARTBEAT => "heartbeat",
+        _ => "unknown",
+    }
+}
+
+/// Page-fault outcome classes in [`TraceEvent::FaultEnd`], matching
+/// the paper's §3.3 prefetch-effectiveness taxonomy
+/// (`MissClass` in the engine).
+pub mod class {
+    /// Served locally: a prefetch covered the fault in time.
+    pub const HIT: u8 = 0;
+    /// No prefetch was issued for the page (uncovered miss).
+    pub const NO_PF: u8 = 1;
+    /// A prefetch was in flight but had not completed (late).
+    pub const TOO_LATE: u8 = 2;
+    /// A completed prefetch was invalidated before use.
+    pub const INVALIDATED: u8 = 3;
+}
+
+/// One structured simulated event.
+///
+/// Field conventions: `page` is the shared-page index, `peer` the
+/// remote node of a message or suspicion, `origin`/`seq` identify an
+/// interval by its writer and the writer's own vector-clock
+/// component — the scalar name every write notice and diff carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame handed to the network (includes retransmissions and
+    /// frames the fault plan then drops).
+    MsgSend {
+        /// Message class (see [`kind`]).
+        kind: u8,
+        /// Destination node.
+        peer: u32,
+        /// Per-link transport sequence number (0 for datagrams).
+        seq: u64,
+        /// Wire bytes.
+        bytes: u32,
+        /// True for a timeout-driven retransmission.
+        retransmit: bool,
+    },
+    /// A frame arriving at a live NIC.
+    MsgRecv {
+        /// Message class (see [`kind`]).
+        kind: u8,
+        /// Source node.
+        peer: u32,
+        /// Per-link transport sequence number (0 for datagrams).
+        seq: u64,
+    },
+    /// An application thread faulted on a page.
+    FaultBegin {
+        /// Faulting page.
+        page: u32,
+        /// True for a write fault (twin will be needed).
+        write: bool,
+    },
+    /// The fault's page became valid again; `cause` links the
+    /// matching [`TraceEvent::FaultBegin`].
+    FaultEnd {
+        /// The page that was made valid.
+        page: u32,
+        /// §3.3 outcome class (see [`class`]).
+        class: u8,
+    },
+    /// A diff was encoded from a twin (interval close or prefetch
+    /// interval split).
+    DiffCreate {
+        /// Modified page.
+        page: u32,
+        /// Writer's interval sequence number.
+        seq: u32,
+        /// Encoded diff bytes.
+        bytes: u32,
+    },
+    /// A remote diff was applied to the local copy; `cause` links
+    /// the [`TraceEvent::WriteNotice`] that announced it.
+    DiffApply {
+        /// Patched page.
+        page: u32,
+        /// Writing node.
+        origin: u32,
+        /// Writer's interval sequence number.
+        seq: u32,
+    },
+    /// A twin (pristine copy) was created on first write.
+    TwinCreate {
+        /// Twinned page.
+        page: u32,
+    },
+    /// A write notice became known at this node.
+    WriteNotice {
+        /// Invalidated page.
+        page: u32,
+        /// Writing node.
+        origin: u32,
+        /// Writer's interval sequence number.
+        seq: u32,
+    },
+    /// A thread asked for a lock.
+    LockRequest {
+        /// Lock id.
+        lock: u32,
+    },
+    /// The lock token was granted (at the granting node).
+    LockGrant {
+        /// Lock id.
+        lock: u32,
+    },
+    /// The token passed to a local waiter without leaving the node.
+    LockLocalPass {
+        /// Lock id.
+        lock: u32,
+    },
+    /// The last local thread arrived at a barrier (node-level
+    /// arrival, after request combining).
+    BarrierArrive {
+        /// Barrier id.
+        barrier: u32,
+    },
+    /// A node processed a barrier release.
+    BarrierRelease {
+        /// Barrier id.
+        barrier: u32,
+        /// The node's barrier epoch after this release (1-based).
+        epoch: u32,
+    },
+    /// The node's scheduler switched to another ready thread.
+    ThreadSwitch {
+        /// Incoming thread id.
+        to: u32,
+    },
+    /// A non-binding prefetch request was issued for a page.
+    PrefetchIssue {
+        /// Requested page.
+        page: u32,
+    },
+    /// A prefetch frame was dropped by the fault plan.
+    PrefetchDrop {
+        /// The page whose request or reply was lost.
+        page: u32,
+        /// False: the request was lost; true: the reply was lost.
+        reply: bool,
+    },
+    /// The retransmission timer fired and the frame was re-sent;
+    /// `cause` links the first transmission.
+    TransportRetry {
+        /// Destination node.
+        peer: u32,
+        /// Per-link sequence number.
+        seq: u64,
+        /// The *next* timeout armed after this retry, in ns.
+        rto_ns: u64,
+    },
+    /// Retries were exhausted and the frame was parked for recovery.
+    FrameParked {
+        /// Unreachable destination.
+        peer: u32,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// The node crash-stopped.
+    Crash {
+        /// True when a restart is scheduled (crash-restart).
+        restarts: bool,
+    },
+    /// The node rejoined after a crash-restart.
+    Restart,
+    /// This node reported `peer` as suspected down.
+    Suspect {
+        /// Suspected node.
+        peer: u32,
+    },
+    /// The manager confirmed `peer` down and started recovery.
+    ConfirmDown {
+        /// Confirmed-down node.
+        peer: u32,
+    },
+    /// A barrier-aligned checkpoint was captured.
+    CheckpointTaken {
+        /// Barrier epoch the checkpoint is aligned to.
+        epoch: u32,
+        /// Encoded `RCK1` bytes.
+        bytes: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Wire tag of this event variant.
+    pub fn tag(&self) -> u8 {
+        match self {
+            TraceEvent::MsgSend { .. } => 0,
+            TraceEvent::MsgRecv { .. } => 1,
+            TraceEvent::FaultBegin { .. } => 2,
+            TraceEvent::FaultEnd { .. } => 3,
+            TraceEvent::DiffCreate { .. } => 4,
+            TraceEvent::DiffApply { .. } => 5,
+            TraceEvent::TwinCreate { .. } => 6,
+            TraceEvent::WriteNotice { .. } => 7,
+            TraceEvent::LockRequest { .. } => 8,
+            TraceEvent::LockGrant { .. } => 9,
+            TraceEvent::LockLocalPass { .. } => 10,
+            TraceEvent::BarrierArrive { .. } => 11,
+            TraceEvent::BarrierRelease { .. } => 12,
+            TraceEvent::ThreadSwitch { .. } => 13,
+            TraceEvent::PrefetchIssue { .. } => 14,
+            TraceEvent::PrefetchDrop { .. } => 15,
+            TraceEvent::TransportRetry { .. } => 16,
+            TraceEvent::FrameParked { .. } => 17,
+            TraceEvent::Crash { .. } => 18,
+            TraceEvent::Restart => 19,
+            TraceEvent::Suspect { .. } => 20,
+            TraceEvent::ConfirmDown { .. } => 21,
+            TraceEvent::CheckpointTaken { .. } => 22,
+        }
+    }
+
+    /// Short human-readable name for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgSend { .. } => "msg_send",
+            TraceEvent::MsgRecv { .. } => "msg_recv",
+            TraceEvent::FaultBegin { .. } => "fault_begin",
+            TraceEvent::FaultEnd { .. } => "fault_end",
+            TraceEvent::DiffCreate { .. } => "diff_create",
+            TraceEvent::DiffApply { .. } => "diff_apply",
+            TraceEvent::TwinCreate { .. } => "twin_create",
+            TraceEvent::WriteNotice { .. } => "write_notice",
+            TraceEvent::LockRequest { .. } => "lock_request",
+            TraceEvent::LockGrant { .. } => "lock_grant",
+            TraceEvent::LockLocalPass { .. } => "lock_local_pass",
+            TraceEvent::BarrierArrive { .. } => "barrier_arrive",
+            TraceEvent::BarrierRelease { .. } => "barrier_release",
+            TraceEvent::ThreadSwitch { .. } => "thread_switch",
+            TraceEvent::PrefetchIssue { .. } => "prefetch_issue",
+            TraceEvent::PrefetchDrop { .. } => "prefetch_drop",
+            TraceEvent::TransportRetry { .. } => "transport_retry",
+            TraceEvent::FrameParked { .. } => "frame_parked",
+            TraceEvent::Crash { .. } => "crash",
+            TraceEvent::Restart => "restart",
+            TraceEvent::Suspect { .. } => "suspect",
+            TraceEvent::ConfirmDown { .. } => "confirm_down",
+            TraceEvent::CheckpointTaken { .. } => "checkpoint",
+        }
+    }
+}
+
+/// One trace record. A record's id is its 1-based position in
+/// [`Trace::records`]; id `0` ([`NO_CAUSE`]) never names a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Node the event happened on.
+    pub node: u32,
+    /// Application thread involved, or [`NO_THREAD`].
+    pub thread: u32,
+    /// Id of the record that caused this one, or [`NO_CAUSE`].
+    pub cause: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A complete run trace: every record in global simulated-event
+/// order (ties broken by the engine's deterministic event queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Cluster size of the traced run.
+    pub nodes: u32,
+    /// Threads per node of the traced run.
+    pub threads_per_node: u32,
+    /// All records, in emission order. Record ids are 1-based
+    /// indices into this vector.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Decode failure for the `RTR1` format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The byte stream ended mid-field.
+    Truncated,
+    /// The stream does not start with the `RTR1` magic.
+    BadMagic,
+    /// A structural invariant failed while decoding.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadMagic => write!(f, "not an RTR1 trace"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const MAGIC: u32 = 0x5254_5231; // "RTR1"
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.at + n > self.bytes.len() {
+            return Err(TraceError::Truncated);
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, TraceError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(TraceError::Corrupt("bool out of range")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+}
+
+impl Trace {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Encodes the trace into the deterministic `RTR1` byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.records.len() * 32);
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, self.nodes);
+        put_u32(&mut out, self.threads_per_node);
+        put_u64(&mut out, self.records.len() as u64);
+        for r in &self.records {
+            put_u64(&mut out, r.at.as_nanos());
+            put_u32(&mut out, r.node);
+            put_u32(&mut out, r.thread);
+            put_u64(&mut out, r.cause);
+            put_u8(&mut out, r.event.tag());
+            match &r.event {
+                TraceEvent::MsgSend {
+                    kind,
+                    peer,
+                    seq,
+                    bytes,
+                    retransmit,
+                } => {
+                    put_u8(&mut out, *kind);
+                    put_u32(&mut out, *peer);
+                    put_u64(&mut out, *seq);
+                    put_u32(&mut out, *bytes);
+                    put_bool(&mut out, *retransmit);
+                }
+                TraceEvent::MsgRecv { kind, peer, seq } => {
+                    put_u8(&mut out, *kind);
+                    put_u32(&mut out, *peer);
+                    put_u64(&mut out, *seq);
+                }
+                TraceEvent::FaultBegin { page, write } => {
+                    put_u32(&mut out, *page);
+                    put_bool(&mut out, *write);
+                }
+                TraceEvent::FaultEnd { page, class } => {
+                    put_u32(&mut out, *page);
+                    put_u8(&mut out, *class);
+                }
+                TraceEvent::DiffCreate { page, seq, bytes } => {
+                    put_u32(&mut out, *page);
+                    put_u32(&mut out, *seq);
+                    put_u32(&mut out, *bytes);
+                }
+                TraceEvent::DiffApply { page, origin, seq } => {
+                    put_u32(&mut out, *page);
+                    put_u32(&mut out, *origin);
+                    put_u32(&mut out, *seq);
+                }
+                TraceEvent::TwinCreate { page } => put_u32(&mut out, *page),
+                TraceEvent::WriteNotice { page, origin, seq } => {
+                    put_u32(&mut out, *page);
+                    put_u32(&mut out, *origin);
+                    put_u32(&mut out, *seq);
+                }
+                TraceEvent::LockRequest { lock }
+                | TraceEvent::LockGrant { lock }
+                | TraceEvent::LockLocalPass { lock } => put_u32(&mut out, *lock),
+                TraceEvent::BarrierArrive { barrier } => put_u32(&mut out, *barrier),
+                TraceEvent::BarrierRelease { barrier, epoch } => {
+                    put_u32(&mut out, *barrier);
+                    put_u32(&mut out, *epoch);
+                }
+                TraceEvent::ThreadSwitch { to } => put_u32(&mut out, *to),
+                TraceEvent::PrefetchIssue { page } => put_u32(&mut out, *page),
+                TraceEvent::PrefetchDrop { page, reply } => {
+                    put_u32(&mut out, *page);
+                    put_bool(&mut out, *reply);
+                }
+                TraceEvent::TransportRetry { peer, seq, rto_ns } => {
+                    put_u32(&mut out, *peer);
+                    put_u64(&mut out, *seq);
+                    put_u64(&mut out, *rto_ns);
+                }
+                TraceEvent::FrameParked { peer, seq } => {
+                    put_u32(&mut out, *peer);
+                    put_u64(&mut out, *seq);
+                }
+                TraceEvent::Crash { restarts } => put_bool(&mut out, *restarts),
+                TraceEvent::Restart => {}
+                TraceEvent::Suspect { peer } | TraceEvent::ConfirmDown { peer } => {
+                    put_u32(&mut out, *peer)
+                }
+                TraceEvent::CheckpointTaken { epoch, bytes } => {
+                    put_u32(&mut out, *epoch);
+                    put_u32(&mut out, *bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes an `RTR1` byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on truncation, wrong magic, unknown
+    /// event tags, out-of-range causes, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut c = Cursor { bytes, at: 0 };
+        if c.u32()? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let nodes = c.u32()?;
+        let threads_per_node = c.u32()?;
+        let count = c.u64()?;
+        if count > bytes.len() as u64 {
+            // Each record occupies well over one byte; a count larger
+            // than the stream is corrupt, not merely truncated.
+            return Err(TraceError::Corrupt("record count exceeds stream"));
+        }
+        let mut records = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let at = SimTime::from_nanos(c.u64()?);
+            let node = c.u32()?;
+            let thread = c.u32()?;
+            let cause = c.u64()?;
+            if cause > i {
+                return Err(TraceError::Corrupt("cause is not a prior record"));
+            }
+            let event = match c.u8()? {
+                0 => TraceEvent::MsgSend {
+                    kind: c.u8()?,
+                    peer: c.u32()?,
+                    seq: c.u64()?,
+                    bytes: c.u32()?,
+                    retransmit: c.bool()?,
+                },
+                1 => TraceEvent::MsgRecv {
+                    kind: c.u8()?,
+                    peer: c.u32()?,
+                    seq: c.u64()?,
+                },
+                2 => TraceEvent::FaultBegin {
+                    page: c.u32()?,
+                    write: c.bool()?,
+                },
+                3 => TraceEvent::FaultEnd {
+                    page: c.u32()?,
+                    class: c.u8()?,
+                },
+                4 => TraceEvent::DiffCreate {
+                    page: c.u32()?,
+                    seq: c.u32()?,
+                    bytes: c.u32()?,
+                },
+                5 => TraceEvent::DiffApply {
+                    page: c.u32()?,
+                    origin: c.u32()?,
+                    seq: c.u32()?,
+                },
+                6 => TraceEvent::TwinCreate { page: c.u32()? },
+                7 => TraceEvent::WriteNotice {
+                    page: c.u32()?,
+                    origin: c.u32()?,
+                    seq: c.u32()?,
+                },
+                8 => TraceEvent::LockRequest { lock: c.u32()? },
+                9 => TraceEvent::LockGrant { lock: c.u32()? },
+                10 => TraceEvent::LockLocalPass { lock: c.u32()? },
+                11 => TraceEvent::BarrierArrive { barrier: c.u32()? },
+                12 => TraceEvent::BarrierRelease {
+                    barrier: c.u32()?,
+                    epoch: c.u32()?,
+                },
+                13 => TraceEvent::ThreadSwitch { to: c.u32()? },
+                14 => TraceEvent::PrefetchIssue { page: c.u32()? },
+                15 => TraceEvent::PrefetchDrop {
+                    page: c.u32()?,
+                    reply: c.bool()?,
+                },
+                16 => TraceEvent::TransportRetry {
+                    peer: c.u32()?,
+                    seq: c.u64()?,
+                    rto_ns: c.u64()?,
+                },
+                17 => TraceEvent::FrameParked {
+                    peer: c.u32()?,
+                    seq: c.u64()?,
+                },
+                18 => TraceEvent::Crash {
+                    restarts: c.bool()?,
+                },
+                19 => TraceEvent::Restart,
+                20 => TraceEvent::Suspect { peer: c.u32()? },
+                21 => TraceEvent::ConfirmDown { peer: c.u32()? },
+                22 => TraceEvent::CheckpointTaken {
+                    epoch: c.u32()?,
+                    bytes: c.u32()?,
+                },
+                _ => return Err(TraceError::Corrupt("unknown event tag")),
+            };
+            records.push(TraceRecord {
+                at,
+                node,
+                thread,
+                cause,
+                event,
+            });
+        }
+        if c.at != bytes.len() {
+            return Err(TraceError::Corrupt("trailing bytes"));
+        }
+        Ok(Trace {
+            nodes,
+            threads_per_node,
+            records,
+        })
+    }
+
+    /// FNV-1a digest of the `RTR1` encoding — the run's total-order
+    /// fingerprint.
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.encode())
+    }
+
+    /// Derives aggregate metrics from the trace post-hoc.
+    pub fn metrics(&self) -> TraceMetrics {
+        let mut msg_latency: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut fault_service = Histogram::new();
+        let mut links: BTreeMap<(u32, u32), RetryTimeline> = BTreeMap::new();
+        let mut prefetch = PrefetchTraceSummary::default();
+        for r in &self.records {
+            match &r.event {
+                TraceEvent::MsgRecv { kind, .. } => {
+                    if let Some(send) = self.resolve(r.cause) {
+                        if matches!(send.event, TraceEvent::MsgSend { .. }) {
+                            msg_latency
+                                .entry(kind_label(*kind).to_string())
+                                .or_default()
+                                .insert(r.at.saturating_since(send.at).as_nanos());
+                        }
+                    }
+                }
+                TraceEvent::FaultEnd { class, .. } => {
+                    if let Some(begin) = self.resolve(r.cause) {
+                        if matches!(begin.event, TraceEvent::FaultBegin { .. }) {
+                            fault_service.insert(r.at.saturating_since(begin.at).as_nanos());
+                        }
+                    }
+                    match *class {
+                        class::HIT => prefetch.hits += 1,
+                        class::TOO_LATE => prefetch.too_late += 1,
+                        class::INVALIDATED => prefetch.invalidated += 1,
+                        _ => prefetch.no_pf += 1,
+                    }
+                }
+                TraceEvent::TransportRetry { peer, rto_ns, .. } => {
+                    let link = links.entry((r.node, *peer)).or_insert(RetryTimeline {
+                        src: r.node,
+                        dst: *peer,
+                        retries: 0,
+                        first: r.at,
+                        last: r.at,
+                        max_rto: SimDuration::ZERO,
+                    });
+                    link.retries += 1;
+                    link.first = link.first.min(r.at);
+                    link.last = link.last.max(r.at);
+                    link.max_rto = link.max_rto.max(SimDuration::from_nanos(*rto_ns));
+                }
+                TraceEvent::PrefetchIssue { .. } => prefetch.issued += 1,
+                TraceEvent::PrefetchDrop { reply, .. } => {
+                    if *reply {
+                        prefetch.replies_lost += 1;
+                    } else {
+                        prefetch.requests_lost += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        TraceMetrics {
+            events: self.records.len() as u64,
+            msg_latency,
+            fault_service,
+            retry_links: links.into_values().collect(),
+            prefetch,
+        }
+    }
+
+    fn resolve(&self, cause: u64) -> Option<&TraceRecord> {
+        if cause == NO_CAUSE {
+            return None;
+        }
+        self.records.get((cause - 1) as usize)
+    }
+}
+
+/// Power-of-two latency histogram: bucket `i` counts values whose
+/// bit length is `i` (bucket 0 holds zeros), so bucket boundaries
+/// are exact powers of two up to `u64::MAX`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    /// Bucket index of `v`: its bit length.
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    pub fn insert(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and
+    /// associative.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value (0.0 when empty — never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The per-bucket counts (bucket `i` = values of bit length `i`).
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+}
+
+/// Retransmission activity on one directed link, from
+/// [`TraceEvent::TransportRetry`] records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryTimeline {
+    /// Sending node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Retransmissions on the link.
+    pub retries: u64,
+    /// Time of the first retransmission.
+    pub first: SimTime,
+    /// Time of the last retransmission.
+    pub last: SimTime,
+    /// Largest RTO armed after a retry on this link.
+    pub max_rto: SimDuration,
+}
+
+/// Prefetch-effectiveness counters derived from the trace,
+/// matching the paper's §3.3 taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchTraceSummary {
+    /// Prefetch requests issued.
+    pub issued: u64,
+    /// Faults whose page a prefetch had covered in time.
+    pub hits: u64,
+    /// Faults whose covering prefetch was still in flight.
+    pub too_late: u64,
+    /// Faults whose completed prefetch had been invalidated.
+    pub invalidated: u64,
+    /// Faults with no covering prefetch at all.
+    pub no_pf: u64,
+    /// Prefetch requests lost to the fault plan.
+    pub requests_lost: u64,
+    /// Prefetch replies lost to the fault plan.
+    pub replies_lost: u64,
+}
+
+impl PrefetchTraceSummary {
+    /// Faults a prefetch at least tried to cover.
+    pub fn covered(&self) -> u64 {
+        self.hits + self.too_late + self.invalidated
+    }
+
+    /// Fraction of faults covered by some prefetch (0.0 when there
+    /// were no faults — never NaN).
+    pub fn coverage(&self) -> f64 {
+        let total = self.covered() + self.no_pf;
+        if total == 0 {
+            0.0
+        } else {
+            self.covered() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of covered faults the prefetch actually served
+    /// (0.0 when nothing was covered — never NaN).
+    pub fn accuracy(&self) -> f64 {
+        let covered = self.covered();
+        if covered == 0 {
+            0.0
+        } else {
+            self.hits as f64 / covered as f64
+        }
+    }
+
+    /// Fraction of covered faults whose prefetch arrived too late
+    /// (0.0 when nothing was covered — never NaN).
+    pub fn lateness(&self) -> f64 {
+        let covered = self.covered();
+        if covered == 0 {
+            0.0
+        } else {
+            self.too_late as f64 / covered as f64
+        }
+    }
+}
+
+/// Aggregate metrics derived from a [`Trace`] post-hoc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMetrics {
+    /// Total records in the trace.
+    pub events: u64,
+    /// Send→recv wire latency per message class, in ns.
+    pub msg_latency: BTreeMap<String, Histogram>,
+    /// Page-fault service time (fault begin → page valid), in ns.
+    pub fault_service: Histogram,
+    /// Per-directed-link retransmission timelines, sorted by
+    /// (src, dst).
+    pub retry_links: Vec<RetryTimeline>,
+    /// §3.3 prefetch-effectiveness counters.
+    pub prefetch: PrefetchTraceSummary,
+}
+
+impl TraceMetrics {
+    /// Total retransmissions across all links.
+    pub fn total_retries(&self) -> u64 {
+        self.retry_links.iter().map(|l| l.retries).sum()
+    }
+}
+
+/// The engine-side emitter. All entry points early-return when
+/// tracing is off, so an untraced run does no tracing work at all.
+#[derive(Debug)]
+pub struct Tracer {
+    on: bool,
+    nodes: u32,
+    threads_per_node: u32,
+    records: Vec<TraceRecord>,
+    /// Cause applied to records emitted while handling the current
+    /// engine event, when no explicit cause is given (set to the
+    /// `MsgRecv` id while a received frame is dispatched).
+    current: u64,
+    /// (src, dst, seq) → id of the frame's *first* transmission.
+    first_sends: HashMap<(u32, u32, u64), u64>,
+    /// (node, page) → (fault-begin id, §3.3 class) for in-flight
+    /// demand fetches.
+    faults: HashMap<(u32, u32), (u64, u8)>,
+    /// (node, page, origin, seq) → id of the `WriteNotice` record.
+    notices: HashMap<(u32, u32, u32, u32), u64>,
+}
+
+impl Tracer {
+    /// A tracer; emits nothing unless `on`.
+    pub fn new(on: bool, nodes: u32, threads_per_node: u32) -> Self {
+        Tracer {
+            on,
+            nodes,
+            threads_per_node,
+            records: Vec::new(),
+            current: NO_CAUSE,
+            first_sends: HashMap::new(),
+            faults: HashMap::new(),
+            notices: HashMap::new(),
+        }
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Clears the ambient cause at the start of an engine event.
+    pub fn begin_event(&mut self) {
+        self.current = NO_CAUSE;
+    }
+
+    /// Sets the ambient cause (the `MsgRecv` id) for records emitted
+    /// while the current frame is dispatched.
+    pub fn set_current(&mut self, id: u64) {
+        self.current = id;
+    }
+
+    /// Emits one record and returns its id (0 when tracing is off).
+    /// A `cause` of [`NO_CAUSE`] inherits the ambient cause.
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        node: u32,
+        thread: u32,
+        cause: u64,
+        event: TraceEvent,
+    ) -> u64 {
+        if !self.on {
+            return NO_CAUSE;
+        }
+        let cause = if cause == NO_CAUSE {
+            self.current
+        } else {
+            cause
+        };
+        self.records.push(TraceRecord {
+            at,
+            node,
+            thread,
+            cause,
+            event,
+        });
+        self.records.len() as u64
+    }
+
+    /// Remembers the first transmission of a reliable frame.
+    pub fn note_first_send(&mut self, src: u32, dst: u32, seq: u64, id: u64) {
+        if !self.on {
+            return;
+        }
+        self.first_sends.entry((src, dst, seq)).or_insert(id);
+    }
+
+    /// Id of a reliable frame's first transmission ([`NO_CAUSE`]
+    /// when unknown).
+    pub fn first_send(&self, src: u32, dst: u32, seq: u64) -> u64 {
+        if !self.on {
+            return NO_CAUSE;
+        }
+        self.first_sends
+            .get(&(src, dst, seq))
+            .copied()
+            .unwrap_or(NO_CAUSE)
+    }
+
+    /// Forgets a delivered frame's first transmission (keeps the
+    /// map bounded by in-flight frames).
+    pub fn forget_send(&mut self, src: u32, dst: u32, seq: u64) {
+        if self.on {
+            self.first_sends.remove(&(src, dst, seq));
+        }
+    }
+
+    /// Remembers the begin record and outcome class of an in-flight
+    /// demand fetch.
+    pub fn note_fault(&mut self, node: u32, page: u32, begin: u64, class: u8) {
+        if self.on {
+            self.faults.insert((node, page), (begin, class));
+        }
+    }
+
+    /// Takes the begin record and class of a completing fetch.
+    pub fn take_fault(&mut self, node: u32, page: u32) -> Option<(u64, u8)> {
+        if !self.on {
+            return None;
+        }
+        self.faults.remove(&(node, page))
+    }
+
+    /// Remembers the `WriteNotice` record for an interval at a node.
+    pub fn note_notice(&mut self, node: u32, page: u32, origin: u32, seq: u32, id: u64) {
+        if self.on {
+            self.notices.insert((node, page, origin, seq), id);
+        }
+    }
+
+    /// Id of the `WriteNotice` record a `DiffApply` descends from.
+    pub fn notice_id(&self, node: u32, page: u32, origin: u32, seq: u32) -> u64 {
+        if !self.on {
+            return NO_CAUSE;
+        }
+        self.notices
+            .get(&(node, page, origin, seq))
+            .copied()
+            .unwrap_or(NO_CAUSE)
+    }
+
+    /// Consumes the tracer into the finished [`Trace`].
+    pub fn finish(self) -> Trace {
+        Trace {
+            nodes: self.nodes,
+            threads_per_node: self.threads_per_node,
+            records: self.records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Tracer::new(true, 2, 1);
+        let send = t.emit(
+            SimTime::from_nanos(10),
+            0,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::MsgSend {
+                kind: kind::DIFF_REQUEST,
+                peer: 1,
+                seq: 1,
+                bytes: 64,
+                retransmit: false,
+            },
+        );
+        let recv = t.emit(
+            SimTime::from_nanos(150),
+            1,
+            NO_THREAD,
+            send,
+            TraceEvent::MsgRecv {
+                kind: kind::DIFF_REQUEST,
+                peer: 0,
+                seq: 1,
+            },
+        );
+        t.set_current(recv);
+        t.emit(
+            SimTime::from_nanos(160),
+            1,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::DiffCreate {
+                page: 7,
+                seq: 3,
+                bytes: 40,
+            },
+        );
+        t.begin_event();
+        let begin = t.emit(
+            SimTime::from_nanos(200),
+            0,
+            0,
+            NO_CAUSE,
+            TraceEvent::FaultBegin {
+                page: 7,
+                write: true,
+            },
+        );
+        t.emit(
+            SimTime::from_nanos(500),
+            0,
+            0,
+            begin,
+            TraceEvent::FaultEnd {
+                page: 7,
+                class: class::HIT,
+            },
+        );
+        t.emit(
+            SimTime::from_nanos(600),
+            0,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::TransportRetry {
+                peer: 1,
+                seq: 2,
+                rto_ns: 4_000_000,
+            },
+        );
+        t.finish()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = sample();
+        let bytes = t.encode();
+        let back = Trace::decode(&bytes).expect("decode");
+        assert_eq!(t, back);
+        assert_eq!(t.digest(), back.digest());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in [0, 3, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Trace::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xff;
+        assert_eq!(Trace::decode(&bytes), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(
+            Trace::decode(&bytes),
+            Err(TraceError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn forward_cause_is_rejected() {
+        let t = Trace {
+            nodes: 1,
+            threads_per_node: 1,
+            records: vec![TraceRecord {
+                at: SimTime::ZERO,
+                node: 0,
+                thread: NO_THREAD,
+                cause: 1, // would name itself
+                event: TraceEvent::Restart,
+            }],
+        };
+        assert_eq!(
+            Trace::decode(&t.encode()),
+            Err(TraceError::Corrupt("cause is not a prior record"))
+        );
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let a = sample();
+        let mut b = sample();
+        b.records[0].at = SimTime::from_nanos(11);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), sample().digest());
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let mut t = Tracer::new(false, 4, 1);
+        let id = t.emit(SimTime::ZERO, 0, NO_THREAD, NO_CAUSE, TraceEvent::Restart);
+        assert_eq!(id, NO_CAUSE);
+        t.note_first_send(0, 1, 1, 5);
+        assert_eq!(t.first_send(0, 1, 1), NO_CAUSE);
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn metrics_from_sample() {
+        let m = sample().metrics();
+        assert_eq!(m.events, 6);
+        let lat = &m.msg_latency["diff_request"];
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.sum(), 140);
+        assert_eq!(m.fault_service.count(), 1);
+        assert_eq!(m.fault_service.sum(), 300);
+        assert_eq!(m.retry_links.len(), 1);
+        assert_eq!(m.retry_links[0].retries, 1);
+        assert_eq!(m.retry_links[0].max_rto, SimDuration::from_millis(4));
+        assert_eq!(m.prefetch.hits, 1);
+        assert_eq!(m.total_retries(), 1);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.insert(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[11], 1); // 1024
+        assert!((h.mean() - 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_summary_is_nan_free_when_empty() {
+        let p = PrefetchTraceSummary::default();
+        assert_eq!(p.coverage(), 0.0);
+        assert_eq!(p.accuracy(), 0.0);
+        assert_eq!(p.lateness(), 0.0);
+    }
+}

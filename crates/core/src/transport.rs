@@ -118,6 +118,11 @@ pub(crate) struct Packet {
     pub dst: NodeId,
     /// Payload.
     pub frame: Frame,
+    /// Trace record id of the `MsgSend` that put this frame on the
+    /// wire (0 when tracing is off). Lets the receive side link its
+    /// `MsgRecv` record to the exact transmission — including
+    /// retransmissions and fault-plan duplicates — without guessing.
+    pub cause: u64,
 }
 
 /// Per-run transport tallies, surfaced in

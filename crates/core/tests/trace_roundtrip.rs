@@ -1,0 +1,212 @@
+//! Property tests for the trace plumbing: arbitrary event sequences
+//! survive the `RTR1` encode/decode round trip exactly (and no strict
+//! prefix parses), and latency histograms preserve their invariants
+//! under insert and merge.
+
+use proptest::prelude::*;
+use rsdsm_core::{Histogram, Trace, TraceEvent, TraceRecord, NO_THREAD};
+use rsdsm_simnet::SimTime;
+
+/// Raw event spec: a variant selector plus generic operands, mapped
+/// onto the 23 event variants (the vendored proptest shim has no
+/// `prop_map`, so construction happens in the test body).
+type EventSpec = (u8, u32, u32, u64, bool);
+
+fn build_event(spec: EventSpec) -> TraceEvent {
+    let (tag, a, b, c, flag) = spec;
+    match tag % 23 {
+        0 => TraceEvent::MsgSend {
+            kind: (a % 13) as u8,
+            peer: b,
+            seq: c,
+            bytes: a,
+            retransmit: flag,
+        },
+        1 => TraceEvent::MsgRecv {
+            kind: (a % 13) as u8,
+            peer: b,
+            seq: c,
+        },
+        2 => TraceEvent::FaultBegin {
+            page: a,
+            write: flag,
+        },
+        3 => TraceEvent::FaultEnd {
+            page: a,
+            class: (b % 4) as u8,
+        },
+        4 => TraceEvent::DiffCreate {
+            page: a,
+            seq: b,
+            bytes: c as u32,
+        },
+        5 => TraceEvent::DiffApply {
+            page: a,
+            origin: b,
+            seq: c as u32,
+        },
+        6 => TraceEvent::TwinCreate { page: a },
+        7 => TraceEvent::WriteNotice {
+            page: a,
+            origin: b,
+            seq: c as u32,
+        },
+        8 => TraceEvent::LockRequest { lock: a },
+        9 => TraceEvent::LockGrant { lock: a },
+        10 => TraceEvent::LockLocalPass { lock: a },
+        11 => TraceEvent::BarrierArrive { barrier: a },
+        12 => TraceEvent::BarrierRelease {
+            barrier: a,
+            epoch: b,
+        },
+        13 => TraceEvent::ThreadSwitch { to: a },
+        14 => TraceEvent::PrefetchIssue { page: a },
+        15 => TraceEvent::PrefetchDrop {
+            page: a,
+            reply: flag,
+        },
+        16 => TraceEvent::TransportRetry {
+            peer: a,
+            seq: c,
+            rto_ns: c.rotate_left(7),
+        },
+        17 => TraceEvent::FrameParked { peer: a, seq: c },
+        18 => TraceEvent::Crash { restarts: flag },
+        19 => TraceEvent::Restart,
+        20 => TraceEvent::Suspect { peer: a },
+        21 => TraceEvent::ConfirmDown { peer: a },
+        _ => TraceEvent::CheckpointTaken { epoch: a, bytes: b },
+    }
+}
+
+/// An arbitrary-but-valid trace: times ascend, causes point backwards
+/// (a record's cause is folded into `1..=index`, or 0).
+fn build_trace(nodes: u32, tpn: u32, specs: &[(u64, u32, u32, u64, EventSpec)]) -> Trace {
+    let mut at = 0u64;
+    let records = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(dt, node, thread, cause, event))| {
+            at += dt;
+            TraceRecord {
+                at: SimTime::from_nanos(at),
+                node: node % nodes,
+                thread: if thread % 4 == 0 {
+                    NO_THREAD
+                } else {
+                    thread % (nodes * tpn)
+                },
+                cause: cause % (i as u64 + 1),
+                event: build_event(event),
+            }
+        })
+        .collect();
+    Trace {
+        nodes,
+        threads_per_node: tpn,
+        records,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn rtr1_round_trips_and_is_self_delimiting(
+        nodes in 1u32..9,
+        tpn in 1u32..5,
+        specs in prop::collection::vec(
+            (0u64..1_000_000, any::<u32>(), any::<u32>(), any::<u64>(),
+             (any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<bool>())),
+            0..40),
+        cut_seed in any::<u64>(),
+    ) {
+        let trace = build_trace(nodes, tpn, &specs);
+        let bytes = trace.encode();
+        let back = Trace::decode(&bytes).expect("decode");
+        prop_assert_eq!(&back, &trace);
+        prop_assert_eq!(back.digest(), trace.digest());
+        // Re-encoding is byte-stable (digests are well-defined).
+        prop_assert_eq!(back.encode(), bytes);
+
+        // Self-delimiting: no strict prefix parses.
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(
+            Trace::decode(&bytes[..cut]).is_err(),
+            "a {}-byte prefix of a {}-byte trace decoded",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn histogram_insert_preserves_count_sum_and_bounds(
+        values in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.insert(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.count(), h.buckets().iter().sum::<u64>());
+        let sum: u64 = values.iter().fold(0, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+        if values.is_empty() {
+            prop_assert_eq!(h.min(), 0);
+            prop_assert_eq!(h.max(), 0);
+            prop_assert_eq!(h.mean(), 0.0);
+        } else {
+            prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+            prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+            prop_assert!(h.mean().is_finite());
+            // Only a saturated sum may pull the mean below the
+            // smallest value; within range the mean is bounded
+            // (tolerate f64 rounding of u64 endpoints).
+            let exact: u128 = values.iter().map(|&v| v as u128).sum();
+            if exact <= u64::MAX as u128 {
+                prop_assert!(
+                    h.min() as f64 * (1.0 - 1e-9) <= h.mean()
+                        && h.mean() <= h.max() as f64 * (1.0 + 1e-9)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_and_totals_add(
+        xs in prop::collection::vec(any::<u64>(), 0..100),
+        ys in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &xs {
+            a.insert(v);
+        }
+        let mut b = Histogram::new();
+        for &v in &ys {
+            b.insert(v);
+        }
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+        prop_assert_eq!(ab.sum(), a.sum().saturating_add(b.sum()));
+        if a.count() > 0 && b.count() > 0 {
+            prop_assert_eq!(ab.min(), a.min().min(b.min()));
+            prop_assert_eq!(ab.max(), a.max().max(b.max()));
+        }
+
+        // Merging is equivalent to inserting everything into one.
+        let mut all = Histogram::new();
+        for &v in xs.iter().chain(&ys) {
+            all.insert(v);
+        }
+        prop_assert_eq!(&all, &ab);
+    }
+}

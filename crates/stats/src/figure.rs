@@ -149,6 +149,40 @@ mod tests {
     fn percent_helper() {
         assert_eq!(percent(1, 4), 25.0);
         assert_eq!(percent(5, 0), 0.0);
+        assert!(percent(u64::MAX, 1).is_finite());
+        assert!(percent(0, 0).is_finite());
+    }
+
+    /// A zero normalization base (degenerate but reachable when an
+    /// app's original run is elided) must render all-zero bars, not
+    /// NaN cells: figure output goes straight into the paper tables.
+    #[test]
+    fn zero_base_renders_without_nan() {
+        let b = breakdown(10, 5);
+        let out = render_bars("X", &[Bar::new("O", b)], SimDuration::ZERO);
+        assert!(
+            !out.contains("NaN") && !out.contains("inf"),
+            "figure output leaked a non-finite value: {out}"
+        );
+        assert!(out.contains("Total"), "{out}");
+        assert!(out.contains("0.0"), "{out}");
+    }
+
+    /// All-zero breakdowns with a zero base collapse to just the
+    /// Total row — finite, no NaN, no phantom categories.
+    #[test]
+    fn empty_bars_render_finite() {
+        let out = render_bars(
+            "X",
+            &[
+                Bar::new("O", Breakdown::new()),
+                Bar::new("P", Breakdown::new()),
+            ],
+            SimDuration::ZERO,
+        );
+        assert!(!out.contains("NaN") && !out.contains("inf"), "{out}");
+        assert!(out.contains("Total"), "{out}");
+        assert!(!out.contains("Busy"), "{out}");
     }
 
     #[test]

@@ -8,8 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod figure;
 mod table;
 
+pub use chrome::chrome_trace_json;
 pub use figure::{percent, render_bars, speedup_label, Bar};
 pub use table::{Align, AsciiTable};

@@ -11,7 +11,7 @@
 
 use rsdsm::apps::{Benchmark, Scale};
 use rsdsm::core::{DsmConfig, RunReport};
-use rsdsm::simnet::FaultPlan;
+use rsdsm::simnet::{FaultPlan, SimTime};
 
 fn lossy_radix() -> RunReport {
     let cfg = DsmConfig::paper_cluster(4)
@@ -63,4 +63,56 @@ fn repeat_runs_are_digest_identical() {
     // The report digest hashes the entire Debug rendering, so this is
     // the strongest cheap statement of run-to-run determinism.
     assert_eq!(lossy_radix().digest(), lossy_radix().digest());
+}
+
+/// 5%-loss variant with tracing on, pinning the trace-derived
+/// retry-timeline metrics: which links retried, how often, when the
+/// first and last retransmissions fired, and the largest RTO armed.
+/// These come from the event trace, not the transport's counters, so
+/// they pin the retry *schedule*, not just its totals.
+#[test]
+fn retry_timelines_are_pinned_under_5pct_loss() {
+    let cfg = DsmConfig::paper_cluster(4)
+        .with_seed(1998)
+        .with_faults(FaultPlan::uniform_loss(0xFA11, 0.05));
+    let (report, trace) = Benchmark::Radix
+        .run_traced(Scale::Test, cfg)
+        .expect("traced lossy RADIX run");
+    assert!(report.verified, "RADIX must verify under 5% loss");
+    assert_eq!(trace.digest(), 0xc0aafddce7c33c6f, "trace digest moved");
+    assert_eq!(trace.len(), 842);
+
+    let m = report.trace.as_ref().expect("traced run carries metrics");
+    // Every transport-counted retransmission appears in the trace.
+    assert_eq!(m.total_retries(), report.transport.retransmissions);
+    assert_eq!(m.total_retries(), 15);
+
+    // (src, dst, retries, first ns, last ns, max RTO ns).
+    let expected: [(u32, u32, u64, u64, u64, u64); 8] = [
+        (0, 1, 3, 19_619_098, 25_243_140, 8_000_000),
+        (0, 2, 1, 19_674_098, 19_674_098, 8_000_000),
+        (0, 3, 3, 11_987_829, 25_573_140, 8_000_000),
+        (2, 0, 2, 19_903_322, 27_958_322, 16_000_000),
+        (2, 1, 2, 14_261_840, 31_403_803, 8_000_000),
+        (2, 3, 1, 5_487_545, 5_487_545, 8_000_000),
+        (3, 0, 2, 5_288_049, 15_379_738, 8_000_000),
+        (3, 2, 1, 14_557_199, 14_557_199, 8_000_000),
+    ];
+    assert_eq!(m.retry_links.len(), expected.len(), "retrying links moved");
+    for (link, (src, dst, retries, first, last, max_rto)) in m.retry_links.iter().zip(expected) {
+        let name = format!("link n{src}->n{dst}");
+        assert_eq!((link.src, link.dst), (src, dst), "{name}: order moved");
+        assert_eq!(link.retries, retries, "{name}: retry count moved");
+        assert_eq!(
+            link.first,
+            SimTime::from_nanos(first),
+            "{name}: first retry moved"
+        );
+        assert_eq!(
+            link.last,
+            SimTime::from_nanos(last),
+            "{name}: last retry moved"
+        );
+        assert_eq!(link.max_rto.as_nanos(), max_rto, "{name}: max RTO moved");
+    }
 }

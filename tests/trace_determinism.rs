@@ -1,0 +1,202 @@
+//! The trace-replay suite.
+//!
+//! The simulation is deterministic, so a trace digest is a
+//! total-order fingerprint of a run. This suite locks down three
+//! contracts the tracing layer makes:
+//!
+//! 1. **Determinism** — same (seed, config) ⇒ bit-identical `RTR1`
+//!    bytes, twice over.
+//! 2. **Zero observer effect** — a traced run reports exactly what
+//!    the untraced run reports (`RunReport::digest()` unchanged).
+//! 3. **Causality** — every `DiffApply` is causally linked to a
+//!    `WriteNotice` for the same interval at the same node, an
+//!    event-*ordering* invariant the consistency oracle cannot
+//!    express over aggregates.
+//!
+//! The default grid is RADIX and FFT × O/P/2T/2TP so `cargo test`
+//! stays fast; `RSDSM_TRACE_MATRIX=full` widens it to all eight
+//! applications. On any failure the offending run's Chrome trace
+//! JSON is written under `target/trace-artifacts/` so the regression
+//! arrives with its own timeline attached.
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::{DsmConfig, Trace, TraceEvent};
+use rsdsm::oracle::Technique;
+use rsdsm::stats::chrome_trace_json;
+
+fn base(nodes: usize) -> DsmConfig {
+    DsmConfig::paper_cluster(nodes).with_seed(1998)
+}
+
+fn grid_apps() -> Vec<Benchmark> {
+    if std::env::var("RSDSM_TRACE_MATRIX").is_ok_and(|v| v == "full") {
+        Benchmark::ALL.to_vec()
+    } else {
+        vec![Benchmark::Radix, Benchmark::Fft]
+    }
+}
+
+/// Writes the run's Chrome trace next to the test binary and panics
+/// with `msg`, so a failing ordering check ships its timeline.
+fn fail_with_artifact(bench: Benchmark, tech: Technique, trace: &Trace, msg: String) -> ! {
+    let dir = std::path::Path::new("target").join("trace-artifacts");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{}-{}.json", bench.name(), tech.label()));
+    match std::fs::write(&path, chrome_trace_json(trace)) {
+        Ok(()) => panic!("{msg}\n(trace artifact written to {})", path.display()),
+        Err(e) => panic!("{msg}\n(artifact write to {} failed: {e})", path.display()),
+    }
+}
+
+/// (1) Same seed ⇒ the same events in the same order, bit for bit.
+#[test]
+fn same_seed_traces_are_bit_identical() {
+    for bench in grid_apps() {
+        for tech in Technique::ALL {
+            let cfg = || tech.configure(bench, base(4));
+            let (_, a) = bench
+                .run_traced(Scale::Test, cfg())
+                .unwrap_or_else(|e| panic!("{bench} [{}] run 1: {e}", tech.label()));
+            let (_, b) = bench
+                .run_traced(Scale::Test, cfg())
+                .unwrap_or_else(|e| panic!("{bench} [{}] run 2: {e}", tech.label()));
+            assert!(
+                !a.is_empty(),
+                "{bench} [{}]: a real run must emit events",
+                tech.label()
+            );
+            if a.digest() != b.digest() || a.encode() != b.encode() {
+                fail_with_artifact(
+                    bench,
+                    tech,
+                    &a,
+                    format!(
+                        "{bench} [{}]: same-seed traces diverged \
+                         ({:016x} vs {:016x}, {} vs {} events)",
+                        tech.label(),
+                        a.digest(),
+                        b.digest(),
+                        a.len(),
+                        b.len(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// (2) Tracing must not perturb the run it observes: the traced
+/// report digests identically to the untraced one, for every cell of
+/// the fast matrix.
+#[test]
+fn tracing_has_zero_observer_effect() {
+    for bench in grid_apps() {
+        for tech in Technique::ALL {
+            let cfg = || tech.configure(bench, base(4));
+            let plain = bench
+                .run(Scale::Test, cfg())
+                .unwrap_or_else(|e| panic!("{bench} [{}] untraced: {e}", tech.label()));
+            let (traced, trace) = bench
+                .run_traced(Scale::Test, cfg())
+                .unwrap_or_else(|e| panic!("{bench} [{}] traced: {e}", tech.label()));
+            assert!(
+                traced.trace.is_some(),
+                "{bench} [{}]: traced run must carry trace metrics",
+                tech.label()
+            );
+            if plain.digest() != traced.digest() {
+                fail_with_artifact(
+                    bench,
+                    tech,
+                    &trace,
+                    format!(
+                        "{bench} [{}]: tracing changed the run \
+                         (untraced digest {:016x}, traced {:016x})",
+                        tech.label(),
+                        plain.digest(),
+                        traced.digest(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// (3) A diff may only be applied after its write notice is known at
+/// the applying node: every `DiffApply` record must causally link a
+/// prior `WriteNotice` for the same (page, origin, seq) at the same
+/// node. The decoder already rejects forward causes, so resolving the
+/// link proves "preceded by".
+#[test]
+fn every_diff_apply_is_caused_by_a_matching_write_notice() {
+    for bench in grid_apps() {
+        for tech in Technique::ALL {
+            let cfg = tech.configure(bench, base(4));
+            let (_, trace) = bench
+                .run_traced(Scale::Test, cfg)
+                .unwrap_or_else(|e| panic!("{bench} [{}]: {e}", tech.label()));
+            let mut applies = 0u64;
+            for (i, rec) in trace.records.iter().enumerate() {
+                let TraceEvent::DiffApply { page, origin, seq } = rec.event else {
+                    continue;
+                };
+                applies += 1;
+                let problem = if rec.cause == 0 || rec.cause as usize > i {
+                    Some("has no prior causal link".to_string())
+                } else {
+                    let notice = &trace.records[rec.cause as usize - 1];
+                    match notice.event {
+                        TraceEvent::WriteNotice {
+                            page: np,
+                            origin: no,
+                            seq: ns,
+                        } if np == page && no == origin && ns == seq && notice.node == rec.node => {
+                            None
+                        }
+                        ref other => Some(format!(
+                            "links record {} ({:?} at node {}) instead of a matching notice",
+                            rec.cause, other, notice.node
+                        )),
+                    }
+                };
+                if let Some(why) = problem {
+                    fail_with_artifact(
+                        bench,
+                        tech,
+                        &trace,
+                        format!(
+                            "{bench} [{}]: DiffApply #{i} (page {page}, origin {origin}, \
+                             seq {seq}, node {}) {why}",
+                            tech.label(),
+                            rec.node,
+                        ),
+                    );
+                }
+            }
+            assert!(
+                applies > 0,
+                "{bench} [{}]: expected at least one applied diff",
+                tech.label()
+            );
+        }
+    }
+}
+
+/// The `RTR1` bytes round-trip through the decoder, and the exporter
+/// accepts a real trace (spot check of the end-to-end path the bench
+/// `--trace` flag uses).
+#[test]
+fn real_traces_round_trip_and_export() {
+    let (_, trace) = Benchmark::Radix
+        .run_traced(
+            Scale::Test,
+            Technique::Combined.configure(Benchmark::Radix, base(4)),
+        )
+        .expect("traced RADIX 2TP");
+    let decoded = Trace::decode(&trace.encode()).expect("decode RTR1");
+    assert_eq!(decoded, trace);
+    assert_eq!(decoded.digest(), trace.digest());
+    let json = chrome_trace_json(&trace);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"name\":\"node 3\""));
+}
