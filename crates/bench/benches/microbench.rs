@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use rsdsm_protocol::{Diff, NoticeBoard, Page, PageId, VectorClock, WriteNotice};
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_core::DsmConfig;
+use rsdsm_protocol::{Diff, NoticeBoard, Page, PageId, PagePool, VectorClock, WriteNotice};
 use rsdsm_simnet::{EventQueue, NetConfig, Network, Reliability, SimTime};
 
 fn page_pair(stride: usize) -> (Page, Page) {
@@ -25,6 +27,17 @@ fn bench_diffs(c: &mut Criterion) {
         group.bench_function(format!("create_{label}"), |b| {
             b.iter(|| Diff::between(black_box(&twin), black_box(&current)))
         });
+        // The pre-optimization scan (byte-at-a-time, one allocation
+        // per run): the denominator for the hot-path pass's speedup
+        // claims, measured in the same process.
+        group.bench_function(format!("create_{label}_reference"), |b| {
+            b.iter(|| Diff::between_reference(black_box(&twin), black_box(&current)))
+        });
+        // Snapshot-delta variant (gap coalescing; not used on
+        // coherence paths — see DESIGN.md §6g).
+        group.bench_function(format!("create_{label}_coalesced"), |b| {
+            b.iter(|| Diff::between_coalesced(black_box(&twin), black_box(&current)))
+        });
         let diff = Diff::between(&twin, &current);
         group.bench_function(format!("apply_{label}"), |b| {
             b.iter_batched(
@@ -35,6 +48,46 @@ fn bench_diffs(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_page_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_pool");
+    let (_, src) = page_pair(64);
+    // Twin creation through a warm pool: one memcpy, no zero-init.
+    group.bench_function("take_copy_of_warm", |b| {
+        let mut pool = PagePool::new();
+        pool.put(Box::new(Page::new()));
+        b.iter(|| {
+            let twin = pool.take_copy_of(black_box(&src));
+            pool.put(twin);
+        })
+    });
+    // The pre-pool path: fresh allocation + clone per twin.
+    group.bench_function("boxed_clone_reference", |b| {
+        b.iter(|| black_box(Box::new(src.clone())))
+    });
+    group.finish();
+}
+
+fn bench_trace_and_report(c: &mut Criterion) {
+    let base = DsmConfig::paper_cluster(4).with_seed(1998);
+    let (_, trace) = Benchmark::Radix
+        .run_traced(Scale::Test, base.clone())
+        .expect("traced RADIX");
+    c.bench_function("trace/encode_rtr1", |b| {
+        b.iter(|| black_box(&trace).encode())
+    });
+
+    let lossy = Benchmark::Fft
+        .run(
+            Scale::Test,
+            base.with_faults(rsdsm_core::FaultPlan::uniform_loss(0xFA11, 0.05)),
+        )
+        .expect("lossy FFT");
+    // The consolidated single-buffer summary formatter.
+    c.bench_function("report/fault_summary_line", |b| {
+        b.iter(|| black_box(&lossy).fault_summary_line())
+    });
 }
 
 fn bench_vector_clocks(c: &mut Criterion) {
@@ -113,6 +166,8 @@ fn bench_notice_board(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_diffs,
+    bench_page_pool,
+    bench_trace_and_report,
     bench_vector_clocks,
     bench_event_queue,
     bench_network,

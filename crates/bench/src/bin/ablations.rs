@@ -12,25 +12,51 @@
 //! 5. **Context-switch cost sensitivity** (§4.3).
 
 use rsdsm_apps::Benchmark;
-use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_bench::{ExpOpts, Runner, Variant};
 use rsdsm_core::{PrefetchConfig, ThreadConfig};
 use rsdsm_stats::{speedup_label, Align, AsciiTable};
 
 fn main() {
     let opts = ExpOpts::from_args();
     println!("Ablations ({} nodes, {:?} scale)\n", opts.nodes, opts.scale);
-    naive_combination(&opts);
-    suppression(&opts);
-    radix_throttle(&opts);
-    reliable_prefetch(&opts);
-    switch_cost(&opts);
-    automatic_prefetch(&opts);
+    let mut runner = Runner::new(&opts);
+    // Every standard-variant cell each section consumes, in consumption
+    // order; the scheduler fans them across cores up front and the
+    // sections then pop their results in the usual serial order.
+    let mut cells = Vec::new();
+    for bench in [Benchmark::Fft, Benchmark::WaterNsq, Benchmark::Sor] {
+        cells.push((bench, Variant::Original));
+        cells.push((bench, Variant::Combined(4)));
+    }
+    for bench in [Benchmark::WaterNsq, Benchmark::Ocean, Benchmark::Sor] {
+        cells.push((bench, Variant::Combined(4)));
+    }
+    cells.push((Benchmark::Radix, Variant::Combined(4)));
+    for bench in [Benchmark::Fft, Benchmark::Radix, Benchmark::Sor] {
+        cells.push((bench, Variant::Prefetch));
+    }
+    for bench in [
+        Benchmark::Sor,
+        Benchmark::Fft,
+        Benchmark::WaterNsq,
+        Benchmark::Ocean,
+    ] {
+        cells.push((bench, Variant::Original));
+        cells.push((bench, Variant::Prefetch));
+    }
+    runner.precompute(&cells);
+    naive_combination(&mut runner);
+    suppression(&mut runner);
+    radix_throttle(&mut runner);
+    reliable_prefetch(&mut runner);
+    switch_cost(runner.opts());
+    automatic_prefetch(&mut runner);
 }
 
 /// §3 / §6: hand-inserted prefetching vs a Bianchini-style
 /// history-based runtime prefetcher (the paper's claim: explicit
 /// insertion prefetches "more intelligently and more aggressively").
-fn automatic_prefetch(opts: &ExpOpts) {
+fn automatic_prefetch(runner: &mut Runner<'_>) {
     println!("6. Hand-inserted vs automatic (history-based) prefetching");
     let mut t = AsciiTable::new(
         vec![
@@ -56,12 +82,13 @@ fn automatic_prefetch(opts: &ExpOpts) {
         Benchmark::WaterNsq,
         Benchmark::Ocean,
     ] {
-        let orig = run_variant(bench, Variant::Original, opts);
-        let hand = run_variant(bench, Variant::Prefetch, opts);
-        let auto_cfg = opts
+        let orig = runner.run(bench, Variant::Original);
+        let hand = runner.run(bench, Variant::Prefetch);
+        let auto_cfg = runner
+            .opts()
             .base_config()
             .with_prefetch(PrefetchConfig::automatic());
-        let auto = bench.run(opts.scale, auto_cfg).expect("auto run");
+        let auto = bench.run(runner.opts().scale, auto_cfg).expect("auto run");
         assert!(auto.verified);
         t.add_row(vec![
             bench.name().into(),
@@ -77,7 +104,7 @@ fn automatic_prefetch(opts: &ExpOpts) {
 
 /// §5: "we apply both prefetching and multithreading to memory
 /// latency" — the rejected design.
-fn naive_combination(opts: &ExpOpts) {
+fn naive_combination(runner: &mut Runner<'_>) {
     println!("1. Combined approach: switch on sync only (paper) vs switch on everything (naive)");
     let mut t = AsciiTable::new(
         vec![
@@ -98,14 +125,16 @@ fn naive_combination(opts: &ExpOpts) {
         ],
     );
     for bench in [Benchmark::Fft, Benchmark::WaterNsq, Benchmark::Sor] {
-        let orig = run_variant(bench, Variant::Original, opts);
-        let paper = run_variant(bench, Variant::Combined(4), opts);
-        let mut naive_cfg = Variant::Combined(4).config(bench, opts);
+        let orig = runner.run(bench, Variant::Original);
+        let paper = runner.run(bench, Variant::Combined(4));
+        let mut naive_cfg = Variant::Combined(4).config(bench, runner.opts());
         naive_cfg.threads = ThreadConfig {
             switch_on_memory: true,
             ..naive_cfg.threads
         };
-        let naive = bench.run(opts.scale, naive_cfg).expect("naive run");
+        let naive = bench
+            .run(runner.opts().scale, naive_cfg)
+            .expect("naive run");
         assert!(naive.verified);
         t.add_row(vec![
             bench.name().into(),
@@ -120,7 +149,7 @@ fn naive_combination(opts: &ExpOpts) {
 }
 
 /// §5.1: value of the redundant-prefetch suppression flag.
-fn suppression(opts: &ExpOpts) {
+fn suppression(runner: &mut Runner<'_>) {
     println!("2. Redundant-prefetch suppression in combined mode (4 threads/node)");
     let mut t = AsciiTable::new(
         vec![
@@ -139,10 +168,10 @@ fn suppression(opts: &ExpOpts) {
         ],
     );
     for bench in [Benchmark::WaterNsq, Benchmark::Ocean, Benchmark::Sor] {
-        let on = run_variant(bench, Variant::Combined(4), opts);
-        let mut off_cfg = Variant::Combined(4).config(bench, opts);
+        let on = runner.run(bench, Variant::Combined(4));
+        let mut off_cfg = Variant::Combined(4).config(bench, runner.opts());
         off_cfg.prefetch.suppress_redundant = false;
-        let off = bench.run(opts.scale, off_cfg).expect("run");
+        let off = bench.run(runner.opts().scale, off_cfg).expect("run");
         assert!(off.verified);
         t.add_row(vec![
             bench.name().into(),
@@ -156,13 +185,13 @@ fn suppression(opts: &ExpOpts) {
 }
 
 /// §5.1: RADIX throttling (every other prefetch dropped).
-fn radix_throttle(opts: &ExpOpts) {
+fn radix_throttle(runner: &mut Runner<'_>) {
     println!("3. RADIX prefetch throttling in combined mode (4 threads/node)");
-    let with = run_variant(Benchmark::Radix, Variant::Combined(4), opts);
-    let mut unthrottled_cfg = Variant::Combined(4).config(Benchmark::Radix, opts);
+    let with = runner.run(Benchmark::Radix, Variant::Combined(4));
+    let mut unthrottled_cfg = Variant::Combined(4).config(Benchmark::Radix, runner.opts());
     unthrottled_cfg.prefetch.throttle = 1;
     let without = Benchmark::Radix
-        .run(opts.scale, unthrottled_cfg)
+        .run(runner.opts().scale, unthrottled_cfg)
         .expect("run");
     assert!(without.verified);
     println!(
@@ -177,7 +206,7 @@ fn radix_throttle(opts: &ExpOpts) {
 }
 
 /// §3.1 footnote 3: reliable vs droppable prefetch messages.
-fn reliable_prefetch(opts: &ExpOpts) {
+fn reliable_prefetch(runner: &mut Runner<'_>) {
     println!("4. Reliable vs droppable prefetch messages (prefetch-only runs)");
     let mut t = AsciiTable::new(
         vec![
@@ -189,12 +218,12 @@ fn reliable_prefetch(opts: &ExpOpts) {
         vec![Align::Left, Align::Right, Align::Right, Align::Right],
     );
     for bench in [Benchmark::Fft, Benchmark::Radix, Benchmark::Sor] {
-        let droppable = run_variant(bench, Variant::Prefetch, opts);
-        let reliable_cfg = opts.base_config().with_prefetch(PrefetchConfig {
+        let droppable = runner.run(bench, Variant::Prefetch);
+        let reliable_cfg = runner.opts().base_config().with_prefetch(PrefetchConfig {
             reliable: true,
             ..bench.paper_prefetch()
         });
-        let reliable = bench.run(opts.scale, reliable_cfg).expect("run");
+        let reliable = bench.run(runner.opts().scale, reliable_cfg).expect("run");
         assert!(reliable.verified);
         t.add_row(vec![
             bench.name().into(),

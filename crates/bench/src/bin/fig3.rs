@@ -2,7 +2,7 @@
 //! prefetching — no-pf / pf-miss:invalidated / pf-miss:too-late /
 //! pf-hit, normalized to all faults.
 
-use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_bench::{ExpOpts, Runner, Variant};
 use rsdsm_stats::{percent, Align, AsciiTable};
 
 fn main() {
@@ -27,8 +27,10 @@ fn main() {
             Align::Right,
         ],
     );
-    for bench in &opts.apps {
-        let pf = run_variant(*bench, Variant::Prefetch, &opts);
+    let mut runner = Runner::new(&opts);
+    runner.precompute_matrix(&[Variant::Prefetch]);
+    for bench in opts.apps.clone() {
+        let pf = runner.run(bench, Variant::Prefetch);
         let p = &pf.prefetch;
         let total = p.no_pf + p.invalidated + p.too_late + p.hits;
         table.add_row(vec![

@@ -1,0 +1,226 @@
+//! The performance pinner: measures every optimization this crate's
+//! hot-path pass claims, end to end, and emits the numbers as
+//! machine-readable JSON (committed as `BENCH_matrix.json`).
+//!
+//! Unlike `cargo bench` (the criterion micro-suite, which prints
+//! per-op wall-clock for eyeballing), this binary asserts nothing and
+//! measures *ratios* on the same machine in the same process — the
+//! only form in which cross-machine perf claims are honest:
+//!
+//! * `diff_between` — chunked u64 page scan vs the byte-at-a-time
+//!   reference, on sparse and dense pages.
+//! * `trace_encode` — RTR1 encoding with exact pre-sizing, per event.
+//! * `fault_summary` — the single-buffer summary-line formatter.
+//! * `radix_end_to_end` — a full RADIX 2TP simulation cell.
+//! * `oracle_matrix` — the oracle's fast grid at `--jobs 1` vs the
+//!   requested `--jobs`, the scheduler's headline speedup.
+//!
+//! Usage: `perf [--jobs N] [--bench-json PATH]` (plus the usual
+//! experiment flags; `--test-scale` is the default for CI budgets).
+
+use std::time::Instant;
+
+use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_bench::{pool, ExpOpts, Variant};
+use rsdsm_core::{DsmConfig, FaultPlan};
+use rsdsm_oracle::{check_technique, Technique};
+use rsdsm_protocol::{Diff, Page, PAGE_SIZE};
+
+/// One measured quantity, reported in nanoseconds.
+struct Sample {
+    name: &'static str,
+    /// Mean wall-clock per iteration, nanoseconds.
+    nanos: f64,
+    iters: u64,
+}
+
+/// Times `f` over `iters` iterations and returns the mean ns/iter.
+fn time<O>(iters: u64, mut f: impl FnMut() -> O) -> f64 {
+    // One warm-up pass keeps first-touch page faults and lazy init
+    // out of the measurement.
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn dirty_page(stride: usize) -> (Page, Page) {
+    let twin = Page::new();
+    let mut current = twin.clone();
+    for off in (0..PAGE_SIZE - 8).step_by(stride) {
+        current.write_u64(off, off as u64 + 1);
+    }
+    (twin, current)
+}
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut ratios: Vec<(&'static str, f64)> = Vec::new();
+
+    // --- Diff::between: chunked scan vs byte-at-a-time reference ---
+    for (label_new, label_ref, label_ratio, stride) in [
+        (
+            "diff_between_sparse_ns",
+            "diff_between_sparse_reference_ns",
+            "diff_between_sparse_speedup",
+            256,
+        ),
+        (
+            "diff_between_dense_ns",
+            "diff_between_dense_reference_ns",
+            "diff_between_dense_speedup",
+            8,
+        ),
+    ] {
+        let (twin, current) = dirty_page(stride);
+        let iters = 2_000;
+        let fast = time(iters, || Diff::between(&twin, &current));
+        let slow = time(iters, || Diff::between_reference(&twin, &current));
+        samples.push(Sample {
+            name: label_new,
+            nanos: fast,
+            iters,
+        });
+        samples.push(Sample {
+            name: label_ref,
+            nanos: slow,
+            iters,
+        });
+        ratios.push((label_ratio, slow / fast));
+    }
+
+    // --- RTR1 trace encoding (exact pre-sizing) ---
+    let (_, trace) = Benchmark::Radix
+        .run_traced(
+            Scale::Test,
+            Variant::Combined(2).config(Benchmark::Radix, &opts),
+        )
+        .expect("traced RADIX");
+    let iters = 200;
+    let encode = time(iters, || trace.encode());
+    samples.push(Sample {
+        name: "trace_encode_ns",
+        nanos: encode,
+        iters,
+    });
+    samples.push(Sample {
+        name: "trace_encode_ns_per_event",
+        nanos: encode / trace.len() as f64,
+        iters,
+    });
+
+    // --- fault_summary_line (single-buffer formatter) ---
+    let lossy = Benchmark::Fft
+        .run(
+            Scale::Test,
+            DsmConfig::paper_cluster(opts.nodes)
+                .with_seed(opts.seed)
+                .with_faults(FaultPlan::uniform_loss(0xFA11, 0.05)),
+        )
+        .expect("lossy FFT");
+    let iters = 20_000;
+    samples.push(Sample {
+        name: "fault_summary_line_ns",
+        nanos: time(iters, || lossy.fault_summary_line()),
+        iters,
+    });
+
+    // --- End-to-end simulation cell ---
+    let iters = 5;
+    samples.push(Sample {
+        name: "radix_2tp_end_to_end_ns",
+        nanos: time(iters, || {
+            Benchmark::Radix
+                .run(
+                    opts.scale,
+                    Variant::Combined(2).config(Benchmark::Radix, &opts),
+                )
+                .expect("RADIX cell")
+        }),
+        iters,
+    });
+
+    // --- Oracle fast grid: serial vs parallel scheduler ---
+    let cells: Vec<(Benchmark, Technique)> =
+        [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq]
+            .into_iter()
+            .flat_map(|b| [Technique::Base, Technique::Combined].map(|t| (b, t)))
+            .collect();
+    let oracle_sweep = |jobs: usize| {
+        let tasks: Vec<_> = cells
+            .iter()
+            .map(|&(bench, technique)| {
+                let seed = opts.seed;
+                let nodes = opts.nodes;
+                move || {
+                    let cfg = DsmConfig::paper_cluster(nodes).with_seed(seed);
+                    let verdict = check_technique(bench, Scale::Test, technique, cfg)
+                        .unwrap_or_else(|e| panic!("{bench} {}: {e:?}", technique.label()));
+                    assert!(verdict.ok(), "oracle failed: {}", verdict.summary_line());
+                }
+            })
+            .collect();
+        pool::run(jobs, tasks);
+    };
+    let serial = time(1, || oracle_sweep(1));
+    let parallel = time(1, || oracle_sweep(opts.jobs));
+    samples.push(Sample {
+        name: "oracle_fast_grid_serial_ns",
+        nanos: serial,
+        iters: 1,
+    });
+    samples.push(Sample {
+        name: "oracle_fast_grid_parallel_ns",
+        nanos: parallel,
+        iters: 1,
+    });
+    ratios.push(("oracle_fast_grid_speedup", serial / parallel));
+
+    // --- Report ---
+    println!(
+        "perf: {} nodes, {:?} scale, seed {}, jobs {} ({} cores)",
+        opts.nodes,
+        opts.scale,
+        opts.seed,
+        opts.jobs,
+        pool::default_jobs()
+    );
+    for s in &samples {
+        println!(
+            "  {:<36} {:>14.1} ns/iter  ({} iters)",
+            s.name, s.nanos, s.iters
+        );
+    }
+    for (name, ratio) in &ratios {
+        println!("  {name:<36} {ratio:>13.2}x");
+    }
+
+    if let Some(path) = &opts.bench_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"config\": {{\"nodes\": {}, \"scale\": \"{:?}\", \"seed\": {}, \
+             \"jobs\": {}, \"cores\": {}}},\n",
+            opts.nodes,
+            opts.scale,
+            opts.seed,
+            opts.jobs,
+            pool::default_jobs()
+        ));
+        json.push_str("  \"samples_ns\": {\n");
+        for (i, s) in samples.iter().enumerate() {
+            let comma = if i + 1 < samples.len() { "," } else { "" };
+            json.push_str(&format!("    \"{}\": {:.1}{comma}\n", s.name, s.nanos));
+        }
+        json.push_str("  },\n  \"speedups\": {\n");
+        for (i, (name, ratio)) in ratios.iter().enumerate() {
+            let comma = if i + 1 < ratios.len() { "," } else { "" };
+            json.push_str(&format!("    \"{name}\": {ratio:.2}{comma}\n"));
+        }
+        json.push_str("  }\n}\n");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  wrote {path}");
+    }
+}

@@ -4,7 +4,7 @@
 //! competitive "for certain classes of applications" while others are
 //! communication-bound.
 
-use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_bench::{ExpOpts, Runner, Variant};
 use rsdsm_stats::{Align, AsciiTable};
 
 fn main() {
@@ -33,14 +33,25 @@ fn main() {
         let mut base_time = None;
         for nodes in [1usize, 2, 4, 8] {
             opts.nodes = nodes;
-            let orig = run_variant(bench, Variant::Original, &opts);
+            // All variants for this (app, node count) run in parallel;
+            // the table still prints them in sweep order.
+            let mut runner = Runner::new(&opts);
+            if nodes > 1 {
+                runner.precompute(&[
+                    (bench, Variant::Original),
+                    (bench, Variant::Prefetch),
+                    (bench, Variant::Threads(2)),
+                    (bench, Variant::Combined(2)),
+                ]);
+            }
+            let orig = runner.run(bench, Variant::Original);
             let base = *base_time.get_or_insert(orig.total_time);
             // The paper's per-app winner: prefetching and modest
             // multithreading are the candidates worth sweeping here.
             let mut best = (orig.total_time, "O".to_string());
             if nodes > 1 {
                 for variant in [Variant::Prefetch, Variant::Threads(2), Variant::Combined(2)] {
-                    let r = run_variant(bench, variant, &opts);
+                    let r = runner.run(bench, variant);
                     if r.total_time < best.0 {
                         best = (r.total_time, variant.label());
                     }

@@ -2,7 +2,7 @@
 //! factor, total traffic, total misses, and average miss latency for
 //! the original and prefetching runs.
 
-use rsdsm_bench::{table1_row, ExpOpts};
+use rsdsm_bench::{table1_row, ExpOpts, Runner, Variant};
 use rsdsm_stats::{Align, AsciiTable};
 
 fn main() {
@@ -35,8 +35,10 @@ fn main() {
             Align::Right,
         ],
     );
-    for bench in &opts.apps {
-        table.add_row(table1_row(*bench, &opts));
+    let mut runner = Runner::new(&opts);
+    runner.precompute_matrix(&[Variant::Original, Variant::Prefetch]);
+    for bench in opts.apps.clone() {
+        table.add_row(table1_row(bench, &mut runner));
     }
     println!("{table}");
 }

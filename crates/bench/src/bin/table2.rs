@@ -2,7 +2,7 @@
 //! run length, message counts and volume, and per-category remote
 //! event counts with their stall times.
 
-use rsdsm_bench::{run_variant, ExpOpts, Variant};
+use rsdsm_bench::{ExpOpts, Runner, Variant};
 use rsdsm_stats::{Align, AsciiTable};
 
 fn main() {
@@ -11,7 +11,14 @@ fn main() {
         "Table 2: multithreading statistics (O = original, nT = n threads/processor) — {} nodes, {:?} scale\n",
         opts.nodes, opts.scale
     );
-    for bench in &opts.apps {
+    let mut runner = Runner::new(&opts);
+    runner.precompute_matrix(&[
+        Variant::Original,
+        Variant::Threads(2),
+        Variant::Threads(4),
+        Variant::Threads(8),
+    ]);
+    for bench in opts.apps.clone() {
         let mut table = AsciiTable::new(
             vec![
                 "Cfg",
@@ -46,7 +53,7 @@ fn main() {
             ("4T", Variant::Threads(4)),
             ("8T", Variant::Threads(8)),
         ] {
-            let r = run_variant(*bench, variant, &opts);
+            let r = runner.run(bench, variant);
             let avg_miss = if r.misses.misses == 0 {
                 0
             } else {

@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+use std::collections::HashMap;
+
 use rsdsm_apps::{Benchmark, Scale};
 use rsdsm_core::{
-    DsmConfig, FaultPlan, NodeCrash, PrefetchConfig, RecoveryConfig, RunReport, ThreadConfig,
+    DsmConfig, FaultPlan, NodeCrash, PrefetchConfig, RecoveryConfig, RunReport, ThreadConfig, Trace,
 };
 use rsdsm_simnet::{SimDuration, SimTime};
 use rsdsm_stats::{chrome_trace_json, render_bars, Bar};
@@ -47,6 +51,13 @@ pub struct ExpOpts {
     pub trace_out: Option<String>,
     /// Print trace-derived metrics per run (`--trace-metrics`).
     pub trace_metrics: bool,
+    /// Worker threads for independent simulation cells (`--jobs`;
+    /// default: all available cores). Results and printed output are
+    /// bit-identical at any value — only wall-clock changes.
+    pub jobs: usize,
+    /// Benchmark-JSON output path (`--bench-json`), written by the
+    /// `perf` binary with the machine-readable speedup numbers.
+    pub bench_json: Option<String>,
 }
 
 impl Default for ExpOpts {
@@ -61,6 +72,8 @@ impl Default for ExpOpts {
             checkpoint_every: 0,
             trace_out: None,
             trace_metrics: false,
+            jobs: pool::default_jobs(),
+            bench_json: None,
         }
     }
 }
@@ -116,6 +129,19 @@ impl ExpOpts {
                         Some(args.next().unwrap_or_else(|| usage("--trace needs a path")));
                 }
                 "--trace-metrics" => opts.trace_metrics = true,
+                "--jobs" => {
+                    opts.jobs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .map(|n: usize| if n == 0 { pool::default_jobs() } else { n })
+                        .unwrap_or_else(|| usage("--jobs needs a number"));
+                }
+                "--bench-json" => {
+                    opts.bench_json = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--bench-json needs a path")),
+                    );
+                }
                 "--app" => {
                     let name = args.next().unwrap_or_else(|| usage("--app needs a name"));
                     match Benchmark::from_name(&name) {
@@ -188,8 +214,11 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] \
          [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]... [--checkpoint-every N]\n\
-         \x20             [--trace OUT] [--trace-metrics]\n\
+         \x20             [--trace OUT] [--trace-metrics] [--jobs N] [--bench-json PATH]\n\
          \n\
+         --jobs N        run independent simulation cells on N worker threads\n\
+         \x20               (default: all cores; results are bit-identical at any N)\n\
+         --bench-json PATH   (perf binary) write machine-readable benchmark numbers\n\
          --fault-crash   crash NODE at MS simulated milliseconds; with :restart=MS the\n\
          \x20               node reboots after that outage (crash-restart), otherwise a\n\
          \x20               replacement rejoins from its last checkpoint (crash-stop).\n\
@@ -309,6 +338,69 @@ fn print_trace_metrics(bench: Benchmark, variant: Variant, report: &RunReport) {
     }
 }
 
+/// The pure half of a cell: runs the simulation and returns its
+/// report (plus the event trace when the options ask for one). Safe
+/// to call from any worker thread — no printing, no file writes.
+fn compute_variant(
+    bench: Benchmark,
+    variant: Variant,
+    opts: &ExpOpts,
+) -> (RunReport, Option<Trace>) {
+    let cfg = variant.config(bench, opts);
+    let (report, trace) = if opts.trace_out.is_some() || opts.trace_metrics {
+        let (report, trace) = bench
+            .run_traced(opts.scale, cfg)
+            .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()));
+        (report, Some(trace))
+    } else {
+        let report = bench
+            .run(opts.scale, cfg)
+            .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()));
+        (report, None)
+    };
+    assert!(
+        report.verified,
+        "{bench} [{}] produced a wrong result",
+        variant.label()
+    );
+    (report, trace)
+}
+
+/// The side-effect half of a cell: trace export, trace metrics, and
+/// fault summaries. Always called on the main thread, in the same
+/// order as a serial sweep, so printed output and trace files are
+/// identical at any `--jobs` value.
+fn emit_variant(
+    bench: Benchmark,
+    variant: Variant,
+    opts: &ExpOpts,
+    report: &RunReport,
+    trace: Option<&Trace>,
+) {
+    if let (Some(out), Some(trace)) = (&opts.trace_out, trace) {
+        let json = chrome_trace_json(trace);
+        let per_run = trace_run_path(out, bench, variant);
+        for path in [per_run.as_str(), out.as_str()] {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+        }
+        println!(
+            "  {bench} [{}] trace: {} events, digest {:016x} -> {per_run}",
+            variant.label(),
+            trace.len(),
+            trace.digest(),
+        );
+    }
+    if opts.trace_metrics {
+        print_trace_metrics(bench, variant, report);
+    }
+    if opts.fault_loss > 0.0 || !opts.crashes.is_empty() {
+        match report.fault_summary_line() {
+            Some(line) => println!("  {bench} [{}] {line}", variant.label()),
+            None => println!("  {bench} [{}] faults: none observed", variant.label()),
+        }
+    }
+}
+
 /// Runs `bench` under `variant`, panicking with context on failure
 /// (experiments must not silently drop bars).
 ///
@@ -317,52 +409,93 @@ fn print_trace_metrics(bench: Benchmark, variant: Variant, report: &RunReport) {
 /// `--trace`/`--trace-metrics` the run records its full event trace
 /// (same events, same digest as the untraced run) and exports it.
 pub fn run_variant(bench: Benchmark, variant: Variant, opts: &ExpOpts) -> RunReport {
-    let cfg = variant.config(bench, opts);
-    let report = if opts.trace_out.is_some() || opts.trace_metrics {
-        let (report, trace) = bench
-            .run_traced(opts.scale, cfg)
-            .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()));
-        if let Some(out) = &opts.trace_out {
-            let json = chrome_trace_json(&trace);
-            let per_run = trace_run_path(out, bench, variant);
-            for path in [per_run.as_str(), out.as_str()] {
-                std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
-            }
-            println!(
-                "  {bench} [{}] trace: {} events, digest {:016x} -> {per_run}",
-                variant.label(),
-                trace.len(),
-                trace.digest(),
-            );
-        }
-        if opts.trace_metrics {
-            print_trace_metrics(bench, variant, &report);
-        }
-        report
-    } else {
-        bench
-            .run(opts.scale, cfg)
-            .unwrap_or_else(|e| panic!("{bench} [{}] failed: {e}", variant.label()))
-    };
-    assert!(
-        report.verified,
-        "{bench} [{}] produced a wrong result",
-        variant.label()
-    );
-    if opts.fault_loss > 0.0 || !opts.crashes.is_empty() {
-        match report.fault_summary_line() {
-            Some(line) => println!("  {bench} [{}] {line}", variant.label()),
-            None => println!("  {bench} [{}] faults: none observed", variant.label()),
+    let (report, trace) = compute_variant(bench, variant, opts);
+    emit_variant(bench, variant, opts, &report, trace.as_ref());
+    report
+}
+
+/// Precomputing cell runner shared by the experiment binaries.
+///
+/// [`Runner::precompute`] fans a whole sweep's cells across
+/// `opts.jobs` worker threads ([`pool::run`]); [`Runner::run`] then
+/// hands each report back in whatever order the binary consumes them,
+/// performing the cell's printing/exporting side effects at that
+/// moment. Because the side effects run on the consuming thread in
+/// consumption order, output is byte-identical to a serial sweep.
+/// Cells never precomputed are simply run on demand.
+pub struct Runner<'a> {
+    opts: &'a ExpOpts,
+    // Key → FIFO of precomputed results, so a sweep that consumes the
+    // same cell twice may also precompute it twice.
+    cache: HashMap<(Benchmark, String), Vec<CellResult>>,
+}
+
+/// What `compute_variant` produces for one cell: the report, plus the
+/// event trace when the options ask for one.
+type CellResult = (RunReport, Option<Trace>);
+
+impl<'a> Runner<'a> {
+    /// A runner with an empty cache; cells run serially on demand.
+    pub fn new(opts: &'a ExpOpts) -> Self {
+        Runner {
+            opts,
+            cache: HashMap::new(),
         }
     }
-    report
+
+    /// The experiment options every cell runs under.
+    pub fn opts(&self) -> &'a ExpOpts {
+        self.opts
+    }
+
+    /// Runs every `(bench, variant)` cell across `opts.jobs` threads
+    /// and caches the results for later [`Runner::run`] calls.
+    pub fn precompute(&mut self, cells: &[(Benchmark, Variant)]) {
+        let opts = self.opts;
+        let tasks: Vec<_> = cells
+            .iter()
+            .map(|&(bench, variant)| move || compute_variant(bench, variant, opts))
+            .collect();
+        let results = pool::run(opts.jobs, tasks);
+        for (&(bench, variant), result) in cells.iter().zip(results) {
+            self.cache
+                .entry((bench, variant.label()))
+                .or_default()
+                .push(result);
+        }
+    }
+
+    /// The standard sweep: every app in `opts` × the given variants.
+    pub fn precompute_matrix(&mut self, variants: &[Variant]) {
+        let cells: Vec<_> = self
+            .opts
+            .apps
+            .iter()
+            .flat_map(|&b| variants.iter().map(move |&v| (b, v)))
+            .collect();
+        self.precompute(&cells);
+    }
+
+    /// The cell's report, from the cache when precomputed (otherwise
+    /// computed now), with its side effects performed here and now.
+    pub fn run(&mut self, bench: Benchmark, variant: Variant) -> RunReport {
+        let cached = self
+            .cache
+            .get_mut(&(bench, variant.label()))
+            .filter(|v| !v.is_empty())
+            // FIFO: earliest precompute is consumed first.
+            .map(|v| v.remove(0));
+        let (report, trace) = cached.unwrap_or_else(|| compute_variant(bench, variant, self.opts));
+        emit_variant(bench, variant, self.opts, &report, trace.as_ref());
+        report
+    }
 }
 
 /// Renders Figure 1's per-application block for `bench` — exactly the
 /// text the `fig1` binary prints per app, so snapshot tests can pin a
 /// digest of the emitted rows.
-pub fn fig1_row(bench: Benchmark, opts: &ExpOpts) -> String {
-    let report = run_variant(bench, Variant::Original, opts);
+pub fn fig1_row(bench: Benchmark, runner: &mut Runner<'_>) -> String {
+    let report = runner.run(bench, Variant::Original);
     let bars = [Bar::new("O", report.breakdown)];
     format!(
         "{}\n  total {}   msgs {}   bytes {}K   misses {}\n",
@@ -376,9 +509,9 @@ pub fn fig1_row(bench: Benchmark, opts: &ExpOpts) -> String {
 
 /// Computes Table 1's row cells for `bench` — exactly the strings the
 /// `table1` binary puts in its table, shared with the snapshot tests.
-pub fn table1_row(bench: Benchmark, opts: &ExpOpts) -> Vec<String> {
-    let orig = run_variant(bench, Variant::Original, opts);
-    let pf = run_variant(bench, Variant::Prefetch, opts);
+pub fn table1_row(bench: Benchmark, runner: &mut Runner<'_>) -> Vec<String> {
+    let orig = runner.run(bench, Variant::Original);
+    let pf = runner.run(bench, Variant::Prefetch);
     vec![
         bench.name().to_string(),
         format!("{:.2}%", pf.prefetch.unnecessary_fraction() * 100.0),

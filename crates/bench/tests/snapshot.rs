@@ -12,7 +12,7 @@
 //! re-pin the constant. Unexplained drift is a determinism bug.
 
 use rsdsm_apps::{Benchmark, Scale};
-use rsdsm_bench::{fig1_row, table1_row, ExpOpts};
+use rsdsm_bench::{fig1_row, table1_row, ExpOpts, Runner};
 use rsdsm_core::fnv1a_extend;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -31,10 +31,11 @@ fn snapshot_opts() -> ExpOpts {
 #[test]
 fn fig1_rows_match_snapshot() {
     let opts = snapshot_opts();
+    let mut runner = Runner::new(&opts);
     let mut digest = FNV_OFFSET;
     let mut emitted = String::new();
     for bench in Benchmark::ALL {
-        let row = fig1_row(bench, &opts);
+        let row = fig1_row(bench, &mut runner);
         digest = fnv1a_extend(digest, row.as_bytes());
         emitted.push_str(&row);
     }
@@ -47,10 +48,11 @@ fn fig1_rows_match_snapshot() {
 #[test]
 fn table1_rows_match_snapshot() {
     let opts = snapshot_opts();
+    let mut runner = Runner::new(&opts);
     let mut digest = FNV_OFFSET;
     let mut emitted = String::new();
     for bench in Benchmark::ALL {
-        let row = table1_row(bench, &opts).join("|");
+        let row = table1_row(bench, &mut runner).join("|");
         digest = fnv1a_extend(digest, row.as_bytes());
         emitted.push_str(&row);
         emitted.push('\n');
@@ -67,11 +69,12 @@ fn table1_rows_match_snapshot() {
 #[test]
 fn table1_rows_are_sane() {
     let opts = snapshot_opts();
-    let sor = table1_row(Benchmark::Sor, &opts);
+    let mut runner = Runner::new(&opts);
+    let sor = table1_row(Benchmark::Sor, &mut runner);
     assert_eq!(sor[0], "SOR");
     assert_eq!(sor[2], "100.00%", "SOR coverage fell below full");
     for bench in [Benchmark::Sor, Benchmark::Fft, Benchmark::Radix] {
-        let row = table1_row(bench, &opts);
+        let row = table1_row(bench, &mut runner);
         let misses_o: u64 = row[5].parse().expect("misses O");
         let misses_p: u64 = row[6].parse().expect("misses P");
         assert!(

@@ -345,8 +345,11 @@ impl DsmCtx {
                     m.counters.fast_accesses += 1;
                     self.pending.busy += self.costs.access_check;
                     if write && m.pages[page.index()].twin.is_none() {
-                        let entry = &mut m.pages[page.index()];
-                        entry.twin = Some(Box::new(entry.data.clone()));
+                        // Split borrows: the twin buffer comes from the
+                        // node's page pool, not a fresh zeroing allocation.
+                        let crate::node::NodeMem { pages, pool, .. } = &mut *m;
+                        let entry = &mut pages[page.index()];
+                        entry.twin = Some(pool.take_copy_of(&entry.data));
                         self.pending.dsm += self.costs.twin_create;
                         m.dirty.push(page);
                         if m.twin_log_on {

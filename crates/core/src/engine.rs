@@ -431,10 +431,9 @@ impl<'a> Core<'a> {
         traced: bool,
     ) -> Self {
         let tpn = cfg.threads.threads_per_node;
-        let mut queue = EventQueue::new();
-        for t in 0..threads.len() {
-            queue.push(SimTime::ZERO, Event::Start(ThreadId(t)));
-        }
+        let mut queue =
+            EventQueue::with_capacity(threads.len() + cfg.faults.crashes.len() + cfg.nodes + 64);
+        queue.push_batch((0..threads.len()).map(|t| (SimTime::ZERO, Event::Start(ThreadId(t)))));
         for crash in &cfg.faults.crashes {
             assert!(
                 crash.node < cfg.nodes,
@@ -1767,6 +1766,7 @@ impl<'a> Core<'a> {
             node.own_diff_bytes += diff.encoded_bytes();
             node.own_diffs.insert((page.index(), seq), diff);
             pages_list.push(page);
+            m.pool.put(twin);
         }
         drop(mem);
         let rec = IntervalRecord {
@@ -2543,6 +2543,7 @@ impl<'a> Core<'a> {
                     self.oracle
                         .check_roundtrip(&twin, &entry.data, &diff, m, page, end);
                 }
+                mem[m].pool.put(twin);
                 drop(mem);
                 end = self.charge(
                     m,

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use rsdsm_protocol::{Diff, DiffCache, NoticeBoard, Page, PageId, VectorClock};
+use rsdsm_protocol::{Diff, DiffCache, NoticeBoard, Page, PageId, PagePool, VectorClock};
 use rsdsm_simnet::{NodeId, SimDuration, SimTime};
 
 use crate::accounting::NodeAccount;
@@ -90,6 +90,9 @@ pub(crate) struct NodeMem {
     pub twin_log: Vec<PageId>,
     /// Whether twin creations should be logged for tracing.
     pub twin_log_on: bool,
+    /// Free list recycling twin/checkpoint page buffers so the hot
+    /// write-fault path avoids a zero-initializing allocation.
+    pub pool: PagePool,
     /// Fast-path counters.
     pub counters: AccessCounters,
 }
@@ -109,6 +112,7 @@ impl NodeMem {
             dirty: Vec::new(),
             twin_log: Vec::new(),
             twin_log_on: false,
+            pool: PagePool::new(),
             counters: AccessCounters::default(),
         }
     }

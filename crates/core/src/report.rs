@@ -320,7 +320,10 @@ impl RunReport {
         if quiet {
             return None;
         }
-        let mut line = format!(
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(256);
+        write!(
+            line,
             "faults: {} msgs dropped, {} duplicated, {} reordered; \
              transport: {} retransmissions (max {} attempts/frame), \
              {} duplicate frames suppressed; \
@@ -333,9 +336,11 @@ impl RunReport {
             t.dup_frames_suppressed,
             self.prefetch.send_drops,
             self.prefetch.reply_drops,
-        );
+        )
+        .expect("write to String");
         if r.crashes > 0 || r.suspicions > 0 || r.recoveries > 0 || r.checkpoints_taken > 0 {
-            line.push_str(&format!(
+            write!(
+                line,
                 "; recovery: {} crashes, {} suspicions ({} false), \
                  {} checkpoints ({} bytes), {} recoveries ({} us down)",
                 r.crashes,
@@ -345,7 +350,8 @@ impl RunReport {
                 r.checkpoint_bytes,
                 r.recoveries,
                 r.recovery_time.as_micros(),
-            ));
+            )
+            .expect("write to String");
         }
         Some(line)
     }

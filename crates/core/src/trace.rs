@@ -310,6 +310,34 @@ impl TraceEvent {
         }
     }
 
+    /// Exact `RTR1` body size of this event (excluding the shared
+    /// record header), so encoding can size its buffer precisely.
+    pub fn encoded_body_len(&self) -> usize {
+        match self {
+            TraceEvent::MsgSend { .. } => 18,
+            TraceEvent::MsgRecv { .. } => 13,
+            TraceEvent::FaultBegin { .. } | TraceEvent::FaultEnd { .. } => 5,
+            TraceEvent::DiffCreate { .. }
+            | TraceEvent::DiffApply { .. }
+            | TraceEvent::WriteNotice { .. }
+            | TraceEvent::FrameParked { .. } => 12,
+            TraceEvent::TwinCreate { .. }
+            | TraceEvent::LockRequest { .. }
+            | TraceEvent::LockGrant { .. }
+            | TraceEvent::LockLocalPass { .. }
+            | TraceEvent::BarrierArrive { .. }
+            | TraceEvent::ThreadSwitch { .. }
+            | TraceEvent::PrefetchIssue { .. }
+            | TraceEvent::Suspect { .. }
+            | TraceEvent::ConfirmDown { .. } => 4,
+            TraceEvent::BarrierRelease { .. } | TraceEvent::CheckpointTaken { .. } => 8,
+            TraceEvent::PrefetchDrop { .. } => 5,
+            TraceEvent::TransportRetry { .. } => 20,
+            TraceEvent::Crash { .. } => 1,
+            TraceEvent::Restart => 0,
+        }
+    }
+
     /// Short human-readable name for exporters.
     pub fn label(&self) -> &'static str {
         match self {
@@ -461,9 +489,19 @@ impl Trace {
         self.records.is_empty()
     }
 
+    /// Exact size of the `RTR1` encoding in bytes.
+    pub fn encoded_len(&self) -> usize {
+        // Stream header + per-record fixed header + per-event body.
+        20 + self
+            .records
+            .iter()
+            .map(|r| 25 + r.event.encoded_body_len())
+            .sum::<usize>()
+    }
+
     /// Encodes the trace into the deterministic `RTR1` byte format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.records.len() * 32);
+        let mut out = Vec::with_capacity(self.encoded_len());
         put_u32(&mut out, MAGIC);
         put_u32(&mut out, self.nodes);
         put_u32(&mut out, self.threads_per_node);
@@ -975,7 +1013,13 @@ impl Tracer {
             on,
             nodes,
             threads_per_node,
-            records: Vec::new(),
+            // Even the smallest traced runs emit thousands of records;
+            // start large enough to skip the early doubling regrowths.
+            records: if on {
+                Vec::with_capacity(8192)
+            } else {
+                Vec::new()
+            },
             current: NO_CAUSE,
             first_sends: HashMap::new(),
             faults: HashMap::new(),
@@ -1183,6 +1227,101 @@ mod tests {
         let back = Trace::decode(&bytes).expect("decode");
         assert_eq!(t, back);
         assert_eq!(t.digest(), back.digest());
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let t = sample();
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        assert_eq!(
+            bytes.capacity(),
+            t.encoded_len(),
+            "no regrowth during encode"
+        );
+    }
+
+    #[test]
+    fn encoded_body_len_matches_every_variant() {
+        let events = vec![
+            TraceEvent::MsgSend {
+                kind: 0,
+                peer: 1,
+                seq: 2,
+                bytes: 3,
+                retransmit: false,
+            },
+            TraceEvent::MsgRecv {
+                kind: 0,
+                peer: 1,
+                seq: 2,
+            },
+            TraceEvent::FaultBegin {
+                page: 1,
+                write: true,
+            },
+            TraceEvent::FaultEnd { page: 1, class: 0 },
+            TraceEvent::DiffCreate {
+                page: 1,
+                seq: 2,
+                bytes: 3,
+            },
+            TraceEvent::DiffApply {
+                page: 1,
+                origin: 2,
+                seq: 3,
+            },
+            TraceEvent::TwinCreate { page: 1 },
+            TraceEvent::WriteNotice {
+                page: 1,
+                origin: 2,
+                seq: 3,
+            },
+            TraceEvent::LockRequest { lock: 1 },
+            TraceEvent::LockGrant { lock: 1 },
+            TraceEvent::LockLocalPass { lock: 1 },
+            TraceEvent::BarrierArrive { barrier: 1 },
+            TraceEvent::BarrierRelease {
+                barrier: 1,
+                epoch: 2,
+            },
+            TraceEvent::ThreadSwitch { to: 1 },
+            TraceEvent::PrefetchIssue { page: 1 },
+            TraceEvent::PrefetchDrop {
+                page: 1,
+                reply: true,
+            },
+            TraceEvent::TransportRetry {
+                peer: 1,
+                seq: 2,
+                rto_ns: 3,
+            },
+            TraceEvent::FrameParked { peer: 1, seq: 2 },
+            TraceEvent::Crash { restarts: true },
+            TraceEvent::Restart,
+            TraceEvent::Suspect { peer: 1 },
+            TraceEvent::ConfirmDown { peer: 1 },
+            TraceEvent::CheckpointTaken { epoch: 1, bytes: 2 },
+        ];
+        for event in events {
+            let t = Trace {
+                nodes: 1,
+                threads_per_node: 1,
+                records: vec![TraceRecord {
+                    at: SimTime::ZERO,
+                    node: 0,
+                    thread: NO_THREAD,
+                    cause: NO_CAUSE,
+                    event,
+                }],
+            };
+            assert_eq!(
+                t.encode().len(),
+                t.encoded_len(),
+                "size mismatch for {}",
+                t.records[0].event.label()
+            );
+        }
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! including the lock-order-sensitive WATER-NSQ — under the base and
 //! combined techniques). Set `RSDSM_ORACLE=full` for the full
 //! 8 apps × 4 techniques × {no-fault, loss} grid, which the scheduled
-//! CI job runs in release mode.
+//! CI job runs in release mode. Cells fan out across cores via
+//! `rsdsm_bench::pool` (override the worker count with `RSDSM_JOBS`).
 
 use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_bench::pool;
 use rsdsm_core::{DsmConfig, FaultPlan};
 use rsdsm_oracle::{check_technique, Technique};
 
@@ -30,6 +32,18 @@ fn full_grid() -> bool {
     std::env::var("RSDSM_ORACLE").as_deref() == Ok("full")
 }
 
+/// Fans independent oracle cells across cores; each cell panics on
+/// failure and [`pool::run`] re-raises that panic, so a failing cell
+/// still fails the test. Cells are pure, so the verdicts do not
+/// depend on the worker count.
+fn assert_cells(cells: Vec<(Benchmark, Technique, Option<FaultPlan>)>) {
+    let tasks: Vec<_> = cells
+        .into_iter()
+        .map(|(bench, technique, faults)| move || assert_cell(bench, technique, faults))
+        .collect();
+    pool::run(pool::matrix_jobs(), tasks);
+}
+
 fn assert_cell(bench: Benchmark, technique: Technique, faults: Option<FaultPlan>) {
     let mut cfg = base(4);
     if let Some(plan) = faults {
@@ -42,20 +56,24 @@ fn assert_cell(bench: Benchmark, technique: Technique, faults: Option<FaultPlan>
 
 #[test]
 fn fast_subset_no_faults() {
+    let mut cells = Vec::new();
     for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
         for technique in [Technique::Base, Technique::Combined] {
-            assert_cell(bench, technique, None);
+            cells.push((bench, technique, None));
         }
     }
+    assert_cells(cells);
 }
 
 #[test]
 fn fast_subset_under_message_loss() {
+    let mut cells = Vec::new();
     for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
         for technique in [Technique::Base, Technique::Combined] {
-            assert_cell(bench, technique, Some(loss()));
+            cells.push((bench, technique, Some(loss())));
         }
     }
+    assert_cells(cells);
 }
 
 #[test]
@@ -64,11 +82,13 @@ fn full_matrix() {
         eprintln!("skipping full oracle matrix (set RSDSM_ORACLE=full)");
         return;
     }
+    let mut cells = Vec::new();
     for bench in Benchmark::ALL {
         for technique in Technique::ALL {
             for faults in [None, Some(loss())] {
-                assert_cell(bench, technique, faults);
+                cells.push((bench, technique, faults));
             }
         }
     }
+    assert_cells(cells);
 }

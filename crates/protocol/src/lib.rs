@@ -48,4 +48,4 @@ mod page;
 pub use clock::VectorClock;
 pub use diff::Diff;
 pub use notice::{CachedDiff, DiffCache, NoticeBoard, WriteNotice, NOTICE_WIRE_BYTES};
-pub use page::{Page, PageId, PAGE_SIZE};
+pub use page::{Page, PageId, PagePool, PAGE_SIZE};

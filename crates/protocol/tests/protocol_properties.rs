@@ -203,6 +203,86 @@ proptest! {
         }
     }
 
+    /// The chunked `between` and the scalar `between_reference` agree
+    /// after apply: both reconstruct `current` exactly from the twin.
+    #[test]
+    fn chunked_between_matches_reference_apply(
+        twin_w in sparse_writes(),
+        cur_w in sparse_writes(),
+    ) {
+        let twin = page_from(&twin_w);
+        let mut current = twin.clone();
+        for &(off, v) in &cur_w {
+            current.bytes_mut()[off] = v;
+        }
+        let fast = Diff::between(&twin, &current);
+        let reference = Diff::between_reference(&twin, &current);
+        let mut via_fast = twin.clone();
+        fast.apply(&mut via_fast);
+        let mut via_reference = twin.clone();
+        reference.apply(&mut via_reference);
+        prop_assert_eq!(&via_fast, &current);
+        prop_assert_eq!(&via_reference, &current);
+        // Coherence diffs stay byte-precise: identical runs, so the
+        // paper-visible wire size is unchanged by the chunked scan.
+        prop_assert_eq!(&fast, &reference);
+        // The snapshot-only coalesced variant may merge nearby runs
+        // but must never grow the encoding, and must still
+        // reconstruct `current` when applied to its own base.
+        let coalesced = Diff::between_coalesced(&twin, &current);
+        prop_assert!(coalesced.encoded_bytes() <= fast.encoded_bytes());
+        prop_assert!(coalesced.run_count() <= fast.run_count());
+        let mut via_coalesced = twin.clone();
+        coalesced.apply(&mut via_coalesced);
+        prop_assert_eq!(&via_coalesced, &current);
+    }
+
+    /// The bounds-check-eliding u64 accessors are byte-identical to
+    /// naive indexed forms.
+    #[test]
+    fn u64_accessors_match_indexed_reference(
+        writes in prop::collection::vec((0..PAGE_SIZE - 7, any::<u64>()), 0..32),
+        probes in prop::collection::vec(0..PAGE_SIZE - 7, 0..32),
+    ) {
+        let mut fast = Page::new();
+        let mut reference = Page::new();
+        for &(off, v) in &writes {
+            fast.write_u64(off, v);
+            // Reference form: plain indexing, the pre-optimization code.
+            reference.bytes_mut()[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        prop_assert_eq!(&fast, &reference);
+        for &off in &probes {
+            let direct =
+                u64::from_le_bytes(reference.bytes()[off..off + 8].try_into().unwrap());
+            prop_assert_eq!(fast.read_u64(off), direct);
+        }
+    }
+
+    /// `Diff::apply`'s single-range-check form matches a per-byte
+    /// indexed reference apply.
+    #[test]
+    fn apply_matches_indexed_reference(
+        twin_w in sparse_writes(),
+        cur_w in sparse_writes(),
+    ) {
+        let twin = page_from(&twin_w);
+        let mut current = twin.clone();
+        for &(off, v) in &cur_w {
+            current.bytes_mut()[off] = v;
+        }
+        let diff = Diff::between(&twin, &current);
+        let mut fast = twin.clone();
+        diff.apply(&mut fast);
+        let mut reference = twin.clone();
+        for (off, bytes) in diff.runs() {
+            for (k, &b) in bytes.iter().enumerate() {
+                reference.bytes_mut()[off + k] = b;
+            }
+        }
+        prop_assert_eq!(fast, reference);
+    }
+
     /// NoticeBoard: recording then applying leaves nothing pending,
     /// regardless of order and duplicates.
     #[test]

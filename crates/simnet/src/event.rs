@@ -74,11 +74,37 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` events before
+    /// the backing heap regrows.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `payload` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Schedules every `(time, payload)` pair, reserving heap space up
+    /// front so a known burst of events costs at most one regrowth.
+    /// Pairs are assigned sequence numbers in iteration order, so
+    /// same-time events still pop FIFO.
+    pub fn push_batch<I: IntoIterator<Item = (SimTime, T)>>(&mut self, events: I) {
+        let iter = events.into_iter();
+        self.reserve(iter.size_hint().0);
+        for (t, p) in iter {
+            self.push(t, p);
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
@@ -115,9 +141,7 @@ impl<T> Default for EventQueue<T> {
 
 impl<T> Extend<(SimTime, T)> for EventQueue<T> {
     fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
-        for (t, p) in iter {
-            self.push(t, p);
-        }
+        self.push_batch(iter);
     }
 }
 
@@ -162,6 +186,17 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_preserves_fifo_and_reserves() {
+        let mut q = EventQueue::with_capacity(4);
+        let t = SimTime::from_nanos(7);
+        q.push_batch((0..100).map(|i| (t, i)));
+        q.push_batch([(SimTime::from_nanos(1), -1)]);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order[0], -1);
+        assert_eq!(order[1..], (0..100).collect::<Vec<_>>()[..]);
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //!
 //! The default run covers a smoke-sized subset so `cargo test` stays
 //! fast; set `RSDSM_CRASH_MATRIX=full` for the full 8 apps ×
-//! {O, P, 2T, 2TP} × {crash-stop, crash-restart} grid.
+//! {O, P, 2T, 2TP} × {crash-stop, crash-restart} grid. Cells are
+//! independent simulations and fan out across cores via
+//! `rsdsm_bench::pool` (override the worker count with `RSDSM_JOBS`).
 
 use rsdsm::apps::{Benchmark, Scale};
 use rsdsm::core::{DsmConfig, RecoveryConfig};
 use rsdsm::oracle::{check_technique, Technique};
 use rsdsm::simnet::{NodeCrash, SimDuration, SimTime};
+use rsdsm_bench::pool;
 
 /// The victim. Node 0 hosts the managers and the recovery
 /// coordinator and is assumed stable; any other node may die.
@@ -43,6 +46,16 @@ fn test_recovery() -> RecoveryConfig {
 
 fn full_grid() -> bool {
     std::env::var("RSDSM_CRASH_MATRIX").as_deref() == Ok("full")
+}
+
+/// Fans independent crash cells across cores; a panicking cell fails
+/// the test via [`pool::run`]'s panic propagation.
+fn assert_cells(cells: Vec<(Benchmark, Technique, Option<SimDuration>)>) {
+    let tasks: Vec<_> = cells
+        .into_iter()
+        .map(|(bench, technique, restart)| move || assert_cell(bench, technique, restart))
+        .collect();
+    pool::run(pool::matrix_jobs(), tasks);
 }
 
 /// One cell: dry-run for timing, crash the victim halfway, then run
@@ -92,20 +105,24 @@ fn assert_cell(bench: Benchmark, technique: Technique, restart_after: Option<Sim
 
 #[test]
 fn fast_subset_crash_stop() {
+    let mut cells = Vec::new();
     for bench in [Benchmark::Sor, Benchmark::Radix, Benchmark::WaterNsq] {
         for technique in [Technique::Base, Technique::Combined] {
-            assert_cell(bench, technique, None);
+            cells.push((bench, technique, None));
         }
     }
+    assert_cells(cells);
 }
 
 #[test]
 fn fast_subset_crash_restart() {
+    let mut cells = Vec::new();
     for bench in [Benchmark::Sor, Benchmark::Radix] {
         for technique in [Technique::Base, Technique::Combined] {
-            assert_cell(bench, technique, Some(SimDuration::from_millis(5)));
+            cells.push((bench, technique, Some(SimDuration::from_millis(5))));
         }
     }
+    assert_cells(cells);
 }
 
 /// Checkpoint capture stays off the critical path: a crash-free run
@@ -148,11 +165,13 @@ fn full_matrix() {
         eprintln!("skipping full crash matrix (set RSDSM_CRASH_MATRIX=full)");
         return;
     }
+    let mut cells = Vec::new();
     for bench in Benchmark::ALL {
         for technique in Technique::ALL {
             for restart in [None, Some(SimDuration::from_millis(5))] {
-                assert_cell(bench, technique, restart);
+                cells.push((bench, technique, restart));
             }
         }
     }
+    assert_cells(cells);
 }

@@ -11,10 +11,13 @@
 //! The default grid is a smoke-sized subset so `cargo test` stays
 //! fast; set `RSDSM_FAULT_MATRIX=full` for the full grid (loss 0–20%,
 //! duplication, reordering, degraded windows) over all applications.
+//! Grid cells are independent simulations, so they fan out across
+//! cores via `rsdsm_bench::pool` (override with `RSDSM_JOBS`).
 
 use rsdsm::apps::{Benchmark, Scale};
 use rsdsm::core::{DegradedWindow, DsmConfig, FaultPlan, NodeStall};
 use rsdsm::simnet::{SimDuration, SimTime};
+use rsdsm_bench::pool;
 
 fn base(nodes: usize) -> DsmConfig {
     DsmConfig::paper_cluster(nodes).with_seed(1998)
@@ -73,36 +76,46 @@ fn grid() -> Vec<(&'static str, FaultPlan)> {
 /// actually exercises the retry machinery.
 #[test]
 fn all_apps_survive_the_fault_grid() {
+    let mut cells = Vec::new();
     for bench in Benchmark::ALL {
         for (name, plan) in grid() {
-            let lossy = !plan.drop.control.is_nan() && plan.drop.control > 0.0;
-            let r = bench
-                .run(Scale::Test, base(4).with_faults(plan))
-                .unwrap_or_else(|e| panic!("{bench} under plan {name}: {e}"));
-            assert!(r.verified, "{bench} result corrupted under plan {name}");
-            if name == "none" {
-                assert_eq!(
-                    r.transport.retransmissions, 0,
-                    "{bench}: fault-free runs must never retransmit"
-                );
-                assert_eq!(r.fault_injection.injected_drops, 0);
-            }
-            if lossy {
-                assert!(
-                    r.fault_injection.injected_drops > 0,
-                    "{bench} under {name}: plan injected nothing"
-                );
-                assert!(
-                    r.transport.retransmissions > 0,
-                    "{bench} under {name}: losses must provoke retransmissions"
-                );
-                assert!(
-                    r.fault_summary_line().is_some(),
-                    "{bench} under {name}: summary line must report the faults"
-                );
-            }
+            cells.push((bench, name, plan));
         }
     }
+    let tasks: Vec<_> = cells
+        .into_iter()
+        .map(|(bench, name, plan)| {
+            move || {
+                let lossy = !plan.drop.control.is_nan() && plan.drop.control > 0.0;
+                let r = bench
+                    .run(Scale::Test, base(4).with_faults(plan))
+                    .unwrap_or_else(|e| panic!("{bench} under plan {name}: {e}"));
+                assert!(r.verified, "{bench} result corrupted under plan {name}");
+                if name == "none" {
+                    assert_eq!(
+                        r.transport.retransmissions, 0,
+                        "{bench}: fault-free runs must never retransmit"
+                    );
+                    assert_eq!(r.fault_injection.injected_drops, 0);
+                }
+                if lossy {
+                    assert!(
+                        r.fault_injection.injected_drops > 0,
+                        "{bench} under {name}: plan injected nothing"
+                    );
+                    assert!(
+                        r.transport.retransmissions > 0,
+                        "{bench} under {name}: losses must provoke retransmissions"
+                    );
+                    assert!(
+                        r.fault_summary_line().is_some(),
+                        "{bench} under {name}: summary line must report the faults"
+                    );
+                }
+            }
+        })
+        .collect();
+    pool::run(pool::matrix_jobs(), tasks);
 }
 
 /// Same seed, same plan ⇒ byte-identical report, twice over.

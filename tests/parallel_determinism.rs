@@ -1,0 +1,131 @@
+//! The parallel scheduler's determinism contract, pinned end to end:
+//! fanning simulation cells across worker threads must change
+//! *nothing* about their results — not the report digests, not the
+//! RTR1 trace bytes — because every cell is a pure function of its
+//! config and owns all of its state. `rsdsm_bench::pool::run` only
+//! reorders wall-clock execution, never results (it returns them in
+//! task order).
+//!
+//! The grid deliberately includes the stateful-looking cases: a lossy
+//! run (fault injector RNG), and a crash-restart run (recovery
+//! machinery), on top of the standard RADIX/FFT × O/P/2T/2TP matrix.
+
+use rsdsm::apps::{Benchmark, Scale};
+use rsdsm::core::{DsmConfig, FaultPlan, NodeCrash, RecoveryConfig, TransportConfig};
+use rsdsm::oracle::Technique;
+use rsdsm::simnet::{SimDuration, SimTime};
+use rsdsm_bench::pool;
+
+/// One grid cell: a fully-specified config the cell runs under, plus
+/// a label for failure messages.
+#[derive(Clone)]
+struct Cell {
+    label: String,
+    bench: Benchmark,
+    cfg: DsmConfig,
+}
+
+fn base(nodes: usize) -> DsmConfig {
+    DsmConfig::paper_cluster(nodes).with_seed(1998)
+}
+
+/// Lease parameters sized for `Scale::Test` runs (mirrors the crash
+/// matrix's).
+fn test_recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        heartbeat_every: SimDuration::from_micros(200),
+        lease_timeout: SimDuration::from_micros(1_000),
+        confirm_grace: SimDuration::from_micros(200),
+        restart_base: SimDuration::from_micros(1_000),
+        restore_per_page: SimDuration::from_micros(5),
+        ..RecoveryConfig::on(2)
+    }
+}
+
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for bench in [Benchmark::Radix, Benchmark::Fft] {
+        for tech in Technique::ALL {
+            cells.push(Cell {
+                label: format!("{bench} [{}]", tech.label()),
+                bench,
+                cfg: tech.configure(bench, base(4)),
+            });
+        }
+    }
+    // A lossy cell: the fault injector draws from its own seeded RNG,
+    // which must not observe the worker count.
+    cells.push(Cell {
+        label: "FFT [O, 5% loss]".into(),
+        bench: Benchmark::Fft,
+        cfg: base(4).with_faults(FaultPlan::uniform_loss(0xFA11, 0.05)),
+    });
+    // A crash-restart cell: checkpoints, suspicion, park-and-resume.
+    let mut outage = base(4)
+        .with_recovery(test_recovery())
+        .with_transport(TransportConfig {
+            initial_rto: SimDuration::from_millis(1),
+            max_retries: 3,
+            ..TransportConfig::default()
+        });
+    outage.faults = outage.faults.with_node_crash(NodeCrash {
+        node: 2,
+        at: SimTime::from_millis(2),
+        restart_after: Some(SimDuration::from_millis(20)),
+    });
+    cells.push(Cell {
+        label: "RADIX [O, crash-restart]".into(),
+        bench: Benchmark::Radix,
+        cfg: outage,
+    });
+    cells
+}
+
+/// Runs every grid cell on `jobs` workers and returns each cell's
+/// (report digest, trace digest, RTR1 byte length).
+fn digests_at(jobs: usize) -> Vec<(String, u64, u64, usize)> {
+    let tasks: Vec<_> = grid()
+        .into_iter()
+        .map(|cell| {
+            move || {
+                let (report, trace) = cell
+                    .bench
+                    .run_traced(Scale::Test, cell.cfg)
+                    .unwrap_or_else(|e| panic!("{}: {e}", cell.label));
+                assert!(report.verified, "{}: result corrupted", cell.label);
+                (
+                    cell.label,
+                    report.digest(),
+                    trace.digest(),
+                    trace.encode().len(),
+                )
+            }
+        })
+        .collect();
+    pool::run(jobs, tasks)
+}
+
+/// The whole grid digests identically at `--jobs 1` and `--jobs 8`:
+/// parallel scheduling is invisible in the results.
+#[test]
+fn parallel_and_serial_cells_are_digest_identical() {
+    let serial = digests_at(1);
+    let parallel = digests_at(8);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s, p,
+            "cell diverged between jobs=1 and jobs=8 \
+             (label, report digest, trace digest, RTR1 len)"
+        );
+    }
+}
+
+/// Oversubscription (more workers than cells, and workers racing over
+/// a tiny queue) is equally invisible.
+#[test]
+fn oversubscribed_pool_changes_nothing() {
+    let reference = digests_at(1);
+    let oversubscribed = digests_at(64);
+    assert_eq!(reference, oversubscribed);
+}

@@ -15,7 +15,8 @@
 //!
 //! The default grid is RADIX and FFT × O/P/2T/2TP so `cargo test`
 //! stays fast; `RSDSM_TRACE_MATRIX=full` widens it to all eight
-//! applications. On any failure the offending run's Chrome trace
+//! applications, fanned across cores via `rsdsm_bench::pool`
+//! (override the worker count with `RSDSM_JOBS`). On any failure the offending run's Chrome trace
 //! JSON is written under `target/trace-artifacts/` so the regression
 //! arrives with its own timeline attached.
 
@@ -23,9 +24,23 @@ use rsdsm::apps::{Benchmark, Scale};
 use rsdsm::core::{DsmConfig, Trace, TraceEvent};
 use rsdsm::oracle::Technique;
 use rsdsm::stats::chrome_trace_json;
+use rsdsm_bench::pool;
 
 fn base(nodes: usize) -> DsmConfig {
     DsmConfig::paper_cluster(nodes).with_seed(1998)
+}
+
+/// Runs `check` once per (app, technique) grid cell, fanned across
+/// cores; cell panics propagate through [`pool::run`].
+fn for_each_cell(check: impl Fn(Benchmark, Technique) + Send + Sync) {
+    let mut tasks = Vec::new();
+    for bench in grid_apps() {
+        for tech in Technique::ALL {
+            let check = &check;
+            tasks.push(move || check(bench, tech));
+        }
+    }
+    pool::run(pool::matrix_jobs(), tasks);
 }
 
 fn grid_apps() -> Vec<Benchmark> {
@@ -51,38 +66,36 @@ fn fail_with_artifact(bench: Benchmark, tech: Technique, trace: &Trace, msg: Str
 /// (1) Same seed ⇒ the same events in the same order, bit for bit.
 #[test]
 fn same_seed_traces_are_bit_identical() {
-    for bench in grid_apps() {
-        for tech in Technique::ALL {
-            let cfg = || tech.configure(bench, base(4));
-            let (_, a) = bench
-                .run_traced(Scale::Test, cfg())
-                .unwrap_or_else(|e| panic!("{bench} [{}] run 1: {e}", tech.label()));
-            let (_, b) = bench
-                .run_traced(Scale::Test, cfg())
-                .unwrap_or_else(|e| panic!("{bench} [{}] run 2: {e}", tech.label()));
-            assert!(
-                !a.is_empty(),
-                "{bench} [{}]: a real run must emit events",
-                tech.label()
-            );
-            if a.digest() != b.digest() || a.encode() != b.encode() {
-                fail_with_artifact(
-                    bench,
-                    tech,
-                    &a,
-                    format!(
-                        "{bench} [{}]: same-seed traces diverged \
+    for_each_cell(|bench, tech| {
+        let cfg = || tech.configure(bench, base(4));
+        let (_, a) = bench
+            .run_traced(Scale::Test, cfg())
+            .unwrap_or_else(|e| panic!("{bench} [{}] run 1: {e}", tech.label()));
+        let (_, b) = bench
+            .run_traced(Scale::Test, cfg())
+            .unwrap_or_else(|e| panic!("{bench} [{}] run 2: {e}", tech.label()));
+        assert!(
+            !a.is_empty(),
+            "{bench} [{}]: a real run must emit events",
+            tech.label()
+        );
+        if a.digest() != b.digest() || a.encode() != b.encode() {
+            fail_with_artifact(
+                bench,
+                tech,
+                &a,
+                format!(
+                    "{bench} [{}]: same-seed traces diverged \
                          ({:016x} vs {:016x}, {} vs {} events)",
-                        tech.label(),
-                        a.digest(),
-                        b.digest(),
-                        a.len(),
-                        b.len(),
-                    ),
-                );
-            }
+                    tech.label(),
+                    a.digest(),
+                    b.digest(),
+                    a.len(),
+                    b.len(),
+                ),
+            );
         }
-    }
+    });
 }
 
 /// (2) Tracing must not perturb the run it observes: the traced
@@ -90,36 +103,34 @@ fn same_seed_traces_are_bit_identical() {
 /// the fast matrix.
 #[test]
 fn tracing_has_zero_observer_effect() {
-    for bench in grid_apps() {
-        for tech in Technique::ALL {
-            let cfg = || tech.configure(bench, base(4));
-            let plain = bench
-                .run(Scale::Test, cfg())
-                .unwrap_or_else(|e| panic!("{bench} [{}] untraced: {e}", tech.label()));
-            let (traced, trace) = bench
-                .run_traced(Scale::Test, cfg())
-                .unwrap_or_else(|e| panic!("{bench} [{}] traced: {e}", tech.label()));
-            assert!(
-                traced.trace.is_some(),
-                "{bench} [{}]: traced run must carry trace metrics",
-                tech.label()
-            );
-            if plain.digest() != traced.digest() {
-                fail_with_artifact(
-                    bench,
-                    tech,
-                    &trace,
-                    format!(
-                        "{bench} [{}]: tracing changed the run \
+    for_each_cell(|bench, tech| {
+        let cfg = || tech.configure(bench, base(4));
+        let plain = bench
+            .run(Scale::Test, cfg())
+            .unwrap_or_else(|e| panic!("{bench} [{}] untraced: {e}", tech.label()));
+        let (traced, trace) = bench
+            .run_traced(Scale::Test, cfg())
+            .unwrap_or_else(|e| panic!("{bench} [{}] traced: {e}", tech.label()));
+        assert!(
+            traced.trace.is_some(),
+            "{bench} [{}]: traced run must carry trace metrics",
+            tech.label()
+        );
+        if plain.digest() != traced.digest() {
+            fail_with_artifact(
+                bench,
+                tech,
+                &trace,
+                format!(
+                    "{bench} [{}]: tracing changed the run \
                          (untraced digest {:016x}, traced {:016x})",
-                        tech.label(),
-                        plain.digest(),
-                        traced.digest(),
-                    ),
-                );
-            }
+                    tech.label(),
+                    plain.digest(),
+                    traced.digest(),
+                ),
+            );
         }
-    }
+    });
 }
 
 /// (3) A diff may only be applied after its write notice is known at
@@ -129,57 +140,53 @@ fn tracing_has_zero_observer_effect() {
 /// link proves "preceded by".
 #[test]
 fn every_diff_apply_is_caused_by_a_matching_write_notice() {
-    for bench in grid_apps() {
-        for tech in Technique::ALL {
-            let cfg = tech.configure(bench, base(4));
-            let (_, trace) = bench
-                .run_traced(Scale::Test, cfg)
-                .unwrap_or_else(|e| panic!("{bench} [{}]: {e}", tech.label()));
-            let mut applies = 0u64;
-            for (i, rec) in trace.records.iter().enumerate() {
-                let TraceEvent::DiffApply { page, origin, seq } = rec.event else {
-                    continue;
-                };
-                applies += 1;
-                let problem = if rec.cause == 0 || rec.cause as usize > i {
-                    Some("has no prior causal link".to_string())
-                } else {
-                    let notice = &trace.records[rec.cause as usize - 1];
-                    match notice.event {
-                        TraceEvent::WriteNotice {
-                            page: np,
-                            origin: no,
-                            seq: ns,
-                        } if np == page && no == origin && ns == seq && notice.node == rec.node => {
-                            None
-                        }
-                        ref other => Some(format!(
-                            "links record {} ({:?} at node {}) instead of a matching notice",
-                            rec.cause, other, notice.node
-                        )),
-                    }
-                };
-                if let Some(why) = problem {
-                    fail_with_artifact(
-                        bench,
-                        tech,
-                        &trace,
-                        format!(
-                            "{bench} [{}]: DiffApply #{i} (page {page}, origin {origin}, \
-                             seq {seq}, node {}) {why}",
-                            tech.label(),
-                            rec.node,
-                        ),
-                    );
+    for_each_cell(|bench, tech| {
+        let cfg = tech.configure(bench, base(4));
+        let (_, trace) = bench
+            .run_traced(Scale::Test, cfg)
+            .unwrap_or_else(|e| panic!("{bench} [{}]: {e}", tech.label()));
+        let mut applies = 0u64;
+        for (i, rec) in trace.records.iter().enumerate() {
+            let TraceEvent::DiffApply { page, origin, seq } = rec.event else {
+                continue;
+            };
+            applies += 1;
+            let problem = if rec.cause == 0 || rec.cause as usize > i {
+                Some("has no prior causal link".to_string())
+            } else {
+                let notice = &trace.records[rec.cause as usize - 1];
+                match notice.event {
+                    TraceEvent::WriteNotice {
+                        page: np,
+                        origin: no,
+                        seq: ns,
+                    } if np == page && no == origin && ns == seq && notice.node == rec.node => None,
+                    ref other => Some(format!(
+                        "links record {} ({:?} at node {}) instead of a matching notice",
+                        rec.cause, other, notice.node
+                    )),
                 }
+            };
+            if let Some(why) = problem {
+                fail_with_artifact(
+                    bench,
+                    tech,
+                    &trace,
+                    format!(
+                        "{bench} [{}]: DiffApply #{i} (page {page}, origin {origin}, \
+                             seq {seq}, node {}) {why}",
+                        tech.label(),
+                        rec.node,
+                    ),
+                );
             }
-            assert!(
-                applies > 0,
-                "{bench} [{}]: expected at least one applied diff",
-                tech.label()
-            );
         }
-    }
+        assert!(
+            applies > 0,
+            "{bench} [{}]: expected at least one applied diff",
+            tech.label()
+        );
+    });
 }
 
 /// The `RTR1` bytes round-trip through the decoder, and the exporter
