@@ -98,8 +98,12 @@ impl DsmProgram for SorApp {
         let n = ctx.num_threads();
         let cols = self.cols;
         // Interior rows are partitioned; boundary rows stay fixed.
+        // With more threads than interior rows the block is empty
+        // (r0 == r1): such a thread does no row work but must still
+        // hit every barrier.
         let (r0, r1) = block_range(self.rows - 2, t, n);
         let (r0, r1) = (r0 + 1, r1 + 1);
+        let has_rows = r1 > r0;
 
         if t == 0 {
             for i in 0..self.rows {
@@ -109,17 +113,19 @@ impl DsmProgram for SorApp {
         ctx.barrier(BarrierId(0));
         // First-touch prefetch: the whole grid lives on the master
         // after initialization.
-        ctx.prefetch(grid, (r0 - 1) * cols, (r1 + 1) * cols);
+        if has_rows {
+            ctx.prefetch(grid, (r0 - 1) * cols, (r1 + 1) * cols);
+        }
 
         let mut bars = BarrierCycle::new();
         for it in 0..self.iters {
             for color in 0..2usize {
                 // Prefetch the halo rows owned by our neighbors; they
                 // were invalidated by the previous phase's writes.
-                if r0 > 1 {
+                if has_rows && r0 > 1 {
                     ctx.prefetch(grid, (r0 - 1) * cols, r0 * cols);
                 }
-                if r1 < self.rows - 1 {
+                if has_rows && r1 < self.rows - 1 {
                     ctx.prefetch(grid, r1 * cols, (r1 + 1) * cols);
                 }
                 // Update one row: reads rows i-1, i, i+1; only cells
@@ -144,9 +150,11 @@ impl DsmProgram for SorApp {
                 for i in r0 + 1..r1.saturating_sub(1) {
                     update_row(ctx, i);
                 }
-                update_row(ctx, r0);
-                if r1 - r0 > 1 {
-                    update_row(ctx, r1 - 1);
+                if has_rows {
+                    update_row(ctx, r0);
+                    if r1 - r0 > 1 {
+                        update_row(ctx, r1 - 1);
+                    }
                 }
                 let _ = it;
                 bars.next(ctx);

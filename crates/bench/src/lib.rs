@@ -15,7 +15,8 @@ use std::collections::HashMap;
 
 use rsdsm_apps::{Benchmark, Scale};
 use rsdsm_core::{
-    DsmConfig, FaultPlan, NodeCrash, PrefetchConfig, RecoveryConfig, RunReport, ThreadConfig, Trace,
+    DsmConfig, FaultPlan, NodeCrash, Partition, PrefetchConfig, RecoveryConfig, RunReport,
+    ThreadConfig, Trace,
 };
 use rsdsm_simnet::{SimDuration, SimTime};
 use rsdsm_stats::{chrome_trace_json, render_bars, Bar};
@@ -24,6 +25,7 @@ use rsdsm_stats::{chrome_trace_json, render_bars, Bar};
 ///
 /// Usage: `[--paper-scale] [--nodes N] [--app NAME]... [--seed S]
 /// [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]...
+/// [--fault-partition GROUPS@MS:heal=MS[:asym]]...
 /// [--checkpoint-every N] [--trace OUT] [--trace-metrics]`
 #[derive(Debug, Clone)]
 pub struct ExpOpts {
@@ -41,6 +43,10 @@ pub struct ExpOpts {
     /// Scheduled node crashes (`--fault-crash`). Any crash enables
     /// recovery for the run.
     pub crashes: Vec<NodeCrash>,
+    /// Scheduled network partitions (`--fault-partition`). Any
+    /// partition enables recovery for the run (the quorum rule and
+    /// checkpoint-based rejoin live there).
+    pub partitions: Vec<Partition>,
     /// Checkpoint cadence in barrier epochs (`--checkpoint-every`;
     /// 0 disables checkpointing).
     pub checkpoint_every: u32,
@@ -69,6 +75,7 @@ impl Default for ExpOpts {
             seed: 1998,
             fault_loss: 0.0,
             crashes: Vec::new(),
+            partitions: Vec::new(),
             checkpoint_every: 0,
             trace_out: None,
             trace_metrics: false,
@@ -115,6 +122,18 @@ impl ExpOpts {
                         Some(crash) => opts.crashes.push(crash),
                         None => usage(&format!(
                             "bad crash spec {spec:?}; expected NODE@MS[:restart=MS]"
+                        )),
+                    }
+                }
+                "--fault-partition" => {
+                    let spec = args.next().unwrap_or_else(|| {
+                        usage("--fault-partition needs GROUPS@MS:heal=MS[:asym]")
+                    });
+                    match parse_partition(&spec) {
+                        Some(p) => opts.partitions.push(p),
+                        None => usage(&format!(
+                            "bad partition spec {spec:?}; expected GROUPS@MS:heal=MS[:asym] \
+                             (groups `|`-separated, nodes comma-separated, e.g. 2@5:heal=10)"
                         )),
                     }
                 }
@@ -170,13 +189,17 @@ impl ExpOpts {
         for &crash in &self.crashes {
             cfg.faults = cfg.faults.with_node_crash(crash);
         }
-        if !self.crashes.is_empty() || self.checkpoint_every > 0 {
-            // Crashes need the failure detector and restart machinery;
-            // a bare --checkpoint-every measures checkpoint overhead
-            // without them (detection stays off so the run's timeline
-            // is untouched).
+        for p in &self.partitions {
+            cfg.faults = cfg.faults.with_partition(p.clone());
+        }
+        let faulted = !self.crashes.is_empty() || !self.partitions.is_empty();
+        if faulted || self.checkpoint_every > 0 {
+            // Crashes and partitions need the failure detector and
+            // restart/rejoin machinery; a bare --checkpoint-every
+            // measures checkpoint overhead without them (detection
+            // stays off so the run's timeline is untouched).
             cfg = cfg.with_recovery(RecoveryConfig {
-                enabled: !self.crashes.is_empty(),
+                enabled: faulted,
                 checkpoint_every: self.checkpoint_every,
                 ..RecoveryConfig::off()
             });
@@ -207,6 +230,46 @@ fn parse_crash(spec: &str) -> Option<NodeCrash> {
     })
 }
 
+/// Parses a `--fault-partition` spec: `GROUPS@MS:heal=MS[:asym]`,
+/// where `GROUPS` is `|`-separated groups of comma-separated node
+/// ids (unlisted nodes form the implicit final group), `@MS` is the
+/// cut instant and `:heal=MS` the cut duration, both in simulated
+/// milliseconds. `:asym` makes the cut one-way (earlier-listed groups
+/// cannot reach later ones; the reverse direction still delivers).
+fn parse_partition(spec: &str) -> Option<Partition> {
+    let (groups_str, rest) = spec.split_once('@')?;
+    let mut groups = Vec::new();
+    for group in groups_str.split('|') {
+        let nodes: Vec<usize> = group
+            .split(',')
+            .map(|n| n.parse().ok())
+            .collect::<Option<_>>()?;
+        if nodes.is_empty() {
+            return None;
+        }
+        groups.push(nodes);
+    }
+    let mut tail = rest.split(':');
+    let at_ms: u64 = tail.next()?.parse().ok()?;
+    let mut heal_ms = None;
+    let mut asym = false;
+    for token in tail {
+        if let Some(ms) = token.strip_prefix("heal=") {
+            heal_ms = Some(ms.parse().ok()?);
+        } else if token == "asym" {
+            asym = true;
+        } else {
+            return None;
+        }
+    }
+    Some(Partition {
+        groups,
+        at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+        heal_after: SimDuration::from_millis(heal_ms?),
+        asym,
+    })
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -214,6 +277,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] \
          [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]... [--checkpoint-every N]\n\
+         \x20             [--fault-partition GROUPS@MS:heal=MS[:asym]]...\n\
          \x20             [--trace OUT] [--trace-metrics] [--jobs N] [--bench-json PATH]\n\
          \n\
          --jobs N        run independent simulation cells on N worker threads\n\
@@ -223,6 +287,12 @@ fn usage(err: &str) -> ! {
          \x20               node reboots after that outage (crash-restart), otherwise a\n\
          \x20               replacement rejoins from its last checkpoint (crash-stop).\n\
          \x20               Repeatable. Enables lease-based failure detection and recovery.\n\
+         --fault-partition   cut the network into GROUPS (`|`-separated groups of\n\
+         \x20               comma-separated node ids; unlisted nodes form the final\n\
+         \x20               group) at MS, healing after :heal=MS. With :asym the cut is\n\
+         \x20               one-way. The manager-side component must keep a strict\n\
+         \x20               majority; minority nodes freeze and rejoin from their last\n\
+         \x20               checkpoint at heal. Repeatable; enables recovery.\n\
          --checkpoint-every   take a barrier-aligned checkpoint every N barrier epochs\n\
          --trace OUT     record every simulated event and write a Chrome trace-event\n\
          \x20               JSON (Perfetto-loadable) per run; tracing never changes the\n\
@@ -393,7 +463,7 @@ fn emit_variant(
     if opts.trace_metrics {
         print_trace_metrics(bench, variant, report);
     }
-    if opts.fault_loss > 0.0 || !opts.crashes.is_empty() {
+    if opts.fault_loss > 0.0 || !opts.crashes.is_empty() || !opts.partitions.is_empty() {
         match report.fault_summary_line() {
             Some(line) => println!("  {bench} [{}] {line}", variant.label()),
             None => println!("  {bench} [{}] faults: none observed", variant.label()),
@@ -594,6 +664,40 @@ mod tests {
             ExpOpts::default().base_config().recovery,
             RecoveryConfig::off()
         );
+    }
+
+    #[test]
+    fn partition_specs_parse() {
+        let p = parse_partition("2@5:heal=10").expect("single-minority spec");
+        assert_eq!(p.groups, vec![vec![2]]);
+        assert_eq!(p.at, SimTime::ZERO + SimDuration::from_millis(5));
+        assert_eq!(p.heal_after, SimDuration::from_millis(10));
+        assert!(!p.asym);
+
+        let p = parse_partition("0,1|2,3@250:heal=40:asym").expect("two-group asym spec");
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(p.at, SimTime::ZERO + SimDuration::from_millis(250));
+        assert_eq!(p.heal_after, SimDuration::from_millis(40));
+        assert!(p.asym);
+
+        assert!(parse_partition("nope").is_none());
+        assert!(parse_partition("2@5").is_none(), "heal is mandatory");
+        assert!(parse_partition("2@x:heal=10").is_none());
+        assert!(parse_partition("2@5:heal=").is_none());
+        assert!(parse_partition("2@5:heal=10:bogus").is_none());
+        assert!(parse_partition("|2@5:heal=10").is_none(), "empty group");
+    }
+
+    #[test]
+    fn partition_flags_enable_recovery() {
+        let mut opts = ExpOpts::default();
+        opts.partitions
+            .push(parse_partition("2@5:heal=10").unwrap());
+        opts.checkpoint_every = 2;
+        let cfg = opts.base_config();
+        assert_eq!(cfg.faults.partitions.len(), 1);
+        assert!(cfg.recovery.enabled);
+        assert_eq!(cfg.recovery.checkpoint_every, 2);
     }
 
     #[test]

@@ -72,6 +72,15 @@ enum Event {
     /// The manager's grace period after a suspicion expired; decide
     /// whether the suspect is really down.
     ConfirmFailure(NodeId),
+    /// A scheduled network cut from the fault plan activates
+    /// (index into `FaultPlan::partitions`): nodes outside the
+    /// manager-side component freeze and are marked unreachable.
+    PartitionStart(usize),
+    /// The cut heals: frozen minority nodes get their rejoin
+    /// (checkpoint restore + replay) scheduled.
+    PartitionHeal(usize),
+    /// A frozen minority node finishes reconciling and resumes.
+    Rejoin(NodeId),
 }
 
 /// Engine-side handle to one application thread.
@@ -134,6 +143,17 @@ struct RecoveryState {
     idle_tick_rounds: u32,
     /// Whether any non-tick event ran since the last manager tick.
     progressed: bool,
+    /// Nodes frozen on the minority side of an active cut: alive, but
+    /// their local events and arrivals are parked until rejoin.
+    frozen: Vec<bool>,
+    /// Count of `true` entries in `frozen` (fast path: zero almost
+    /// always).
+    frozen_count: usize,
+    /// When each frozen node froze (the cut instant).
+    freeze_time: Vec<SimTime>,
+    /// The manager-side view: which nodes sit behind a known cut.
+    /// Suspicion against them must never escalate to `RecoveryStart`.
+    unreachable: Vec<bool>,
 }
 
 impl RecoveryState {
@@ -155,6 +175,10 @@ impl RecoveryState {
             stats: RecoveryStats::default(),
             idle_tick_rounds: 0,
             progressed: false,
+            frozen: vec![false; n],
+            frozen_count: 0,
+            freeze_time: vec![SimTime::ZERO; n],
+            unreachable: vec![false; n],
         }
     }
 }
@@ -454,6 +478,50 @@ impl<'a> Core<'a> {
                 },
             );
         }
+        for (i, p) in cfg.faults.partitions.iter().enumerate() {
+            assert!(
+                cfg.recovery.enabled,
+                "partition schedules need recovery enabled: freeze, suspicion \
+                 gating, and checkpoint-based rejoin all live there"
+            );
+            assert!(
+                cfg.faults.crashes.is_empty(),
+                "combined crash and partition schedules are not supported"
+            );
+            assert!(
+                !p.heal_after.is_zero(),
+                "a partition needs a nonzero heal window"
+            );
+            let mut listed = vec![false; cfg.nodes];
+            for g in &p.groups {
+                for &n in g {
+                    assert!(
+                        n < cfg.nodes,
+                        "partition plan names node {n} in a {}-node cluster",
+                        cfg.nodes
+                    );
+                    assert!(!listed[n], "node {n} listed in two partition groups");
+                    listed[n] = true;
+                }
+            }
+            let mgr_group = p.group_of(MANAGER);
+            let mgr_side = (0..cfg.nodes)
+                .filter(|&n| p.group_of(n) == mgr_group)
+                .count();
+            assert!(
+                mgr_side * 2 > cfg.nodes,
+                "the manager-side component holds {mgr_side} of {} nodes; the \
+                 quorum rule requires it to keep a strict majority",
+                cfg.nodes
+            );
+            for q in &cfg.faults.partitions[..i] {
+                assert!(
+                    p.at >= q.heal_at() || q.at >= p.heal_at(),
+                    "partition windows must not overlap"
+                );
+            }
+            queue.push(p.at, Event::PartitionStart(i));
+        }
         if cfg.recovery.enabled {
             for n in 0..cfg.nodes {
                 queue.push(
@@ -532,6 +600,9 @@ impl<'a> Core<'a> {
                 Event::Restart(node) => self.on_restart(node, now),
                 Event::HeartbeatTick(node) => self.on_heartbeat_tick(node, now)?,
                 Event::ConfirmFailure(node) => self.on_confirm_failure(node, now),
+                Event::PartitionStart(idx) => self.on_partition_start(idx, now),
+                Event::PartitionHeal(idx) => self.on_partition_heal(idx, now),
+                Event::Rejoin(node) => self.on_rejoin(node, now),
             }
             if self.oracle.cfg.invariants {
                 self.oracle.check_event(&self.nodes, now);
@@ -588,20 +659,22 @@ impl<'a> Core<'a> {
     // Crash handling and recovery
     // ------------------------------------------------------------------
 
-    /// Filters one popped event against the set of crashed nodes:
-    /// local activity (thread events, retry timers) of a down node is
-    /// parked for replay at restart; frames arriving at a dead NIC
-    /// are dropped and counted. Frames *from* a recently-crashed node
-    /// that were already on the wire still deliver. Returns `None`
-    /// when the event was consumed.
+    /// Filters one popped event against the set of crashed and frozen
+    /// nodes: local activity (thread events, retry timers) of a down
+    /// or frozen node is parked for replay at restart/rejoin; frames
+    /// arriving at a dead NIC are dropped and counted, while frames
+    /// reaching a *frozen* node (intra-minority traffic — the NIC is
+    /// alive, the node just is not making progress) are parked too.
+    /// Frames *from* a recently-crashed node that were already on the
+    /// wire still deliver. Returns `None` when the event was consumed.
     fn intercept_crashed(&mut self, now: SimTime, event: Event) -> Option<Event> {
-        if self.recov.downs == 0 {
+        if self.recov.downs == 0 && self.recov.frozen_count == 0 {
             return Some(event);
         }
         match &event {
             Event::Start(tid) | Event::SyscallReady(tid) => {
                 let n = tid.node(self.tpn());
-                if self.recov.down[n] {
+                if self.recov.down[n] || self.recov.frozen[n] {
                     self.recov.parked_events.push((n, now, event));
                     return None;
                 }
@@ -610,8 +683,14 @@ impl<'a> Core<'a> {
                 self.net.note_crash_drop(frame_kind(&pkt.frame));
                 return None;
             }
-            Event::RetryTimeout { src, .. } if self.recov.down[*src] => {
-                self.recov.parked_events.push((*src, now, event));
+            Event::Arrival(pkt) if self.recov.frozen[pkt.dst] => {
+                let dst = pkt.dst;
+                self.recov.parked_events.push((dst, now, event));
+                return None;
+            }
+            Event::RetryTimeout { src, .. } if self.recov.down[*src] || self.recov.frozen[*src] => {
+                let src = *src;
+                self.recov.parked_events.push((src, now, event));
                 return None;
             }
             _ => {}
@@ -727,7 +806,9 @@ impl<'a> Core<'a> {
             }
             self.recov.progressed = false;
         }
-        if self.recov.down[n] {
+        // A frozen node ticks again once it rejoins; its detector
+        // must not run while the quorum rule has it parked.
+        if self.recov.down[n] || self.recov.frozen[n] {
             return Ok(());
         }
         for peer in 0..self.cfg.nodes {
@@ -839,6 +920,15 @@ impl<'a> Core<'a> {
     /// Queues a [`Event::ConfirmFailure`] for `victim` after the
     /// grace period, once per suspicion episode.
     fn schedule_confirm(&mut self, victim: NodeId, now: SimTime) {
+        // The quorum rule, split-brain half: a node behind a known cut
+        // is unreachable, not dead. Its suspicion stays parked until
+        // the heal reconciles it — no confirmation, no RecoveryStart.
+        if self.recov.unreachable[victim] {
+            if self.trace {
+                eprintln!("[{now}] suspicion of n{victim} parked: behind a known cut");
+            }
+            return;
+        }
         if victim == MANAGER
             || self.recov.confirm_pending[victim]
             || self.recov.detector.status(MANAGER, victim) == PeerStatus::Down
@@ -861,6 +951,12 @@ impl<'a> Core<'a> {
     /// scheduled unless the crash-restart plan already did.
     fn on_confirm_failure(&mut self, victim: NodeId, now: SimTime) {
         self.recov.confirm_pending[victim] = false;
+        // A cut may have landed between the suspicion and this
+        // deadline: the victim is unreachable, not dead. Leave its
+        // state for the heal to reconcile.
+        if self.recov.unreachable[victim] {
+            return;
+        }
         if !self.recov.down[victim] {
             self.recov.detector.clear(victim, now);
             self.unpark_frames_to(victim, now);
@@ -904,6 +1000,123 @@ impl<'a> Core<'a> {
                 + self.replay_cost(victim);
             self.recov.restart_at[victim] = Some(at);
             self.queue.push(at, Event::Restart(victim));
+        }
+    }
+
+    /// A scheduled network cut activates. The network has been
+    /// dropping cross-cut frames since the cut instant (it evaluates
+    /// the static schedule at send time); here the engine applies the
+    /// quorum rule: every node outside the manager-side component
+    /// freezes — its local events and arrivals park, exactly as if it
+    /// suspended itself on losing its majority — and the manager marks
+    /// it unreachable so lease expiry cannot escalate to a false
+    /// `RecoveryStart`. The majority side keeps running.
+    fn on_partition_start(&mut self, idx: usize, now: SimTime) {
+        let p = self.cfg.faults.partitions[idx].clone();
+        let mgr_group = p.group_of(MANAGER);
+        self.recov.stats.partitions += 1;
+        if self.trace {
+            eprintln!("[{now}] PARTITION cut {idx} (heals at {})", p.heal_at());
+        }
+        for x in 0..self.cfg.nodes {
+            if p.group_of(x) == mgr_group || self.recov.down[x] || self.recov.frozen[x] {
+                continue;
+            }
+            self.recov.frozen[x] = true;
+            self.recov.frozen_count += 1;
+            self.recov.freeze_time[x] = now;
+            self.recov.unreachable[x] = true;
+            self.recov.stats.partition_freezes += 1;
+            self.recov.detector.mark_unreachable(MANAGER, x);
+            self.tracer.emit(
+                now,
+                x as u32,
+                NO_THREAD,
+                NO_CAUSE,
+                TraceEvent::PartitionFreeze,
+            );
+            if self.trace {
+                eprintln!("[{now}] freeze n{x}: outside the majority component");
+            }
+        }
+        self.queue.push(p.heal_at(), Event::PartitionHeal(idx));
+    }
+
+    /// The cut heals. Each frozen minority node reconciles through
+    /// the checkpoint path: discard speculative state, reload the last
+    /// barrier-aligned checkpoint, and deterministically replay up to
+    /// the freeze instant — the same argument as crash recovery, so
+    /// the rejoin cost is the same restore + replay model.
+    fn on_partition_heal(&mut self, idx: usize, now: SimTime) {
+        let p = self.cfg.faults.partitions[idx].clone();
+        let mgr_group = p.group_of(MANAGER);
+        self.tracer.emit(
+            now,
+            MANAGER as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::PartitionHeal,
+        );
+        if self.trace {
+            eprintln!("[{now}] PARTITION heal {idx}");
+        }
+        for x in 0..self.cfg.nodes {
+            if p.group_of(x) == mgr_group || !self.recov.frozen[x] {
+                continue;
+            }
+            let at = now + self.restore_cost(x) + self.replay_cost(x);
+            self.queue.push(at, Event::Rejoin(x));
+        }
+    }
+
+    /// A frozen node finishes reconciling and resumes, mirroring
+    /// [`Core::on_restart`]: parked local events and arrivals replay
+    /// time-shifted by the freeze duration, parked frames toward it
+    /// re-arm, and every observer's belief about it resets to alive.
+    fn on_rejoin(&mut self, x: NodeId, now: SimTime) {
+        if !self.recov.frozen[x] {
+            return;
+        }
+        // A later cut isolated the node again before this rejoin
+        // matured; that cut's heal schedules a fresh one.
+        let still_cut = self
+            .cfg
+            .faults
+            .partitions
+            .iter()
+            .any(|p| p.active_at(now) && p.group_of(x) != p.group_of(MANAGER));
+        if still_cut {
+            return;
+        }
+        self.tracer.emit(
+            now,
+            x as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::PartitionRejoin,
+        );
+        self.recov.frozen[x] = false;
+        self.recov.frozen_count -= 1;
+        self.recov.unreachable[x] = false;
+        let shift = now.saturating_since(self.recov.freeze_time[x]);
+        self.recov.stats.partition_rejoins += 1;
+        self.recov.stats.partition_reconcile_time += shift;
+        let parked = std::mem::take(&mut self.recov.parked_events);
+        for (node, at, ev) in parked {
+            if node == x {
+                self.queue.push(at + shift, ev);
+            } else {
+                self.recov.parked_events.push((node, at, ev));
+            }
+        }
+        // An in-progress compute burst resumes where it stopped.
+        if let Some(burst) = &mut self.nodes[x].burst {
+            burst.end += shift;
+        }
+        self.unpark_frames_to(x, now);
+        self.recov.detector.clear(x, now);
+        if self.trace {
+            eprintln!("[{now}] REJOIN n{x} after {shift}");
         }
     }
 
@@ -2969,8 +3182,12 @@ impl<'a> Core<'a> {
             TimeoutAction::Exhausted { attempts } => {
                 // With recovery off this is fatal, as it always was.
                 // The manager is unrecoverable either way: it hosts
-                // the coordination state recovery itself needs.
-                if !self.cfg.recovery.enabled || dst == MANAGER {
+                // the coordination state recovery itself needs. A cut
+                // severing the path to it is the one exception — the
+                // frame parks and re-arms at the heal.
+                if !self.cfg.recovery.enabled
+                    || (dst == MANAGER && !self.net.link_cut(now, src, dst))
+                {
                     return Err(SimError::Transport(format!(
                         "frame n{src}->n{dst} seq {seq} unacknowledged after {attempts} transmissions (gave up at {now})"
                     )));

@@ -77,7 +77,9 @@ pub use report::{
     TrafficRow,
 };
 pub use rsdsm_protocol::{Page, PAGE_SIZE};
-pub use rsdsm_simnet::{ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall};
+pub use rsdsm_simnet::{
+    ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall, Partition,
+};
 pub use thread::ThreadId;
 pub use trace::{
     class as trace_class, kind as trace_kind, kind_label, Histogram, PrefetchTraceSummary,

@@ -30,6 +30,11 @@ pub enum PeerStatus {
     /// The lease expired or a reliable frame exhausted its retries;
     /// the manager has been asked to confirm.
     Suspected,
+    /// The peer is alive but on the far side of a known network cut:
+    /// suspicion against it must not escalate to a `RecoveryStart`
+    /// (it will rejoin when the partition heals), and hearing a stray
+    /// pre-cut frame from it does not clear the mark.
+    Unreachable,
     /// The manager confirmed the failure; traffic to the peer is
     /// parked until it rejoins from its checkpoint.
     Down,
@@ -126,6 +131,16 @@ pub struct RecoveryStats {
     pub recoveries: u64,
     /// Total simulated time from each crash to the matching rejoin.
     pub recovery_time: SimDuration,
+    /// Network partition cuts executed from the fault plan.
+    pub partitions: u64,
+    /// Minority nodes frozen at a cut (suspected-but-alive: parked by
+    /// the quorum rule instead of being declared crashed).
+    pub partition_freezes: u64,
+    /// Minority nodes reconciled back into the run after a heal.
+    pub partition_rejoins: u64,
+    /// Total simulated time from each cut to the matching rejoin
+    /// (freeze + checkpoint restore + replay).
+    pub partition_reconcile_time: SimDuration,
 }
 
 /// Per-link lease bookkeeping: when each node last heard from each
@@ -186,6 +201,13 @@ impl FailureDetector {
         self.status[observer][peer] = PeerStatus::Down;
     }
 
+    /// Marks `peer` unreachable at `observer` (on the far side of a
+    /// known cut). Sticky like `Down`: only [`FailureDetector::clear`]
+    /// resets it, at rejoin.
+    pub fn mark_unreachable(&mut self, observer: NodeId, peer: NodeId) {
+        self.status[observer][peer] = PeerStatus::Unreachable;
+    }
+
     /// Clears all state about `peer` (it rejoined, or a suspicion was
     /// resolved as false): every observer believes it alive with a
     /// fresh lease, and `peer` itself gets fresh leases on everyone.
@@ -235,6 +257,20 @@ mod tests {
         d.clear(1, SimTime::ZERO + us(2));
         assert_eq!(d.status(0, 1), PeerStatus::Alive);
         assert!(!d.lease_expired(1, 0, SimTime::ZERO + us(3)));
+    }
+
+    #[test]
+    fn unreachable_is_sticky_and_not_a_new_suspicion() {
+        let mut d = FailureDetector::new(2, us(10));
+        d.mark_unreachable(0, 1);
+        // A stray pre-cut frame does not clear the mark...
+        d.heard(0, 1, SimTime::ZERO + us(1));
+        assert_eq!(d.status(0, 1), PeerStatus::Unreachable);
+        // ...and lease expiry cannot start a suspicion episode on it.
+        assert!(!d.suspect(0, 1));
+        // Rejoin clears it like any other mark.
+        d.clear(1, SimTime::ZERO + us(2));
+        assert_eq!(d.status(0, 1), PeerStatus::Alive);
     }
 
     #[test]

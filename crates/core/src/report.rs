@@ -313,10 +313,12 @@ impl RunReport {
         let quiet = f.injected_drops == 0
             && f.duplicates == 0
             && f.reordered == 0
+            && f.partition_drops == 0
             && t.retransmissions == 0
             && self.net.drops == 0
             && r.crashes == 0
-            && r.suspicions == 0;
+            && r.suspicions == 0
+            && r.partitions == 0;
         if quiet {
             return None;
         }
@@ -350,6 +352,19 @@ impl RunReport {
                 r.checkpoint_bytes,
                 r.recoveries,
                 r.recovery_time.as_micros(),
+            )
+            .expect("write to String");
+        }
+        if r.partitions > 0 || f.partition_drops > 0 {
+            write!(
+                line,
+                "; partition: {} cuts, {} frames cut, \
+                 {} frozen suspected-but-alive, {} rejoins ({} us reconcile)",
+                r.partitions,
+                f.partition_drops,
+                r.partition_freezes,
+                r.partition_rejoins,
+                r.partition_reconcile_time.as_micros(),
             )
             .expect("write to String");
         }

@@ -278,6 +278,14 @@ pub enum TraceEvent {
         /// Encoded `RCK1` bytes.
         bytes: u32,
     },
+    /// A network cut isolated this node from the manager-side
+    /// majority; it froze local progress (quorum rule).
+    PartitionFreeze,
+    /// The active network cut healed (emitted at the manager).
+    PartitionHeal,
+    /// This node reconciled back into the run after a heal
+    /// (checkpoint restore + deterministic replay).
+    PartitionRejoin,
 }
 
 impl TraceEvent {
@@ -307,6 +315,9 @@ impl TraceEvent {
             TraceEvent::Suspect { .. } => 20,
             TraceEvent::ConfirmDown { .. } => 21,
             TraceEvent::CheckpointTaken { .. } => 22,
+            TraceEvent::PartitionFreeze => 23,
+            TraceEvent::PartitionHeal => 24,
+            TraceEvent::PartitionRejoin => 25,
         }
     }
 
@@ -334,7 +345,10 @@ impl TraceEvent {
             TraceEvent::PrefetchDrop { .. } => 5,
             TraceEvent::TransportRetry { .. } => 20,
             TraceEvent::Crash { .. } => 1,
-            TraceEvent::Restart => 0,
+            TraceEvent::Restart
+            | TraceEvent::PartitionFreeze
+            | TraceEvent::PartitionHeal
+            | TraceEvent::PartitionRejoin => 0,
         }
     }
 
@@ -364,6 +378,9 @@ impl TraceEvent {
             TraceEvent::Suspect { .. } => "suspect",
             TraceEvent::ConfirmDown { .. } => "confirm_down",
             TraceEvent::CheckpointTaken { .. } => "checkpoint",
+            TraceEvent::PartitionFreeze => "partition_freeze",
+            TraceEvent::PartitionHeal => "partition_heal",
+            TraceEvent::PartitionRejoin => "partition_rejoin",
         }
     }
 }
@@ -579,7 +596,10 @@ impl Trace {
                     put_u64(&mut out, *seq);
                 }
                 TraceEvent::Crash { restarts } => put_bool(&mut out, *restarts),
-                TraceEvent::Restart => {}
+                TraceEvent::Restart
+                | TraceEvent::PartitionFreeze
+                | TraceEvent::PartitionHeal
+                | TraceEvent::PartitionRejoin => {}
                 TraceEvent::Suspect { peer } | TraceEvent::ConfirmDown { peer } => {
                     put_u32(&mut out, *peer)
                 }
@@ -690,6 +710,9 @@ impl Trace {
                     epoch: c.u32()?,
                     bytes: c.u32()?,
                 },
+                23 => TraceEvent::PartitionFreeze,
+                24 => TraceEvent::PartitionHeal,
+                25 => TraceEvent::PartitionRejoin,
                 _ => return Err(TraceError::Corrupt("unknown event tag")),
             };
             records.push(TraceRecord {
@@ -1302,6 +1325,9 @@ mod tests {
             TraceEvent::Suspect { peer: 1 },
             TraceEvent::ConfirmDown { peer: 1 },
             TraceEvent::CheckpointTaken { epoch: 1, bytes: 2 },
+            TraceEvent::PartitionFreeze,
+            TraceEvent::PartitionHeal,
+            TraceEvent::PartitionRejoin,
         ];
         for event in events {
             let t = Trace {

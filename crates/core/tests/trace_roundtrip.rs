@@ -8,13 +8,13 @@ use rsdsm_core::{Histogram, Trace, TraceEvent, TraceRecord, NO_THREAD};
 use rsdsm_simnet::SimTime;
 
 /// Raw event spec: a variant selector plus generic operands, mapped
-/// onto the 23 event variants (the vendored proptest shim has no
+/// onto the 26 event variants (the vendored proptest shim has no
 /// `prop_map`, so construction happens in the test body).
 type EventSpec = (u8, u32, u32, u64, bool);
 
 fn build_event(spec: EventSpec) -> TraceEvent {
     let (tag, a, b, c, flag) = spec;
-    match tag % 23 {
+    match tag % 26 {
         0 => TraceEvent::MsgSend {
             kind: (a % 13) as u8,
             peer: b,
@@ -75,7 +75,10 @@ fn build_event(spec: EventSpec) -> TraceEvent {
         19 => TraceEvent::Restart,
         20 => TraceEvent::Suspect { peer: a },
         21 => TraceEvent::ConfirmDown { peer: a },
-        _ => TraceEvent::CheckpointTaken { epoch: a, bytes: b },
+        22 => TraceEvent::CheckpointTaken { epoch: a, bytes: b },
+        23 => TraceEvent::PartitionFreeze,
+        24 => TraceEvent::PartitionHeal,
+        _ => TraceEvent::PartitionRejoin,
     }
 }
 

@@ -156,6 +156,83 @@ pub struct NodeCrash {
     pub restart_after: Option<SimDuration>,
 }
 
+/// A scheduled network partition: at `at` the switch fabric splits
+/// into isolated groups, and frames crossing a cut are lost until the
+/// partition heals at `at + heal_after`.
+///
+/// `groups` lists the partition's components by node id; nodes not
+/// listed anywhere form one implicit final group (index
+/// `groups.len()`), so `groups: vec![vec![2]]` in a 4-node cluster
+/// cuts node 2 away from `{0, 1, 3}`. Frames whose flight interval
+/// `[sent, arrival]` overlaps the cut window are dropped — a frame
+/// already on the wire when the cut lands dies at the severed switch
+/// port, exactly like one sent mid-cut.
+///
+/// With `asym` set the cut is one-way: frames from an earlier-indexed
+/// group toward a later-indexed group are dropped, the reverse
+/// direction still delivers. (`vec![vec![2]]` + `asym` means node 2
+/// cannot reach the rest, but still hears them.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The partition's components; unlisted nodes form an implicit
+    /// final group.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Cut instant (inclusive).
+    pub at: SimTime,
+    /// Time until the cut heals; the partition is active on
+    /// `[at, at + heal_after)`.
+    pub heal_after: SimDuration,
+    /// One-way cut: only earlier-group → later-group frames are lost.
+    pub asym: bool,
+}
+
+impl Partition {
+    /// A symmetric cut of `groups` against everyone else.
+    pub fn cut(groups: Vec<Vec<NodeId>>, at: SimTime, heal_after: SimDuration) -> Partition {
+        Partition {
+            groups,
+            at,
+            heal_after,
+            asym: false,
+        }
+    }
+
+    /// The instant the cut heals (exclusive end of the window).
+    pub fn heal_at(&self) -> SimTime {
+        self.at + self.heal_after
+    }
+
+    /// Whether the cut is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.at && now < self.heal_at()
+    }
+
+    /// The group index a node belongs to (`groups.len()` for nodes in
+    /// the implicit final group).
+    pub fn group_of(&self, node: NodeId) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&node))
+            .unwrap_or(self.groups.len())
+    }
+
+    /// Whether this cut, while active, severs `src -> dst`.
+    pub fn severs(&self, src: NodeId, dst: NodeId) -> bool {
+        let (gs, gd) = (self.group_of(src), self.group_of(dst));
+        if gs == gd {
+            return false;
+        }
+        !self.asym || gs < gd
+    }
+
+    /// Whether a frame sent at `sent` arriving at `arrival` dies at
+    /// this cut: its flight interval must overlap the active window
+    /// and its endpoints must sit on opposite sides of the cut.
+    pub fn cuts(&self, src: NodeId, dst: NodeId, sent: SimTime, arrival: SimTime) -> bool {
+        self.severs(src, dst) && sent < self.heal_at() && arrival >= self.at
+    }
+}
+
 /// A deterministic, seed-driven fault schedule.
 ///
 /// Built with [`FaultPlan::none`] plus the `with_*` builders; handed
@@ -186,6 +263,9 @@ pub struct FaultPlan {
     /// Scheduled node crashes (interpreted by the DSM engine; the
     /// network only models the dead NIC while a node is down).
     pub crashes: Vec<NodeCrash>,
+    /// Scheduled network partitions (the network drops frames crossing
+    /// an active cut; the DSM engine interprets freeze/rejoin).
+    pub partitions: Vec<Partition>,
 }
 
 impl FaultPlan {
@@ -201,6 +281,7 @@ impl FaultPlan {
             degraded: Vec::new(),
             stalls: Vec::new(),
             crashes: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -213,6 +294,7 @@ impl FaultPlan {
             && self.degraded.is_empty()
             && self.stalls.is_empty()
             && self.crashes.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// Uniform loss of probability `p` across every message class.
@@ -267,6 +349,12 @@ impl FaultPlan {
         self.crashes.push(crash);
         self
     }
+
+    /// Adds a scheduled network partition.
+    pub fn with_partition(mut self, partition: Partition) -> FaultPlan {
+        self.partitions.push(partition);
+        self
+    }
 }
 
 impl Default for FaultPlan {
@@ -294,6 +382,10 @@ pub struct FaultStats {
     /// Messages lost at a dead NIC — sent to (or queued for) a node
     /// while it was down.
     pub crash_drops: u64,
+    /// Messages lost at an active partition cut — their flight
+    /// interval crossed a severed group boundary. Distinct from both
+    /// injected loss and crash drops.
+    pub partition_drops: u64,
 }
 
 /// What the injector decided for one message.
@@ -345,6 +437,43 @@ impl FaultInjector {
 
     pub(crate) fn note_crash_drop(&mut self) {
         self.stats.crash_drops += 1;
+    }
+
+    /// Kills delivery copies whose flight interval crosses an active
+    /// cut, counting each as a partition drop.
+    pub(crate) fn partition_filter(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        sent: SimTime,
+        mut d: Delivery,
+    ) -> Delivery {
+        if self.plan.partitions.is_empty() {
+            return d;
+        }
+        if let Some(at) = d.primary {
+            if self
+                .plan
+                .partitions
+                .iter()
+                .any(|p| p.cuts(src, dst, sent, at))
+            {
+                self.stats.partition_drops += 1;
+                d.primary = None;
+            }
+        }
+        if let Some(at) = d.duplicate {
+            if self
+                .plan
+                .partitions
+                .iter()
+                .any(|p| p.cuts(src, dst, sent, at))
+            {
+                self.stats.partition_drops += 1;
+                d.duplicate = None;
+            }
+        }
+        d
     }
 
     /// Decides the fate of a message sent at `sent` that the base
@@ -562,6 +691,77 @@ mod tests {
         assert!(a.stats().injected_drops > 0);
         assert!(a.stats().duplicates > 0);
         assert!(a.stats().reordered > 0);
+    }
+
+    #[test]
+    fn partition_groups_resolve_with_implicit_rest() {
+        let p = Partition::cut(vec![vec![2], vec![5]], t(100), SimDuration::from_micros(50));
+        assert_eq!(p.group_of(2), 0);
+        assert_eq!(p.group_of(5), 1);
+        // Unlisted nodes share the implicit final group.
+        assert_eq!(p.group_of(0), 2);
+        assert_eq!(p.group_of(3), 2);
+        assert!(p.severs(2, 0) && p.severs(0, 2));
+        assert!(p.severs(2, 5));
+        assert!(!p.severs(0, 3));
+        assert_eq!(p.heal_at(), t(150));
+        assert!(p.active_at(t(100)) && p.active_at(t(149)));
+        assert!(!p.active_at(t(99)) && !p.active_at(t(150)));
+    }
+
+    #[test]
+    fn partition_cuts_frames_overlapping_the_window() {
+        let p = Partition::cut(vec![vec![1]], t(100), SimDuration::from_micros(100));
+        // Entirely before and entirely after: delivered.
+        assert!(!p.cuts(0, 1, t(80), t(90)));
+        assert!(!p.cuts(0, 1, t(200), t(210)));
+        // Sent before the cut, arriving inside: the frame was on the
+        // wire when the port severed.
+        assert!(p.cuts(0, 1, t(90), t(110)));
+        // Sent inside, arriving after the heal: still lost (it hit the
+        // severed port when transmitted).
+        assert!(p.cuts(0, 1, t(150), t(220)));
+        // Same side of the cut: never lost.
+        assert!(!p.cuts(0, 2, t(150), t(160)));
+    }
+
+    #[test]
+    fn asym_partition_cuts_one_direction_only() {
+        let p = Partition {
+            groups: vec![vec![2]],
+            at: t(100),
+            heal_after: SimDuration::from_micros(100),
+            asym: true,
+        };
+        // Group 0 (node 2) cannot reach the implicit rest group...
+        assert!(p.severs(2, 0));
+        // ...but still hears it.
+        assert!(!p.severs(0, 2));
+    }
+
+    #[test]
+    fn partition_filter_drops_copies_and_counts() {
+        let plan = FaultPlan::none().with_partition(Partition::cut(
+            vec![vec![1]],
+            t(100),
+            SimDuration::from_micros(100),
+        ));
+        assert!(!plan.is_none(), "a partition schedule is not a no-op plan");
+        let mut inj = FaultInjector::new(plan);
+        let d = inj.apply(FaultClass::Control, 0, 1, t(120), t(125));
+        let d = inj.partition_filter(0, 1, t(120), d);
+        assert_eq!(d.primary, None);
+        // Same-side traffic untouched.
+        let d = inj.apply(FaultClass::Control, 0, 2, t(120), t(125));
+        let d = inj.partition_filter(0, 2, t(120), d);
+        assert_eq!(d.primary, Some(t(125)));
+        // After the heal: delivery resumes.
+        let d = inj.apply(FaultClass::Control, 0, 1, t(250), t(255));
+        let d = inj.partition_filter(0, 1, t(250), d);
+        assert_eq!(d.primary, Some(t(255)));
+        assert_eq!(inj.stats().partition_drops, 1);
+        assert_eq!(inj.stats().injected_drops, 0);
+        assert_eq!(inj.stats().crash_drops, 0);
     }
 
     #[test]

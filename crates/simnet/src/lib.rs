@@ -52,6 +52,7 @@ mod time;
 pub use event::EventQueue;
 pub use faults::{
     ClassProbs, DegradedWindow, Delivery, FaultClass, FaultPlan, FaultStats, NodeCrash, NodeStall,
+    Partition,
 };
 pub use network::{
     KindStats, NetConfig, NetStats, Network, NodeId, NodeTraffic, Reliability, SendOutcome,

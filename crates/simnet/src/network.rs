@@ -328,6 +328,17 @@ impl Network {
         self.stats.per_kind.entry(kind).or_default().dropped += 1;
     }
 
+    /// Whether a scheduled partition active at `now` severs the
+    /// directed link `src -> dst` (the topology hook the engine and
+    /// property tests use to reason about reachability).
+    pub fn link_cut(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        self.faults
+            .plan()
+            .partitions
+            .iter()
+            .any(|p| p.active_at(now) && p.severs(src, dst))
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.egress_free.len()
@@ -416,9 +427,11 @@ impl Network {
         self.ingress_free[dst] = arrival;
 
         // The base model would deliver at `arrival`; the fault plan
-        // gets the final say (and may add a duplicate copy).
+        // gets the final say (and may add a duplicate copy), then any
+        // scheduled partition kills copies whose flight crosses a cut.
         let class = FaultClass::classify(reliability, kind);
-        let Delivery { primary, duplicate } = self.faults.apply(class, src, dst, now, arrival);
+        let delivery = self.faults.apply(class, src, dst, now, arrival);
+        let Delivery { primary, duplicate } = self.faults.partition_filter(src, dst, now, delivery);
 
         let queue_delay = egress_delay + ingress_delay;
         for _copy in [primary, duplicate].into_iter().flatten() {
@@ -631,6 +644,54 @@ mod tests {
             "d",
         );
         assert!(ok.arrival_time().is_some());
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_traffic_until_heal() {
+        use crate::faults::Partition;
+        let mut net = Network::new(4, cfg());
+        net.set_fault_plan(FaultPlan::none().with_partition(Partition::cut(
+            vec![vec![2, 3]],
+            SimTime::from_micros(100),
+            SimDuration::from_micros(100),
+        )));
+        let at = |us: u64| SimTime::from_micros(us);
+        // Before the cut: delivered.
+        assert!(net
+            .send(at(10), 0, 2, 64, Reliability::Reliable, "d")
+            .arrival_time()
+            .is_some());
+        // During the cut, across it: dropped both ways.
+        assert_eq!(
+            net.send(at(120), 0, 2, 64, Reliability::Reliable, "d"),
+            SendOutcome::Dropped
+        );
+        assert_eq!(
+            net.send(at(120), 3, 1, 64, Reliability::Reliable, "d"),
+            SendOutcome::Dropped
+        );
+        // During the cut, within a component: delivered.
+        assert!(net
+            .send(at(120), 2, 3, 64, Reliability::Reliable, "d")
+            .arrival_time()
+            .is_some());
+        assert!(net
+            .send(at(120), 0, 1, 64, Reliability::Reliable, "d")
+            .arrival_time()
+            .is_some());
+        // After the heal: delivery resumes.
+        assert!(net
+            .send(at(300), 0, 2, 64, Reliability::Reliable, "d")
+            .arrival_time()
+            .is_some());
+        assert_eq!(net.fault_stats().partition_drops, 2);
+        assert_eq!(net.fault_stats().crash_drops, 0);
+        assert_eq!(net.fault_stats().injected_drops, 0);
+        assert_eq!(net.stats().drops(), 2);
+        // The topology hook agrees with delivery.
+        assert!(net.link_cut(at(120), 0, 2));
+        assert!(!net.link_cut(at(120), 0, 1));
+        assert!(!net.link_cut(at(300), 0, 2));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property-based tests of the partition layer's invariants: no frame
+//! ever crosses an active cut, delivery is unconditional outside the
+//! cut window, one-way cuts drop only the severed direction, and
+//! identical partition plans give identical schedules and statistics.
+
+use proptest::prelude::*;
+use rsdsm_simnet::{FaultPlan, NetConfig, Network, Partition, Reliability, SimDuration, SimTime};
+
+/// A 4-node network whose only fault source is the given partition.
+fn partitioned_net(p: Partition) -> Network {
+    let mut net = Network::new(4, NetConfig::atm_155(9));
+    net.set_fault_plan(FaultPlan::none().with_partition(p));
+    net
+}
+
+/// A symmetric single-minority cut: `minority` vs the rest, active on
+/// `[at, at + heal_after)`.
+fn single_cut(minority: usize, at_us: u64, heal_us: u64) -> Partition {
+    Partition::cut(
+        vec![vec![minority]],
+        SimTime::from_micros(at_us),
+        SimDuration::from_micros(heal_us),
+    )
+}
+
+proptest! {
+    /// The defining invariant: no delivered copy of any frame — primary
+    /// or injected duplicate — ever has a flight interval that crosses
+    /// an active cut between its endpoints.
+    #[test]
+    fn no_frame_crosses_an_active_cut(
+        minority in 1usize..4,
+        at_us in 100u64..3_000,
+        heal_us in 100u64..3_000,
+        ops in prop::collection::vec((0usize..4, 0usize..4, 0u32..4096, 0u64..400), 1..120),
+    ) {
+        let p = single_cut(minority, at_us, heal_us);
+        let mut net = partitioned_net(p.clone());
+        let mut now = SimTime::ZERO;
+        for &(src, dst, size, gap) in &ops {
+            if src == dst {
+                continue;
+            }
+            now += SimDuration::from_micros(gap);
+            let outcome = net.send(now, src, dst, size, Reliability::Reliable, "t");
+            for arrival in outcome.arrival_time().into_iter().chain(outcome.dup_time()) {
+                prop_assert!(
+                    !p.cuts(src, dst, now, arrival),
+                    "frame {src}->{dst} sent {now} delivered {arrival} across cut [{}, {})",
+                    p.at,
+                    p.heal_at()
+                );
+            }
+        }
+    }
+
+    /// Outside the cut window the partition is invisible: with no
+    /// other fault source, every frame sent at or after the heal
+    /// delivers — including on the severed pair — and every severed
+    /// frame sent mid-cut drops, with each drop accounted to
+    /// `partition_drops` and nothing else.
+    #[test]
+    fn cut_drops_exactly_the_window_and_heals(
+        minority in 1usize..4,
+        at_us in 100u64..3_000,
+        heal_us in 100u64..3_000,
+        ops in prop::collection::vec((0usize..4, 0usize..4, 0u32..4096, 0u64..400), 1..120),
+    ) {
+        let p = single_cut(minority, at_us, heal_us);
+        let mut net = partitioned_net(p.clone());
+        let mut now = SimTime::ZERO;
+        let mut expected_drops = 0u64;
+        for &(src, dst, size, gap) in &ops {
+            if src == dst {
+                continue;
+            }
+            now += SimDuration::from_micros(gap);
+            let outcome = net.send(now, src, dst, size, Reliability::Reliable, "t");
+            let delivered = outcome.arrival_time().is_some();
+            if now >= p.heal_at() {
+                prop_assert!(delivered, "{src}->{dst} sent {now} after heal must deliver");
+            } else if p.severs(src, dst) && now >= p.at {
+                // Sent strictly inside the window: arrival >= sent >= at,
+                // so the frame dies at the cut, deterministically.
+                prop_assert!(!delivered, "{src}->{dst} sent {now} mid-cut must drop");
+            }
+            if !delivered {
+                expected_drops += 1;
+            }
+        }
+        let stats = net.fault_stats();
+        prop_assert_eq!(stats.partition_drops, expected_drops);
+        prop_assert_eq!(stats.injected_drops, 0, "no other fault source exists");
+    }
+
+    /// A one-way cut severs only the minority->majority direction:
+    /// mid-cut, the minority's frames toward everyone else die while
+    /// every frame toward the minority still delivers.
+    #[test]
+    fn asym_cut_is_one_way(
+        minority in 1usize..4,
+        at_us in 100u64..3_000,
+        heal_us in 100u64..3_000,
+        ops in prop::collection::vec((0usize..4, 0usize..4, 0u32..4096, 0u64..400), 1..120),
+    ) {
+        let p = Partition {
+            groups: vec![vec![minority]],
+            at: SimTime::from_micros(at_us),
+            heal_after: SimDuration::from_micros(heal_us),
+            asym: true,
+        };
+        let mut net = partitioned_net(p.clone());
+        let mut now = SimTime::ZERO;
+        for &(src, dst, size, gap) in &ops {
+            if src == dst {
+                continue;
+            }
+            now += SimDuration::from_micros(gap);
+            let outcome = net.send(now, src, dst, size, Reliability::Reliable, "t");
+            let delivered = outcome.arrival_time().is_some();
+            if now >= p.at && now < p.heal_at() && src == minority {
+                prop_assert!(!delivered, "minority {src}->{dst} sent {now} must drop");
+            } else if dst == minority || src != minority {
+                prop_assert!(delivered, "{src}->{dst} sent {now} must still deliver");
+            }
+        }
+    }
+
+    /// Two networks with equal configurations, equal partition plans,
+    /// and equal traffic produce identical delivery schedules and
+    /// identical fault statistics — partitions keep the determinism
+    /// contract the rest of the fault layer holds.
+    #[test]
+    fn identical_partition_plans_yield_identical_schedules(
+        minority in 1usize..4,
+        at_us in 100u64..3_000,
+        heal_us in 100u64..3_000,
+        ops in prop::collection::vec((0usize..4, 0usize..4, 0u32..4096, 0u64..400), 1..120),
+    ) {
+        let p = single_cut(minority, at_us, heal_us);
+        let mut a = partitioned_net(p.clone());
+        let mut b = partitioned_net(p);
+        let mut now = SimTime::ZERO;
+        for &(src, dst, size, gap) in &ops {
+            if src == dst {
+                continue;
+            }
+            now += SimDuration::from_micros(gap);
+            let oa = a.send(now, src, dst, size, Reliability::Reliable, "t");
+            let ob = b.send(now, src, dst, size, Reliability::Reliable, "t");
+            prop_assert_eq!(oa, ob);
+        }
+        prop_assert_eq!(a.fault_stats(), b.fault_stats());
+        prop_assert_eq!(a.stats().drops(), b.stats().drops());
+        prop_assert_eq!(a.stats().total_msgs(), b.stats().total_msgs());
+    }
+}

@@ -114,7 +114,10 @@ fn args_of(event: &TraceEvent, out: &mut String) {
         TraceEvent::Crash { restarts } => {
             let _ = write!(out, ",\"restarts\":{restarts}");
         }
-        TraceEvent::Restart => {}
+        TraceEvent::Restart
+        | TraceEvent::PartitionFreeze
+        | TraceEvent::PartitionHeal
+        | TraceEvent::PartitionRejoin => {}
         TraceEvent::Suspect { peer } | TraceEvent::ConfirmDown { peer } => {
             let _ = write!(out, ",\"peer\":{peer}");
         }

@@ -7,11 +7,12 @@
 //! task order).
 //!
 //! The grid deliberately includes the stateful-looking cases: a lossy
-//! run (fault injector RNG), and a crash-restart run (recovery
-//! machinery), on top of the standard RADIX/FFT × O/P/2T/2TP matrix.
+//! run (fault injector RNG), a crash-restart run (recovery machinery),
+//! and a partition+heal run (quorum freeze and checkpoint rejoin), on
+//! top of the standard RADIX/FFT × O/P/2T/2TP matrix.
 
 use rsdsm::apps::{Benchmark, Scale};
-use rsdsm::core::{DsmConfig, FaultPlan, NodeCrash, RecoveryConfig, TransportConfig};
+use rsdsm::core::{DsmConfig, FaultPlan, NodeCrash, Partition, RecoveryConfig, TransportConfig};
 use rsdsm::oracle::Technique;
 use rsdsm::simnet::{SimDuration, SimTime};
 use rsdsm_bench::pool;
@@ -77,6 +78,19 @@ fn grid() -> Vec<Cell> {
         label: "RADIX [O, crash-restart]".into(),
         bench: Benchmark::Radix,
         cfg: outage,
+    });
+    // A partition+heal cell: quorum freeze, parked suspicions, and the
+    // time-shifted checkpoint rejoin must all be worker-count-blind.
+    let mut cut = base(4).with_recovery(test_recovery());
+    cut.faults = cut.faults.with_partition(Partition::cut(
+        vec![vec![2]],
+        SimTime::from_millis(2),
+        SimDuration::from_millis(5),
+    ));
+    cells.push(Cell {
+        label: "RADIX [O, partition-heal]".into(),
+        bench: Benchmark::Radix,
+        cfg: cut,
     });
     cells
 }
