@@ -7,9 +7,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use rsdsm_apps::{Benchmark, Scale};
+use rsdsm_bench::queue_replay;
 use rsdsm_core::DsmConfig;
 use rsdsm_protocol::{Diff, NoticeBoard, Page, PageId, PagePool, VectorClock, WriteNotice};
-use rsdsm_simnet::{EventQueue, NetConfig, Network, Reliability, SimTime};
+use rsdsm_simnet::{EventQueue, HeapQueue, NetConfig, Network, Reliability, SimTime};
 
 fn page_pair(stride: usize) -> (Page, Page) {
     let twin = Page::new();
@@ -130,6 +131,40 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+
+    // Steady-state replay against a standing population — the same
+    // workload as the pinned `queue_replay_speedup` row in
+    // BENCH_matrix.json, at a tenth of its million-event population
+    // so a criterion pass stays quick. Priming and the delta schedule
+    // happen in the setup closure; the timed region is queue work
+    // plus the checksum fold only.
+    let mut group = c.benchmark_group("event_queue_replay");
+    group.sample_size(10);
+    let population = 100_000u64;
+    let steps = 100_000u64;
+    group.bench_function("wheel_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::with_capacity(population as usize);
+                let mut rng = queue_replay::prime(&mut q, population, 0x5D5);
+                (q, queue_replay::schedule(&mut rng, steps))
+            },
+            |(mut q, deltas)| queue_replay::replay(&mut q, &deltas),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("heap_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = HeapQueue::with_capacity(population as usize);
+                let mut rng = queue_replay::prime(&mut q, population, 0x5D5);
+                (q, queue_replay::schedule(&mut rng, steps))
+            },
+            |(mut q, deltas)| queue_replay::replay(&mut q, &deltas),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
 }
 
 fn bench_network(c: &mut Criterion) {

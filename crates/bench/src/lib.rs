@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod pool;
+pub mod queue_replay;
 
 use std::collections::HashMap;
 

@@ -117,7 +117,7 @@ impl Checkpoint {
             .map(|(&(page, seq), diff)| DiffRecord {
                 page: page as u32,
                 seq,
-                diff: diff.clone(),
+                diff: Diff::clone(diff),
             })
             .collect();
         diffs.sort_by_key(|d| (d.page, d.seq));

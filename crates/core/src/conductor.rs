@@ -349,7 +349,7 @@ impl DsmCtx {
                         // node's page pool, not a fresh zeroing allocation.
                         let crate::node::NodeMem { pages, pool, .. } = &mut *m;
                         let entry = &mut pages[page.index()];
-                        entry.twin = Some(pool.take_copy_of(&entry.data));
+                        entry.twin = Some(pool.take_arc_copy_of(&entry.data));
                         self.pending.dsm += self.costs.twin_create;
                         m.dirty.push(page);
                         if m.twin_log_on {

@@ -14,7 +14,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 
 use rsdsm_protocol::{CachedDiff, Diff, Page, PageId, VectorClock, WriteNotice};
-use rsdsm_simnet::{EventQueue, Network, NodeId, Reliability, SimDuration, SimTime};
+use rsdsm_simnet::{
+    EventQueue, HeapQueue, Network, NodeId, QueueBackend, Reliability, SimDuration, SimTime,
+};
 
 use crate::accounting::{Category, IdleReason};
 use crate::barrier::BarrierManager;
@@ -192,6 +194,15 @@ fn frame_kind(frame: &Frame) -> &'static str {
     }
 }
 
+/// Takes a delivered body out of its shared frame: by move when this
+/// was the last reference (the common unicast case once the sender's
+/// retransmit buffer released it), by structural clone otherwise —
+/// which is still cheap, because the page/diff payloads inside are
+/// themselves `Arc`-shared.
+fn unshare(body: Arc<MsgBody>) -> MsgBody {
+    Arc::try_unwrap(body).unwrap_or_else(|shared| (*shared).clone())
+}
+
 /// Trace message-class code for a protocol body.
 fn kind_code(body: &MsgBody) -> u8 {
     match body.kind() {
@@ -215,17 +226,40 @@ fn kind_code(body: &MsgBody) -> u8 {
 #[derive(Debug, Clone)]
 pub struct Simulation {
     cfg: DsmConfig,
+    backend: QueueBackend,
 }
 
 impl Simulation {
     /// Creates a simulation with the given configuration.
     pub fn new(cfg: DsmConfig) -> Self {
-        Simulation { cfg }
+        Simulation {
+            cfg,
+            backend: QueueBackend::default(),
+        }
     }
 
     /// The configuration this simulation runs with.
     pub fn config(&self) -> &DsmConfig {
         &self.cfg
+    }
+
+    /// Selects the event-queue implementation the engine runs on.
+    ///
+    /// The timing wheel ([`QueueBackend::Wheel`]) is the default;
+    /// the binary-heap reference exists for differential testing.
+    /// Both produce identical results — same pop order, same report
+    /// and trace digests — so this knob only affects wall-clock
+    /// throughput. The `RSDSM_QUEUE` environment variable
+    /// (`wheel`/`heap`) overrides this setting globally.
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The event-queue implementation this simulation runs on
+    /// (before any `RSDSM_QUEUE` override).
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.backend
     }
 
     /// Runs `app` to completion and reports every measurement.
@@ -324,7 +358,7 @@ impl Simulation {
                     }
                 });
             }
-            let mut core = Core::new(cfg, &heap, Arc::clone(&mem), peers, traced);
+            let mut core = Core::new(cfg, &heap, Arc::clone(&mem), peers, traced, self.backend);
             match core.run_loop() {
                 Ok(finish) => {
                     core.finish_accounts(finish);
@@ -414,6 +448,51 @@ impl Simulation {
     }
 }
 
+/// The engine's event queue: the timing wheel by default, the
+/// binary-heap reference when selected. Both implement the identical
+/// earliest-time, FIFO-tie-broken contract (differentially tested in
+/// simnet), so the choice can never change simulation results.
+// The wheel variant is ~1 KB of wheel headers (slot storage is on the
+// heap regardless). Exactly one Queue lives for a whole simulation,
+// inline in the engine — boxing it would buy nothing and cost a
+// pointer chase on every event push and pop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Queue {
+    Wheel(EventQueue<Event>),
+    Heap(HeapQueue<Event>),
+}
+
+impl Queue {
+    fn with_capacity(backend: QueueBackend, capacity: usize) -> Self {
+        match backend {
+            QueueBackend::Wheel => Queue::Wheel(EventQueue::with_capacity(capacity)),
+            QueueBackend::Heap => Queue::Heap(HeapQueue::with_capacity(capacity)),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, event: Event) {
+        match self {
+            Queue::Wheel(q) => q.push(at, event),
+            Queue::Heap(q) => q.push(at, event),
+        }
+    }
+
+    fn push_batch<I: IntoIterator<Item = (SimTime, Event)>>(&mut self, events: I) {
+        match self {
+            Queue::Wheel(q) => q.push_batch(events),
+            Queue::Heap(q) => q.push_batch(events),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            Queue::Wheel(q) => q.pop(),
+            Queue::Heap(q) => q.pop(),
+        }
+    }
+}
+
 /// The running engine.
 struct Core<'a> {
     cfg: &'a DsmConfig,
@@ -421,8 +500,8 @@ struct Core<'a> {
     mem: Arc<Mutex<Vec<NodeMem>>>,
     nodes: Vec<NodeState>,
     net: Network,
-    transport: Transport<MsgBody>,
-    queue: EventQueue<Event>,
+    transport: Transport<Arc<MsgBody>>,
+    queue: Queue,
     threads: Vec<ThreadPeer>,
     barrier_mgr: BarrierManager,
     barrier_vcs: std::collections::HashMap<BarrierId, VectorClock>,
@@ -453,10 +532,21 @@ impl<'a> Core<'a> {
         mem: Arc<Mutex<Vec<NodeMem>>>,
         threads: Vec<ThreadPeer>,
         traced: bool,
+        backend: QueueBackend,
     ) -> Self {
         let tpn = cfg.threads.threads_per_node;
-        let mut queue =
-            EventQueue::with_capacity(threads.len() + cfg.faults.crashes.len() + cfg.nodes + 64);
+        // RSDSM_QUEUE=heap|wheel is the global escape hatch; it wins
+        // over the programmatic selection. Harmless either way: both
+        // backends are pop-for-pop identical.
+        let backend = match std::env::var("RSDSM_QUEUE").as_deref() {
+            Ok("heap") => QueueBackend::Heap,
+            Ok("wheel") => QueueBackend::Wheel,
+            _ => backend,
+        };
+        let mut queue = Queue::with_capacity(
+            backend,
+            threads.len() + cfg.faults.crashes.len() + cfg.nodes + 64,
+        );
         queue.push_batch((0..threads.len()).map(|t| (SimTime::ZERO, Event::Start(ThreadId(t)))));
         for crash in &cfg.faults.crashes {
             assert!(
@@ -1779,8 +1869,10 @@ impl<'a> Core<'a> {
             cached.diff.apply(&mut entry.data);
             // Keep the twin consistent so our own diff stays minimal
             // (incoming concurrent diffs touch disjoint bytes).
+            // `make_mut` un-shares a frame still referenced by an
+            // in-flight base reply (copy-on-write).
             if let Some(twin) = &mut entry.twin {
-                cached.diff.apply(twin);
+                cached.diff.apply(Arc::make_mut(twin));
             }
             node.board.mark_applied(page, cached.origin, &cached.stamp);
             let seq = cached.stamp.get(cached.origin);
@@ -1977,9 +2069,9 @@ impl<'a> Core<'a> {
                 },
             );
             node.own_diff_bytes += diff.encoded_bytes();
-            node.own_diffs.insert((page.index(), seq), diff);
+            node.own_diffs.insert((page.index(), seq), Arc::new(diff));
             pages_list.push(page);
-            m.pool.put(twin);
+            m.pool.put_arc(twin);
         }
         drop(mem);
         let rec = IntervalRecord {
@@ -2472,7 +2564,7 @@ impl<'a> Core<'a> {
                     Msg {
                         src: pkt.src,
                         dst: n,
-                        body,
+                        body: unshare(body),
                     },
                     end,
                 )
@@ -2495,7 +2587,7 @@ impl<'a> Core<'a> {
                                 Msg {
                                     src: pkt.src,
                                     dst: n,
-                                    body,
+                                    body: unshare(body),
                                 },
                                 end,
                             )?;
@@ -2756,7 +2848,7 @@ impl<'a> Core<'a> {
                     self.oracle
                         .check_roundtrip(&twin, &entry.data, &diff, m, page, end);
                 }
-                mem[m].pool.put(twin);
+                mem[m].pool.put_arc(twin);
                 drop(mem);
                 end = self.charge(
                     m,
@@ -2788,9 +2880,11 @@ impl<'a> Core<'a> {
                         bytes: diff.encoded_bytes() as u32,
                     },
                 );
+                let diff = Arc::new(diff);
                 let node = &mut self.nodes[m];
                 node.own_diff_bytes += diff.encoded_bytes();
-                node.own_diffs.insert((page.index(), seq), diff.clone());
+                node.own_diffs
+                    .insert((page.index(), seq), Arc::clone(&diff));
                 let rec = IntervalRecord {
                     origin: m,
                     stamp: stamp.clone(),
@@ -2829,8 +2923,11 @@ impl<'a> Core<'a> {
             // bytes would end up with a mix of two values once the
             // interval's diff arrives.
             let data = match &entry.twin {
-                Some(twin) => (**twin).clone(),
-                None => entry.data.clone(),
+                // Zero-copy: the reply shares the twin frame. If this
+                // node writes the page again before the frame drains,
+                // `Arc::make_mut` in the write path un-shares it.
+                Some(twin) => Arc::clone(twin),
+                None => Arc::new(entry.data.clone()),
             };
             drop(mem);
             let mut incorporated = self.nodes[m].board.applied_for(page);
@@ -3003,6 +3100,10 @@ impl<'a> Core<'a> {
     /// run).
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, body: MsgBody) -> bool {
         self.note_sent(src, dst, at);
+        // One allocation per logical message: the transport's
+        // retransmit buffer, every wire frame (including fault-plan
+        // duplicates), and the receive path all share this Arc.
+        let body = Arc::new(body);
         if body.droppable() {
             let outcome = self.net.send(
                 at,
@@ -3058,7 +3159,7 @@ impl<'a> Core<'a> {
         src: NodeId,
         dst: NodeId,
         seq: u64,
-        body: MsgBody,
+        body: Arc<MsgBody>,
         rto: rsdsm_simnet::SimDuration,
         retransmit: bool,
     ) {
@@ -3276,7 +3377,7 @@ fn materialize(heap: &Heap, nodes: &[NodeState], mem: &[NodeMem]) -> Vec<Page> {
                     continue;
                 }
                 if let Some(diff) = node.own_diffs.get(&(p, seq)) {
-                    pendings.push((&rec.stamp, diff));
+                    pendings.push((&rec.stamp, &**diff));
                 }
             }
         }
@@ -3345,7 +3446,7 @@ mod tests {
         let diff = Diff::between(&twin, &data);
         nodes[1].vc.tick(1);
         let stamp = nodes[1].vc.clone();
-        nodes[1].own_diffs.insert((0, 1), diff);
+        nodes[1].own_diffs.insert((0, 1), Arc::new(diff));
         nodes[1].learn_interval(&IntervalRecord {
             origin: 1,
             stamp,
@@ -3371,7 +3472,7 @@ mod tests {
         let diff = Diff::between(&twin, &data);
         nodes[1].vc.tick(1);
         let stamp = nodes[1].vc.clone();
-        nodes[1].own_diffs.insert((0, 1), diff);
+        nodes[1].own_diffs.insert((0, 1), Arc::new(diff));
         nodes[1].learn_interval(&IntervalRecord {
             origin: 1,
             stamp: stamp.clone(),
@@ -3392,7 +3493,7 @@ mod tests {
         let twin = Page::new();
         let mut data = Page::new();
         data.write_u64(16, 5);
-        mem[1].pages[0].twin = Some(Box::new(twin));
+        mem[1].pages[0].twin = Some(Arc::new(twin));
         mem[1].pages[0].data = data;
 
         let pages = materialize(&heap, &nodes, &mem);

@@ -79,6 +79,7 @@ pub use report::{
 pub use rsdsm_protocol::{Page, PAGE_SIZE};
 pub use rsdsm_simnet::{
     ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall, Partition,
+    QueueBackend,
 };
 pub use thread::ThreadId;
 pub use trace::{

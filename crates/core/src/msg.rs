@@ -5,6 +5,8 @@
 //! model charges realistic transfer times (the paper's Table 1 and
 //! Table 2 report total traffic in bytes).
 
+use std::sync::Arc;
+
 use rsdsm_protocol::{Diff, Page, PageId, VectorClock, NOTICE_WIRE_BYTES, PAGE_SIZE};
 use rsdsm_simnet::NodeId;
 
@@ -45,8 +47,10 @@ pub struct DiffPayload {
     pub origin: NodeId,
     /// The interval's timestamp.
     pub stamp: VectorClock,
-    /// The run-length-encoded modifications.
-    pub diff: Diff,
+    /// The run-length-encoded modifications, shared zero-copy with
+    /// the sender's own diff record (cloning a payload bumps a
+    /// refcount, never copies the encoded bytes).
+    pub diff: Arc<Diff>,
 }
 
 impl DiffPayload {
@@ -59,8 +63,10 @@ impl DiffPayload {
 /// of (origin, stamp) modifications already incorporated in it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BasePayload {
-    /// The page contents at the sender.
-    pub page: Page,
+    /// The page contents at the sender, shared zero-copy with the
+    /// sender's twin frame when one exists (copy-on-write: a sender
+    /// that later mutates its twin un-shares it first).
+    pub page: Arc<Page>,
     /// Modifications already applied into `page` by the sender.
     pub incorporated: Vec<(NodeId, VectorClock)>,
 }
@@ -312,7 +318,7 @@ mod tests {
             page: PageId::new(1),
             diffs: vec![],
             base: Some(BasePayload {
-                page: Page::new(),
+                page: Arc::new(Page::new()),
                 incorporated: vec![],
             }),
             prefetch: false,

@@ -10,6 +10,7 @@
 //!   scheduler and accounting.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rsdsm_protocol::{Diff, DiffCache, NoticeBoard, Page, PageId, PagePool, VectorClock};
 use rsdsm_simnet::{NodeId, SimDuration, SimTime};
@@ -32,8 +33,10 @@ pub(crate) struct PageEntry {
     /// need a full base copy from the home node.
     pub ever_valid: bool,
     /// Clean pre-modification copy; present exactly while the page is
-    /// dirty in the node's open interval.
-    pub twin: Option<Box<Page>>,
+    /// dirty in the node's open interval. An `Arc` frame so a base
+    /// reply built from the twin shares it zero-copy; mutation goes
+    /// through `Arc::make_mut`, which un-shares first (copy-on-write).
+    pub twin: Option<Arc<Page>>,
 }
 
 impl PageEntry {
@@ -243,7 +246,9 @@ pub(crate) struct NodeState {
     /// Prefetched base copies awaiting use.
     pub base_cache: HashMap<PageId, BasePayload>,
     /// Diffs this node created, keyed by (page index, own sequence).
-    pub own_diffs: HashMap<(usize, u32), Diff>,
+    /// `Arc`-shared with every reply payload serving them, so a hot
+    /// diff requested by many readers is encoded and stored once.
+    pub own_diffs: HashMap<(usize, u32), Arc<Diff>>,
     /// Encoded bytes held in `own_diffs` (GC trigger).
     pub own_diff_bytes: usize,
     /// Every interval this node knows about (its own and received).

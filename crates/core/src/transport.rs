@@ -41,6 +41,8 @@ use std::collections::{BTreeMap, HashMap};
 
 use rsdsm_simnet::{NodeId, SimDuration, SimTime};
 
+use std::sync::Arc;
+
 use crate::msg::MsgBody;
 
 /// Parameters of the reliable transport.
@@ -83,6 +85,11 @@ impl Default for TransportConfig {
 }
 
 /// What travels the wire: reliable data, unreliable datagrams, acks.
+///
+/// Message bodies are `Arc`-shared, not owned: the engine builds a
+/// body once per logical message, and the retransmit buffer, every
+/// in-flight frame (fault-plan duplicates included), and the receive
+/// path all hold references to that one allocation.
 #[derive(Debug)]
 pub(crate) enum Frame {
     /// A sequenced reliable message.
@@ -90,12 +97,12 @@ pub(crate) enum Frame {
         /// Per-(src, dst) sequence number.
         seq: u64,
         /// The protocol message.
-        body: MsgBody,
+        body: Arc<MsgBody>,
     },
     /// An unsequenced, unacknowledged message (prefetch traffic).
     Datagram {
         /// The protocol message.
-        body: MsgBody,
+        body: Arc<MsgBody>,
     },
     /// Acknowledgement of one data frame (sent dst → src).
     Ack {

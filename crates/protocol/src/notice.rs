@@ -14,6 +14,7 @@
 //! replies", §3.1) until the page is actually accessed.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::clock::VectorClock;
 use crate::diff::Diff;
@@ -173,8 +174,9 @@ pub struct CachedDiff {
     pub origin: usize,
     /// Timestamp of the writer's interval.
     pub stamp: VectorClock,
-    /// The modifications.
-    pub diff: Diff,
+    /// The modifications, shared zero-copy with the transport frame
+    /// that carried them (and possibly the writer's own record).
+    pub diff: Arc<Diff>,
 }
 
 /// The separate heap holding prefetched diff replies ("a cache of
@@ -344,13 +346,13 @@ mod tests {
         let mut cache = DiffCache::new();
         let mut page = Page::new();
         page.write_u64(0, 7);
-        let d = Diff::full_page(&page);
+        let d = Arc::new(Diff::full_page(&page));
         cache.insert(
             PageId::new(2),
             CachedDiff {
                 origin: 1,
                 stamp: stamp(2, &[1]),
-                diff: d.clone(),
+                diff: Arc::clone(&d),
             },
         );
         assert!(cache.contains_page(PageId::new(2)));
@@ -367,13 +369,13 @@ mod tests {
         let mut cache = DiffCache::new();
         let early = stamp(2, &[0]);
         let late = stamp(2, &[0, 0]);
-        let d = Diff::default();
+        let d = Arc::new(Diff::default());
         cache.insert(
             PageId::new(1),
             CachedDiff {
                 origin: 0,
                 stamp: late.clone(),
-                diff: d.clone(),
+                diff: Arc::clone(&d),
             },
         );
         cache.insert(
@@ -399,7 +401,7 @@ mod tests {
                 CachedDiff {
                     origin: 0,
                     stamp: s.clone(),
-                    diff: Diff::default(),
+                    diff: Arc::new(Diff::default()),
                 },
             );
         }

@@ -6,6 +6,7 @@
 //! handles. [`PageId`] numbers pages within the global shared heap.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Size of a coherence unit in bytes, matching the paper's hardware.
 pub const PAGE_SIZE: usize = 4096;
@@ -106,24 +107,34 @@ impl Page {
 /// base copy. Each node keeps its own pool, so no synchronization is
 /// involved; the pool is bounded so a burst of twins cannot pin
 /// memory forever.
+///
+/// Buffers come in two flavors that never mix: plain `Box<Page>`
+/// scratch copies, and `Arc<Page>` frames that the engine shares
+/// zero-copy between a twin and the message payloads built from it.
+/// An `Arc` frame is only recyclable once every clone has been
+/// dropped, so [`PagePool::put_arc`] quietly discards still-shared
+/// frames instead of holding a reference that would pin them.
 #[derive(Debug, Default)]
 pub struct PagePool {
-    // Boxed on purpose: callers store twins as `Box<Page>`, and the
-    // pool must hand buffers in and out as pointer moves, never as
-    // page-sized memcpys.
+    // Boxed on purpose: callers store scratch pages as `Box<Page>`,
+    // and the pool must hand buffers in and out as pointer moves,
+    // never as page-sized memcpys.
     #[allow(clippy::vec_box)]
     free: Vec<Box<Page>>,
+    // Uniquely-owned Arc frames, kept separate so a recycled frame is
+    // always writable without a copy-on-write clone.
+    free_arcs: Vec<Arc<Page>>,
 }
 
-/// Retained free pages per pool; beyond this, returned pages are
-/// dropped. 1024 pages = 4 MiB per node, comfortably above the
-/// concurrent-twin high-water mark of every benchmark.
+/// Retained free pages per pool (per flavor); beyond this, returned
+/// pages are dropped. 1024 pages = 4 MiB per node, comfortably above
+/// the concurrent-twin high-water mark of every benchmark.
 const POOL_MAX_FREE: usize = 1024;
 
 impl PagePool {
     /// An empty pool.
     pub fn new() -> Self {
-        PagePool { free: Vec::new() }
+        PagePool::default()
     }
 
     /// A page holding a copy of `src`: a recycled buffer when one is
@@ -159,9 +170,36 @@ impl PagePool {
         }
     }
 
-    /// Free pages currently held.
+    /// An `Arc` frame holding a copy of `src`: a recycled
+    /// uniquely-owned frame when one is free, a fresh allocation
+    /// otherwise. The result always has refcount 1, so the caller may
+    /// mutate it through [`Arc::get_mut`]/[`Arc::make_mut`] without
+    /// triggering a clone.
+    pub fn take_arc_copy_of(&mut self, src: &Page) -> Arc<Page> {
+        match self.free_arcs.pop() {
+            Some(mut frame) => {
+                Arc::get_mut(&mut frame)
+                    .expect("pooled frame is uniquely owned")
+                    .copy_from(src);
+                frame
+            }
+            None => Arc::new(src.clone()),
+        }
+    }
+
+    /// Returns an `Arc` frame to the pool. Frames still shared with a
+    /// live message payload are dropped (this pool reference would
+    /// otherwise pin them, and they are not writable anyway); the
+    /// last clone standing simply deallocates when it goes.
+    pub fn put_arc(&mut self, frame: Arc<Page>) {
+        if Arc::strong_count(&frame) == 1 && self.free_arcs.len() < POOL_MAX_FREE {
+            self.free_arcs.push(frame);
+        }
+    }
+
+    /// Free pages currently held (both flavors).
     pub fn free_pages(&self) -> usize {
-        self.free.len()
+        self.free.len() + self.free_arcs.len()
     }
 }
 

@@ -8,7 +8,10 @@
 //! FORE ATM switch; this crate provides the deterministic stand-in:
 //!
 //! - [`SimTime`] / [`SimDuration`]: nanosecond simulated clock.
-//! - [`EventQueue`]: time-ordered, FIFO-tie-broken event queue.
+//! - [`EventQueue`]: time-ordered, FIFO-tie-broken event queue — a
+//!   hierarchical timing wheel with a calendar overflow, plus the
+//!   [`HeapQueue`] binary-heap reference it is differentially tested
+//!   against (select with [`QueueBackend`]).
 //! - [`Network`]: the single-switch ATM LAN model with per-link
 //!   bandwidth, queueing (contention and hot-spotting), and
 //!   congestion-based drops of unreliable (prefetch) messages.
@@ -49,7 +52,7 @@ mod network;
 mod rng;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue, QueueBackend, WHEEL_HORIZON_NS, WHEEL_TIER_BOUNDARIES_NS};
 pub use faults::{
     ClassProbs, DegradedWindow, Delivery, FaultClass, FaultPlan, FaultStats, NodeCrash, NodeStall,
     Partition,

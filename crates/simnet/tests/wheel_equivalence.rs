@@ -1,0 +1,122 @@
+//! Differential equivalence: the timing wheel (`EventQueue`) against
+//! the binary-heap reference (`HeapQueue`), driven by identical
+//! random schedules. The two must agree on every observable at every
+//! step — pop sequence (time AND payload), `len`, `is_empty`, and
+//! `peek_time` — because the engine's entire determinism story
+//! (pinned report digests, RTR1 trace bytes) rides on the queue's
+//! pop order.
+//!
+//! The schedules deliberately stress the wheel's seams: same-time
+//! bursts (FIFO tie-break), far-future outliers (calendar overflow
+//! and migration), pushes at or before the cursor (the `ready` run),
+//! interleaved pops, and batch pushes.
+
+use proptest::prelude::*;
+use rsdsm_simnet::{EventQueue, HeapQueue, SimTime};
+
+/// Drives both queues through one op and asserts every observable
+/// matches. Payloads are the op index, so any ordering divergence is
+/// visible, not just timing divergence.
+fn lockstep(ops: &[(u8, u64)]) {
+    let mut wheel = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    let mut last = SimTime::ZERO;
+    for (i, &(kind, raw)) in ops.iter().enumerate() {
+        match kind % 4 {
+            // Push at an absolute time derived from the raw value.
+            0 => {
+                let t = SimTime::from_nanos(raw);
+                wheel.push(t, i);
+                heap.push(t, i);
+            }
+            // Push relative to the last pop (engine-like pattern,
+            // including zero-delay self-sends when raw % small == 0).
+            1 => {
+                let t = last + rsdsm_simnet::SimDuration::from_nanos(raw % 5_000);
+                wheel.push(t, i);
+                heap.push(t, i);
+            }
+            // Batch push: a same-time burst plus one outlier.
+            2 => {
+                let t = SimTime::from_nanos(raw);
+                let batch: Vec<(SimTime, usize)> = (0..(raw % 7) as usize)
+                    .map(|k| (t, i * 100 + k))
+                    .chain(std::iter::once((
+                        SimTime::from_nanos(
+                            raw.wrapping_mul(31) % (4 * rsdsm_simnet::WHEEL_HORIZON_NS),
+                        ),
+                        i * 100 + 99,
+                    )))
+                    .collect();
+                wheel.push_batch(batch.clone());
+                heap.push_batch(batch);
+            }
+            // Pop.
+            _ => {
+                let w = wheel.pop();
+                let h = heap.pop();
+                assert_eq!(w, h, "pop #{i} diverged");
+                if let Some((t, _)) = w {
+                    last = t;
+                }
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "len diverged after op {i}");
+        assert_eq!(wheel.is_empty(), heap.is_empty());
+        assert_eq!(
+            wheel.peek_time(),
+            heap.peek_time(),
+            "peek diverged after op {i}"
+        );
+    }
+    // Drain both to the end: the full residual order must match too.
+    loop {
+        let w = wheel.pop();
+        let h = heap.pop();
+        assert_eq!(w, h, "drain diverged");
+        assert_eq!(wheel.peek_time(), heap.peek_time());
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    /// General random schedules over a near-term time range: dense
+    /// collisions, heavy tie-breaking, interleaved pops.
+    #[test]
+    fn wheel_matches_heap_dense(
+        ops in prop::collection::vec((0u8..4, 0u64..10_000), 1..400),
+    ) {
+        lockstep(&ops);
+    }
+
+    /// Sparse schedules across the whole wheel span plus calendar
+    /// territory: level selection, cascades, overflow migration.
+    #[test]
+    fn wheel_matches_heap_sparse(
+        ops in prop::collection::vec((0u8..4, 0u64..(4 * rsdsm_simnet::WHEEL_HORIZON_NS)), 1..200),
+    ) {
+        lockstep(&ops);
+    }
+
+    /// Pop-heavy schedules: the queue repeatedly empties and
+    /// re-anchors its cursor.
+    #[test]
+    fn wheel_matches_heap_pop_heavy(
+        ops in prop::collection::vec((2u8..4, 0u64..100_000), 1..300),
+    ) {
+        lockstep(&ops);
+    }
+
+    /// Same-timestamp storms: nearly every event lands on one of two
+    /// ticks, so the result is decided almost entirely by the FIFO
+    /// tie-break.
+    #[test]
+    fn wheel_matches_heap_tie_storm(
+        ops in prop::collection::vec((0u8..4, 0u64..2), 1..300),
+    ) {
+        let ops: Vec<(u8, u64)> = ops.iter().map(|&(k, t)| (k, 7_777 + t)).collect();
+        lockstep(&ops);
+    }
+}

@@ -1,0 +1,205 @@
+//! Directed fuzz of the timing wheel's structural edge cases, in the
+//! `protocol_fuzz` style: each generator aims a seeded random driver
+//! at one seam of the implementation — tier (level) rollover, the
+//! zero tick, zero-delay self-sends, and calendar migration — and
+//! cross-checks every pop against the `HeapQueue` reference.
+
+use rsdsm_simnet::{
+    DetRng, EventQueue, HeapQueue, SimTime, WHEEL_HORIZON_NS, WHEEL_TIER_BOUNDARIES_NS,
+};
+
+/// Runs `schedule` through both queues, popping everything at the
+/// end, asserting identical behavior throughout. `interleave` pops
+/// once after every `interleave`-th push to exercise mid-schedule
+/// cursor advances.
+fn check(label: &str, schedule: &[u64], interleave: usize) {
+    let mut wheel = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    for (i, &t) in schedule.iter().enumerate() {
+        let at = SimTime::from_nanos(t);
+        wheel.push(at, i);
+        heap.push(at, i);
+        if interleave != 0 && i % interleave == interleave - 1 {
+            assert_eq!(wheel.pop(), heap.pop(), "{label}: interleaved pop {i}");
+        }
+        assert_eq!(wheel.len(), heap.len(), "{label}: len after push {i}");
+        assert_eq!(wheel.peek_time(), heap.peek_time(), "{label}: peek {i}");
+    }
+    loop {
+        let w = wheel.pop();
+        assert_eq!(w, heap.pop(), "{label}: drain");
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+/// Level rollover: deadlines hugging both sides of every tier
+/// boundary (the coarse tick, the wide bottom level, each upper
+/// level), where an off-by-one in level selection or cursor masking
+/// reorders events.
+#[test]
+fn tier_boundary_rollover() {
+    let mut rng = DetRng::new(0x77EE1);
+    for trial in 0..50 {
+        let mut schedule = Vec::new();
+        for boundary in WHEEL_TIER_BOUNDARIES_NS {
+            for _ in 0..4 {
+                let jitter = rng.next_below(3);
+                schedule.push(boundary - 1 - jitter);
+                schedule.push(boundary + jitter);
+                schedule.push(boundary);
+            }
+        }
+        // Shuffle deterministically so push order varies per trial.
+        for i in (1..schedule.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            schedule.swap(i, j);
+        }
+        check("tier_boundary", &schedule, (trial % 5) + 2);
+    }
+}
+
+/// `SimTime::ZERO` scheduling: events at the zero tick, pushed before
+/// and after pops, including while later events are pending.
+#[test]
+fn zero_tick_scheduling() {
+    let mut wheel = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    for q in [0, 1] {
+        // Interleave zero-tick and positive-tick pushes.
+        for i in 0..20 {
+            let t = if i % 3 == 0 {
+                SimTime::ZERO
+            } else {
+                SimTime::from_nanos(i)
+            };
+            wheel.push(t, (q, i));
+            heap.push(t, (q, i));
+        }
+    }
+    assert_eq!(wheel.pop(), heap.pop());
+    // More zero-tick pushes AFTER popping at tick zero: they must
+    // still pop before everything at later ticks, in push order.
+    for i in 100..105 {
+        wheel.push(SimTime::ZERO, (9, i));
+        heap.push(SimTime::ZERO, (9, i));
+    }
+    loop {
+        let w = wheel.pop();
+        assert_eq!(w, heap.pop());
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+/// Zero-delay self-sends: the engine pattern of scheduling new work
+/// at exactly the time just popped, repeatedly, while a backlog of
+/// later events waits.
+#[test]
+fn zero_delay_self_sends() {
+    let mut rng = DetRng::new(0x5E1F);
+    let mut wheel = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    for i in 0..64u64 {
+        let t = SimTime::from_nanos(rng.next_below(1 << 20));
+        wheel.push(t, i as usize);
+        heap.push(t, i as usize);
+    }
+    let mut i = 64usize;
+    let mut hops = 0;
+    while let Some((t, p)) = wheel.pop() {
+        let h = heap.pop();
+        assert_eq!(Some((t, p)), h, "self-send pop diverged");
+        // Every third pop re-arms at the same instant (a zero-delay
+        // self-send), bounded so the loop terminates.
+        if p % 3 == 0 && hops < 200 {
+            hops += 1;
+            wheel.push(t, i);
+            heap.push(t, i);
+            i += 1;
+        }
+    }
+    assert!(heap.pop().is_none());
+}
+
+/// Overflow-bucket migration: clusters of deadlines far beyond the
+/// wheel horizon, spread across several calendar epochs, with
+/// near-term traffic draining in between. Exercises the epoch
+/// `split_off` boundary and re-anchoring the cursor onto a migrated
+/// batch.
+#[test]
+fn overflow_bucket_migration() {
+    let mut rng = DetRng::new(0xCA1E);
+    for trial in 0..30 {
+        let mut schedule = Vec::new();
+        // Near-term work.
+        for _ in 0..20 {
+            schedule.push(rng.next_below(1 << 16));
+        }
+        // Far-future clusters in distinct wheel-horizon epochs, with
+        // duplicates to exercise FIFO across a migration.
+        for epoch in 1..4u64 {
+            let base = epoch * WHEEL_HORIZON_NS;
+            for _ in 0..10 {
+                let t = base + rng.next_below(1 << 20);
+                schedule.push(t);
+                if rng.next_below(4) == 0 {
+                    schedule.push(t);
+                }
+            }
+        }
+        // A straggler close to u64 range to stress the top epoch.
+        schedule.push(u64::MAX - rng.next_below(1 << 10));
+        for i in (1..schedule.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            schedule.swap(i, j);
+        }
+        check("overflow_migration", &schedule, (trial % 7) + 3);
+    }
+}
+
+/// Cursor re-anchoring: the queue repeatedly empties completely, then
+/// receives work earlier OR later than the previous epoch. A stale
+/// cursor would misroute the first push after each drain.
+#[test]
+fn empty_queue_reanchoring() {
+    let mut rng = DetRng::new(0xA11C);
+    let mut wheel = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    let mut next = 0usize;
+    for _ in 0..100 {
+        // Alternate between jumping forward and jumping back.
+        let base = rng.next_below(1 << 55);
+        for _ in 0..rng.next_below(6) + 1 {
+            let t = SimTime::from_nanos(base + rng.next_below(1 << 14));
+            wheel.push(t, next);
+            heap.push(t, next);
+            next += 1;
+        }
+        loop {
+            let w = wheel.pop();
+            assert_eq!(w, heap.pop(), "reanchor drain");
+            if w.is_none() {
+                break;
+            }
+        }
+        assert!(wheel.is_empty());
+    }
+}
+
+/// Backlogged duplicates of one instant spread across the calendar
+/// boundary: events at `horizon - 1`, `horizon`, and `horizon + 1`
+/// relative to a zero cursor, where `horizon` is the wheel span.
+#[test]
+fn calendar_boundary_ticks() {
+    let horizon = WHEEL_HORIZON_NS;
+    for offsets in [
+        vec![horizon - 1, horizon, horizon + 1],
+        vec![horizon, horizon - 1, horizon + 1, horizon],
+        vec![horizon + 1, horizon, horizon - 1, 0, horizon],
+    ] {
+        check("calendar_boundary", &offsets, 0);
+    }
+}

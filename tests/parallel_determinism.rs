@@ -12,7 +12,9 @@
 //! top of the standard RADIX/FFT × O/P/2T/2TP matrix.
 
 use rsdsm::apps::{Benchmark, Scale};
-use rsdsm::core::{DsmConfig, FaultPlan, NodeCrash, Partition, RecoveryConfig, TransportConfig};
+use rsdsm::core::{
+    DsmConfig, FaultPlan, NodeCrash, Partition, QueueBackend, RecoveryConfig, TransportConfig,
+};
 use rsdsm::oracle::Technique;
 use rsdsm::simnet::{SimDuration, SimTime};
 use rsdsm_bench::pool;
@@ -142,4 +144,50 @@ fn oversubscribed_pool_changes_nothing() {
     let reference = digests_at(1);
     let oversubscribed = digests_at(64);
     assert_eq!(reference, oversubscribed);
+}
+
+/// Like [`digests_at`], but pinning the event-queue backend instead of
+/// the worker count (workers fixed at 4).
+fn digests_on(backend: QueueBackend) -> Vec<(String, u64, u64, usize)> {
+    let tasks: Vec<_> = grid()
+        .into_iter()
+        .map(|cell| {
+            move || {
+                let (report, trace) = cell
+                    .bench
+                    .run_traced_queued(Scale::Test, cell.cfg, backend)
+                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", cell.label, backend.label()));
+                assert!(report.verified, "{}: result corrupted", cell.label);
+                (
+                    cell.label,
+                    report.digest(),
+                    trace.digest(),
+                    trace.encode().len(),
+                )
+            }
+        })
+        .collect();
+    pool::run(4, tasks)
+}
+
+/// The timing-wheel queue and the binary-heap reference produce
+/// byte-identical results over the whole grid — report digests, RTR1
+/// trace digests, and encoded trace lengths all match, including the
+/// lossy, crash-restart, and partition+heal cells whose event
+/// schedules are the most irregular. This is the end-to-end
+/// counterpart of the queue-level differential suite
+/// (`crates/simnet/tests/wheel_equivalence.rs`): the engine cannot
+/// tell the two backends apart.
+#[test]
+fn wheel_and_heap_backends_are_digest_identical() {
+    let wheel = digests_on(QueueBackend::Wheel);
+    let heap = digests_on(QueueBackend::Heap);
+    assert_eq!(wheel.len(), heap.len());
+    for (w, h) in wheel.iter().zip(&heap) {
+        assert_eq!(
+            w, h,
+            "cell diverged between wheel and heap backends \
+             (label, report digest, trace digest, RTR1 len)"
+        );
+    }
 }
