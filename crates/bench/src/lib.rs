@@ -16,8 +16,8 @@ use std::collections::HashMap;
 
 use rsdsm_apps::{Benchmark, Scale};
 use rsdsm_core::{
-    DsmConfig, FaultPlan, NodeCrash, Partition, PrefetchConfig, RecoveryConfig, RunReport,
-    ThreadConfig, Trace,
+    DsmConfig, FaultPlan, NodeCrash, Partition, PersistConfig, PrefetchConfig, RecoveryConfig,
+    RunReport, ThreadConfig, Trace,
 };
 use rsdsm_simnet::{SimDuration, SimTime};
 use rsdsm_stats::{chrome_trace_json, render_bars, Bar};
@@ -51,6 +51,16 @@ pub struct ExpOpts {
     /// Checkpoint cadence in barrier epochs (`--checkpoint-every`;
     /// 0 disables checkpointing).
     pub checkpoint_every: u32,
+    /// Persist checkpoints to the modeled per-node durable device
+    /// through the two-slot commit protocol (`--persist`). Requires a
+    /// checkpoint cadence.
+    pub persist: bool,
+    /// Device write bandwidth in MB/s (`--persist-bw`; read bandwidth
+    /// is modeled at twice this). `0` keeps the default.
+    pub persist_bw: u64,
+    /// Device fence latency in microseconds (`--fence-us`). `0` keeps
+    /// the default.
+    pub fence_us: u64,
     /// Chrome trace-event JSON output path (`--trace`). Each traced
     /// run writes a per-run `OUT-APP-VARIANT.json` next to it, plus
     /// the exact `OUT` path (last run wins), so a single-run sweep
@@ -78,6 +88,9 @@ impl Default for ExpOpts {
             crashes: Vec::new(),
             partitions: Vec::new(),
             checkpoint_every: 0,
+            persist: false,
+            persist_bw: 0,
+            fence_us: 0,
             trace_out: None,
             trace_metrics: false,
             jobs: pool::default_jobs(),
@@ -144,6 +157,21 @@ impl ExpOpts {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--checkpoint-every needs a number of epochs"));
                 }
+                "--persist" => opts.persist = true,
+                "--persist-bw" => {
+                    opts.persist_bw = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&bw: &u64| bw > 0)
+                        .unwrap_or_else(|| usage("--persist-bw needs a bandwidth in MB/s"));
+                }
+                "--fence-us" => {
+                    opts.fence_us = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&us: &u64| us > 0)
+                        .unwrap_or_else(|| usage("--fence-us needs a latency in microseconds"));
+                }
                 "--trace" => {
                     opts.trace_out =
                         Some(args.next().unwrap_or_else(|| usage("--trace needs a path")));
@@ -176,6 +204,17 @@ impl ExpOpts {
         if !apps.is_empty() {
             opts.apps = apps;
         }
+        // Flag combinations that would silently do nothing are
+        // rejected up front (the engine asserts the same invariants).
+        if !opts.crashes.is_empty() && opts.checkpoint_every == 0 {
+            usage("--fault-crash needs --checkpoint-every N: without a checkpoint cadence a crashed node would recover from nothing");
+        }
+        if opts.persist && opts.checkpoint_every == 0 {
+            usage("--persist needs --checkpoint-every N: without a checkpoint cadence there is nothing to persist");
+        }
+        if (opts.persist_bw > 0 || opts.fence_us > 0) && !opts.persist {
+            usage("--persist-bw/--fence-us need --persist");
+        }
         opts
     }
 
@@ -204,6 +243,21 @@ impl ExpOpts {
                 checkpoint_every: self.checkpoint_every,
                 ..RecoveryConfig::off()
             });
+        }
+        if self.persist {
+            let mut dev = PersistConfig {
+                enabled: true,
+                ..PersistConfig::off()
+            };
+            if self.persist_bw > 0 {
+                // MB/s is numerically bytes/us, the device's unit.
+                dev.write_bw = self.persist_bw;
+                dev.read_bw = self.persist_bw * 2;
+            }
+            if self.fence_us > 0 {
+                dev.fence_latency = SimDuration::from_micros(self.fence_us);
+            }
+            cfg.recovery.persist = dev;
         }
         cfg
     }
@@ -279,6 +333,7 @@ fn usage(err: &str) -> ! {
         "usage: <experiment> [--paper-scale|--test-scale] [--nodes N] [--app NAME]... [--seed S] \
          [--fault-loss P] [--fault-crash NODE@MS[:restart=MS]]... [--checkpoint-every N]\n\
          \x20             [--fault-partition GROUPS@MS:heal=MS[:asym]]...\n\
+         \x20             [--persist] [--persist-bw MBPS] [--fence-us US]\n\
          \x20             [--trace OUT] [--trace-metrics] [--jobs N] [--bench-json PATH]\n\
          \n\
          --jobs N        run independent simulation cells on N worker threads\n\
@@ -295,6 +350,12 @@ fn usage(err: &str) -> ! {
          \x20               majority; minority nodes freeze and rejoin from their last\n\
          \x20               checkpoint at heal. Repeatable; enables recovery.\n\
          --checkpoint-every   take a barrier-aligned checkpoint every N barrier epochs\n\
+         --persist       write each checkpoint to a modeled per-node durable device\n\
+         \x20               through a two-slot commit protocol; crashed nodes recover\n\
+         \x20               from the newest committed slot (needs --checkpoint-every)\n\
+         --persist-bw    device write bandwidth in MB/s (reads are modeled at 2x);\n\
+         \x20               default 200\n\
+         --fence-us      device fence latency in microseconds; default 5\n\
          --trace OUT     record every simulated event and write a Chrome trace-event\n\
          \x20               JSON (Perfetto-loadable) per run; tracing never changes the\n\
          \x20               run itself (same events, same digest)\n\
@@ -464,7 +525,11 @@ fn emit_variant(
     if opts.trace_metrics {
         print_trace_metrics(bench, variant, report);
     }
-    if opts.fault_loss > 0.0 || !opts.crashes.is_empty() || !opts.partitions.is_empty() {
+    if opts.fault_loss > 0.0
+        || !opts.crashes.is_empty()
+        || !opts.partitions.is_empty()
+        || opts.persist
+    {
         match report.fault_summary_line() {
             Some(line) => println!("  {bench} [{}] {line}", variant.label()),
             None => println!("  {bench} [{}] faults: none observed", variant.label()),
@@ -699,6 +764,30 @@ mod tests {
         assert_eq!(cfg.faults.partitions.len(), 1);
         assert!(cfg.recovery.enabled);
         assert_eq!(cfg.recovery.checkpoint_every, 2);
+    }
+
+    #[test]
+    fn persist_flags_shape_the_device() {
+        // Defaults: the layer stays off and the config stays stock.
+        assert!(!ExpOpts::default().base_config().recovery.persist.enabled);
+
+        let mut opts = ExpOpts {
+            checkpoint_every: 2,
+            persist: true,
+            ..ExpOpts::default()
+        };
+        let dev = opts.base_config().recovery.persist;
+        assert!(dev.enabled);
+        assert_eq!(dev.write_bw, PersistConfig::off().write_bw);
+        assert_eq!(dev.fence_latency, PersistConfig::off().fence_latency);
+
+        // MB/s is numerically bytes/us; reads model at twice writes.
+        opts.persist_bw = 20;
+        opts.fence_us = 10;
+        let dev = opts.base_config().recovery.persist;
+        assert_eq!(dev.write_bw, 20);
+        assert_eq!(dev.read_bw, 40);
+        assert_eq!(dev.fence_latency, SimDuration::from_micros(10));
     }
 
     #[test]

@@ -13,6 +13,32 @@
 //! be accounted and a digest pinned — and a [`Checkpoint::digest`]
 //! built from the same FNV-1a the consistency oracle uses.
 //!
+//! # Durable two-slot commit protocol
+//!
+//! When persistence is on (see
+//! [`PersistConfig`](rsdsm_simnet::PersistConfig)), checkpoints are
+//! written to a modeled persistent device through a detectably
+//! recoverable A/B protocol, so a crash at *any* instant — including
+//! mid-persist — leaves the device classifiable:
+//!
+//! 1. The `RCK1` bytes are wrapped into a *segmented image*
+//!    ([`Checkpoint::encode_segmented`]): a header plus fixed-size
+//!    segments, each carrying its length and FNV-1a check, so a torn
+//!    sector anywhere in the payload is caught by a per-segment
+//!    checksum rather than only at the end.
+//! 2. The image is written to the persist's slot ([`slot_for_seq`]:
+//!    consecutive persists alternate slots), flushed, and fenced.
+//! 3. Only then is a fixed-size [`CommitRecord`] — epoch, a
+//!    monotonic persist sequence number, and the image's length and
+//!    FNV — written to the slot's commit region, flushed, and fenced.
+//!
+//! [`classify_slot`] reads a (payload, commit) region pair back and
+//! returns [`SlotState`]: `Committed` only when the commit record is
+//! intact *and* the image it names checks out; any mix of old and new
+//! bytes — a torn payload under a stale commit, a torn commit over a
+//! fresh payload — classifies as `Torn` and recovery falls back to
+//! the other slot.
+//!
 //! # Examples
 //!
 //! ```
@@ -89,6 +115,42 @@ pub struct Checkpoint {
 }
 
 const MAGIC: u32 = 0x5243_4b31; // "RCK1"
+const SEG_MAGIC: u32 = 0x5253_4731; // "RSG1"
+const COMMIT_MAGIC: u32 = 0x5243_4d31; // "RCM1"
+
+/// Payload bytes per segment of the segmented image.
+const SEGMENT_BYTES: usize = 4096;
+
+/// Slots of the A/B commit protocol.
+pub const SLOT_COUNT: usize = 2;
+
+/// Device regions per node: payload and commit region per slot.
+pub const SLOT_REGIONS: usize = 2 * SLOT_COUNT;
+
+/// Encoded size of a [`CommitRecord`].
+pub const COMMIT_LEN: usize = 36;
+
+/// Device region holding `slot`'s segmented payload image.
+pub const fn payload_region(slot: usize) -> usize {
+    2 * slot
+}
+
+/// Device region holding `slot`'s commit record.
+pub const fn commit_region(slot: usize) -> usize {
+    2 * slot + 1
+}
+
+/// The slot the `seq`-th persist (1-based, per node) writes into.
+///
+/// Alternation must key on the persist *sequence*, not the barrier
+/// epoch: epochs are multiples of the checkpoint cadence, so for any
+/// even cadence `epoch % SLOT_COUNT` is constant and every persist
+/// would overwrite the one slot — a crash mid-persist would then tear
+/// the only committed image, which is exactly what A/B exists to
+/// prevent.
+pub const fn slot_for_seq(seq: u64) -> usize {
+    (seq as usize) % SLOT_COUNT
+}
 
 impl Checkpoint {
     /// Snapshots `node`'s recoverable state at barrier epoch `epoch`.
@@ -250,6 +312,181 @@ impl Checkpoint {
     pub fn digest(&self) -> u64 {
         fnv1a(&self.encode())
     }
+
+    /// Wraps the `RCK1` bytes into the segmented persistence image:
+    /// a header (magic, epoch, segment count, total length) followed
+    /// by up-to-4 KB segments, each framed with its
+    /// length and FNV-1a check.
+    pub fn encode_segmented(&self) -> Vec<u8> {
+        let inner = self.encode();
+        let segs = inner.len().div_ceil(SEGMENT_BYTES).max(1);
+        let mut out = Vec::with_capacity(16 + inner.len() + segs * 12);
+        put_u32(&mut out, SEG_MAGIC);
+        put_u32(&mut out, self.epoch);
+        put_u32(&mut out, segs as u32);
+        put_u32(&mut out, inner.len() as u32);
+        for chunk in inner.chunks(SEGMENT_BYTES) {
+            put_u32(&mut out, chunk.len() as u32);
+            put_u64(&mut out, fnv1a(chunk));
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+
+    /// Parses a segmented image back into a checkpoint, verifying
+    /// every segment checksum and the header/inner epoch agreement.
+    /// Never panics: arbitrary bytes (torn sectors, stale tails,
+    /// truncation at any boundary) yield an error.
+    pub fn decode_segmented(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut c = Cursor { bytes, at: 0 };
+        if c.u32()? != SEG_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let epoch = c.u32()?;
+        let segs = c.u32()? as usize;
+        let total = c.u32()? as usize;
+        if segs == 0 || segs > total.div_ceil(SEGMENT_BYTES).max(1) {
+            return Err(CheckpointError::Corrupt("implausible segment count"));
+        }
+        let mut inner = Vec::with_capacity(total.min(bytes.len()));
+        for _ in 0..segs {
+            let len = c.u32()? as usize;
+            if len > SEGMENT_BYTES {
+                return Err(CheckpointError::Corrupt("oversized segment"));
+            }
+            let check = c.u64()?;
+            let chunk = c.take(len)?;
+            if fnv1a(chunk) != check {
+                return Err(CheckpointError::Corrupt("segment checksum mismatch"));
+            }
+            inner.extend_from_slice(chunk);
+        }
+        if inner.len() != total {
+            return Err(CheckpointError::Corrupt(
+                "segment lengths disagree with total",
+            ));
+        }
+        let ckpt = Checkpoint::decode(&inner)?;
+        if ckpt.epoch != epoch {
+            return Err(CheckpointError::Corrupt(
+                "header epoch disagrees with payload",
+            ));
+        }
+        Ok(ckpt)
+    }
+}
+
+/// The fixed-size record that commits one slot of the A/B protocol.
+/// Written (and fenced) strictly after the payload image it names, so
+/// its integrity certifies the image's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Barrier epoch of the committed checkpoint.
+    pub epoch: u32,
+    /// Monotonic persist sequence number (across both slots): the
+    /// slot with the larger committed `seq` is the newer image.
+    pub seq: u64,
+    /// Byte length of the segmented image this record commits.
+    pub payload_len: u32,
+    /// FNV-1a of those bytes.
+    pub payload_fnv: u64,
+}
+
+impl CommitRecord {
+    /// Builds the record committing `payload` (a segmented image) at
+    /// `epoch` with persist sequence `seq`.
+    pub fn for_payload(epoch: u32, seq: u64, payload: &[u8]) -> Self {
+        CommitRecord {
+            epoch,
+            seq,
+            payload_len: payload.len() as u32,
+            payload_fnv: fnv1a(payload),
+        }
+    }
+
+    /// Serializes to the fixed [`COMMIT_LEN`]-byte format, ending in
+    /// an FNV-1a self-check over the preceding fields.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(COMMIT_LEN);
+        put_u32(&mut out, COMMIT_MAGIC);
+        put_u32(&mut out, self.epoch);
+        put_u64(&mut out, self.seq);
+        put_u32(&mut out, self.payload_len);
+        put_u64(&mut out, self.payload_fnv);
+        let check = fnv1a(&out);
+        put_u64(&mut out, check);
+        debug_assert_eq!(out.len(), COMMIT_LEN);
+        out
+    }
+
+    /// Parses a commit region's bytes; `None` for anything that is
+    /// not an intact record (truncated, torn, or never written).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < COMMIT_LEN {
+            return None;
+        }
+        let mut c = Cursor { bytes, at: 0 };
+        if c.u32().ok()? != COMMIT_MAGIC {
+            return None;
+        }
+        let epoch = c.u32().ok()?;
+        let seq = c.u64().ok()?;
+        let payload_len = c.u32().ok()?;
+        let payload_fnv = c.u64().ok()?;
+        let check = c.u64().ok()?;
+        if fnv1a(&bytes[..COMMIT_LEN - 8]) != check {
+            return None;
+        }
+        Some(CommitRecord {
+            epoch,
+            seq,
+            payload_len,
+            payload_fnv,
+        })
+    }
+}
+
+/// What recovery concludes about one slot of the persisted A/B pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotState {
+    /// Never written: both regions empty.
+    Empty,
+    /// Detectably unusable — a torn payload, a torn or stale commit
+    /// record, or any old/new byte mix. Recovery discards it and
+    /// falls back to the other slot.
+    Torn,
+    /// The commit record is intact and the image it names checks out.
+    Committed {
+        /// Persist sequence number from the commit record.
+        seq: u64,
+        /// The recovered checkpoint.
+        ckpt: Box<Checkpoint>,
+    },
+}
+
+/// Classifies one slot from its raw device regions. Total over
+/// arbitrary bytes: any crash state — mid-payload, mid-commit, torn
+/// sectors, stale tails from earlier epochs — yields `Empty`, `Torn`,
+/// or a fully verified `Committed`; it never panics.
+pub fn classify_slot(payload: &[u8], commit: &[u8]) -> SlotState {
+    let Some(rec) = CommitRecord::decode(commit) else {
+        return if payload.is_empty() && commit.is_empty() {
+            SlotState::Empty
+        } else {
+            SlotState::Torn
+        };
+    };
+    let len = rec.payload_len as usize;
+    if len > payload.len() || fnv1a(&payload[..len]) != rec.payload_fnv {
+        return SlotState::Torn;
+    }
+    match Checkpoint::decode_segmented(&payload[..len]) {
+        Ok(ckpt) if ckpt.epoch == rec.epoch => SlotState::Committed {
+            seq: rec.seq,
+            ckpt: Box::new(ckpt),
+        },
+        _ => SlotState::Torn,
+    }
 }
 
 /// Why a checkpoint byte string failed to parse.
@@ -276,6 +513,10 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -308,6 +549,13 @@ impl Cursor<'_> {
     fn u32(&mut self) -> Result<u32, CheckpointError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn clock(&mut self) -> Result<VectorClock, CheckpointError> {
@@ -404,5 +652,123 @@ mod tests {
         let mut b = sample();
         b.epoch += 1;
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn segmented_round_trip() {
+        let ckpt = sample();
+        let image = ckpt.encode_segmented();
+        assert!(image.len() > ckpt.encode().len(), "framing adds bytes");
+        let back = Checkpoint::decode_segmented(&image).expect("decode");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn segmented_truncation_never_decodes() {
+        let image = sample().encode_segmented();
+        for cut in 0..image.len() {
+            assert!(
+                Checkpoint::decode_segmented(&image[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_record_round_trip_and_tamper_detection() {
+        let payload = sample().encode_segmented();
+        let rec = CommitRecord::for_payload(8, 17, &payload);
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), COMMIT_LEN);
+        assert_eq!(CommitRecord::decode(&bytes), Some(rec));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                CommitRecord::decode(&bad),
+                None,
+                "flip at byte {i} must not decode"
+            );
+        }
+        assert_eq!(CommitRecord::decode(&bytes[..COMMIT_LEN - 1]), None);
+    }
+
+    #[test]
+    fn classify_committed_torn_and_empty() {
+        let ckpt = sample();
+        let payload = ckpt.encode_segmented();
+        let commit = CommitRecord::for_payload(ckpt.epoch, 3, &payload).encode();
+        match classify_slot(&payload, &commit) {
+            SlotState::Committed { seq, ckpt: back } => {
+                assert_eq!(seq, 3);
+                assert_eq!(*back, ckpt);
+            }
+            other => panic!("expected committed, got {other:?}"),
+        }
+        assert_eq!(classify_slot(&[], &[]), SlotState::Empty);
+        // Torn payload under an intact commit.
+        let mut torn = payload.clone();
+        torn[payload.len() / 2] ^= 0xff;
+        assert_eq!(classify_slot(&torn, &commit), SlotState::Torn);
+        // Truncated payload (crash before the tail drained).
+        assert_eq!(
+            classify_slot(&payload[..payload.len() - 1], &commit),
+            SlotState::Torn
+        );
+        // Torn commit over an intact payload.
+        let mut bad_commit = commit.clone();
+        bad_commit[5] ^= 0x01;
+        assert_eq!(classify_slot(&payload, &bad_commit), SlotState::Torn);
+        // Stale commit from an earlier epoch over a fresh payload.
+        let stale = CommitRecord::for_payload(ckpt.epoch, 1, b"old image").encode();
+        assert_eq!(classify_slot(&payload, &stale), SlotState::Torn);
+    }
+
+    #[test]
+    fn classify_is_total_over_every_truncation() {
+        let ckpt = sample();
+        let payload = ckpt.encode_segmented();
+        let commit = CommitRecord::for_payload(ckpt.epoch, 9, &payload).encode();
+        for cut in 0..payload.len() {
+            let state = classify_slot(&payload[..cut], &commit);
+            assert!(
+                matches!(state, SlotState::Torn),
+                "payload cut at {cut}: {state:?}"
+            );
+        }
+        for cut in 0..commit.len() {
+            let state = classify_slot(&payload, &commit[..cut]);
+            assert!(
+                matches!(state, SlotState::Torn),
+                "commit cut at {cut}: {state:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_layout_alternates() {
+        assert_eq!(slot_for_seq(2), 0);
+        assert_eq!(slot_for_seq(3), 1);
+        // Even-cadence epochs must still alternate: consecutive
+        // persists land in different slots.
+        assert_ne!(slot_for_seq(1), slot_for_seq(2));
+        assert_eq!(payload_region(0), 0);
+        assert_eq!(commit_region(0), 1);
+        assert_eq!(payload_region(1), 2);
+        assert_eq!(commit_region(1), 3);
+        assert_eq!(SLOT_REGIONS, 4);
+    }
+
+    #[test]
+    fn multi_segment_images_split_and_rejoin() {
+        // The sample's two full page images push the inner encoding
+        // past one segment.
+        let ckpt = sample();
+        let inner = ckpt.encode().len();
+        assert!(inner > SEGMENT_BYTES, "sample must span segments");
+        let image = ckpt.encode_segmented();
+        let segs = inner.div_ceil(SEGMENT_BYTES);
+        assert_eq!(image.len(), 16 + inner + segs * 12);
+        assert_eq!(Checkpoint::decode_segmented(&image).unwrap(), ckpt);
     }
 }

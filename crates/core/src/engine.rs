@@ -15,12 +15,16 @@ use std::thread;
 
 use rsdsm_protocol::{CachedDiff, Diff, Page, PageId, VectorClock, WriteNotice};
 use rsdsm_simnet::{
-    EventQueue, HeapQueue, Network, NodeId, QueueBackend, Reliability, SimDuration, SimTime,
+    EventQueue, HeapQueue, Network, NodeId, PersistDevice, QueueBackend, Reliability, SimDuration,
+    SimTime,
 };
 
 use crate::accounting::{Category, IdleReason};
 use crate::barrier::BarrierManager;
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{
+    classify_slot, commit_region, payload_region, slot_for_seq, Checkpoint, CommitRecord,
+    SlotState, SLOT_COUNT, SLOT_REGIONS,
+};
 use crate::conductor::{CallMsg, Charges, DsmCtx, Syscall};
 use crate::config::DsmConfig;
 use crate::heap::Heap;
@@ -139,6 +143,19 @@ struct RecoveryState {
     epochs_done: Vec<u32>,
     /// Latest checkpoint per node.
     ckpts: Vec<Option<Checkpoint>>,
+    /// Per-node persistent devices ([`SLOT_REGIONS`] regions each);
+    /// empty unless `recovery.persist.enabled`.
+    pdevs: Vec<PersistDevice>,
+    /// Monotonic persist sequence per node (stamps commit records so
+    /// slot classification can order the A/B pair).
+    persist_seq: Vec<u64>,
+    /// Busy time at the checkpoint persisted in each slot — replay
+    /// cost must be measured from whichever slot recovery actually
+    /// restores.
+    busy_at_slot: Vec<[SimDuration; SLOT_COUNT]>,
+    /// Persisted-image size (payload + commit) backing each node's
+    /// current restore source; drives the device-read restore cost.
+    restore_bytes: Vec<u64>,
     /// Counters surfaced in [`RunReport`].
     stats: RecoveryStats,
     /// Consecutive idle manager ticks (see [`IDLE_TICK_LIMIT`]).
@@ -174,6 +191,16 @@ impl RecoveryState {
             busy_at_ckpt: vec![SimDuration::ZERO; n],
             epochs_done: vec![0; n],
             ckpts: vec![None; n],
+            pdevs: if cfg.recovery.persist.enabled {
+                (0..n)
+                    .map(|_| PersistDevice::new(SLOT_REGIONS, cfg.recovery.persist))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            persist_seq: vec![0; n],
+            busy_at_slot: vec![[SimDuration::ZERO; SLOT_COUNT]; n],
+            restore_bytes: vec![0; n],
             stats: RecoveryStats::default(),
             idle_tick_rounds: 0,
             progressed: false,
@@ -548,6 +575,19 @@ impl<'a> Core<'a> {
             threads.len() + cfg.faults.crashes.len() + cfg.nodes + 64,
         );
         queue.push_batch((0..threads.len()).map(|t| (SimTime::ZERO, Event::Start(ThreadId(t)))));
+        assert!(
+            !(cfg.recovery.enabled
+                && cfg.recovery.checkpoint_every == 0
+                && !cfg.faults.crashes.is_empty()),
+            "a crash schedule with recovery enabled needs a checkpoint cadence: \
+             --fault-crash without --checkpoint-every N (checkpoint_every == 0) \
+             would silently recover from nothing"
+        );
+        assert!(
+            !(cfg.recovery.persist.enabled && cfg.recovery.checkpoint_every == 0),
+            "persistence without a checkpoint cadence has nothing to persist: \
+             --persist needs --checkpoint-every N (checkpoint_every == 0)"
+        );
         for crash in &cfg.faults.crashes {
             assert!(
                 crash.node < cfg.nodes,
@@ -811,6 +851,12 @@ impl<'a> Core<'a> {
         self.recov.downs += 1;
         self.recov.crash_time[x] = now;
         self.recov.stats.crashes += 1;
+        // With persistence, the crash instant decides what survives
+        // on the device — and therefore which image (and cost) the
+        // restart below is scheduled against.
+        if self.cfg.recovery.persist.enabled {
+            self.reload_from_device(x, now);
+        }
         if let Some(outage) = restart_after {
             let at = if self.cfg.recovery.enabled {
                 now + outage + self.restore_cost(x) + self.replay_cost(x)
@@ -1211,7 +1257,17 @@ impl<'a> Core<'a> {
     }
 
     /// Modeled time to reload `x`'s last checkpoint on a replacement.
+    /// With persistence on, the cost is reading the persisted image
+    /// back at the device's read bandwidth; otherwise the flat
+    /// per-page model.
     fn restore_cost(&self, x: NodeId) -> SimDuration {
+        if self.cfg.recovery.persist.enabled {
+            return self
+                .cfg
+                .recovery
+                .persist
+                .read_time(self.recov.restore_bytes[x] as usize);
+        }
         let pages = self.recov.ckpts[x]
             .as_ref()
             .map_or(0, |c| c.pages.len() as u64);
@@ -1225,13 +1281,16 @@ impl<'a> Core<'a> {
         self.nodes[x].account.breakdown()[Category::Busy].saturating_sub(self.recov.busy_at_ckpt[x])
     }
 
-    /// Captures node `n`'s barrier-aligned checkpoint. Deliberately
-    /// charges no CPU time and consumes no randomness: the model
-    /// treats the snapshot as copy-on-write work off the critical
-    /// path, so a crash-free run's event timeline — and its
+    /// Captures node `n`'s barrier-aligned checkpoint and returns the
+    /// time the node resumes. Without persistence the capture
+    /// deliberately charges no CPU time and consumes no randomness:
+    /// the model treats the snapshot as copy-on-write work off the
+    /// critical path, so a crash-free run's event timeline — and its
     /// `RunReport` digest, recovery fields aside — is identical with
-    /// checkpointing on or off.
-    fn take_checkpoint(&mut self, n: NodeId, at: SimTime) {
+    /// checkpointing on or off. With persistence on, the snapshot is
+    /// additionally written through the durable two-slot commit
+    /// protocol and the node stalls for the modeled persist cost.
+    fn take_checkpoint(&mut self, n: NodeId, at: SimTime) -> SimTime {
         let epoch = self.recov.epochs_done[n];
         let ckpt = {
             let mem = self.mem.lock().expect("mem mutex");
@@ -1251,9 +1310,129 @@ impl<'a> Core<'a> {
         self.recov.stats.checkpoints_taken += 1;
         self.recov.stats.checkpoint_bytes += bytes;
         self.recov.busy_at_ckpt[n] = self.nodes[n].account.breakdown()[Category::Busy];
+        let end = if self.cfg.recovery.persist.enabled {
+            self.persist_checkpoint(n, &ckpt, at)
+        } else {
+            at
+        };
         self.recov.ckpts[n] = Some(ckpt);
         if self.trace {
             eprintln!("checkpoint n{n} epoch {epoch} ({bytes} bytes)");
+        }
+        end
+    }
+
+    /// Writes `ckpt` to node `n`'s persistent device through the
+    /// detectably recoverable A/B protocol: segmented payload into
+    /// the epoch's slot, flush, fence; then the commit record, flush,
+    /// fence. The drain runs at the device's write bandwidth in the
+    /// background, but the protocol is synchronous at the barrier:
+    /// the node stalls until the commit fence completes, which is
+    /// exactly the durability overhead the model is after. Returns
+    /// the stall end.
+    fn persist_checkpoint(&mut self, n: NodeId, ckpt: &Checkpoint, at: SimTime) -> SimTime {
+        let payload = ckpt.encode_segmented();
+        self.recov.persist_seq[n] += 1;
+        let seq = self.recov.persist_seq[n];
+        let slot = slot_for_seq(seq);
+        let commit = CommitRecord::for_payload(ckpt.epoch, seq, &payload).encode();
+        let image_bytes = (payload.len() + commit.len()) as u64;
+        let committed = {
+            let dev = &mut self.recov.pdevs[n];
+            dev.write(payload_region(slot), 0, &payload);
+            let drained = dev.flush(at);
+            let durable = dev.fence(drained);
+            // The commit record is ordered strictly after the payload
+            // fence: a crash can tear one or the other, never leave a
+            // fresh commit over a half-written payload.
+            dev.write(commit_region(slot), 0, &commit);
+            let drained = dev.flush(durable);
+            dev.fence(drained)
+        };
+        self.recov.stats.persist_bytes += image_bytes;
+        self.recov.stats.flushes += 2;
+        self.recov.stats.fences += 2;
+        self.recov.busy_at_slot[n][slot] = self.recov.busy_at_ckpt[n];
+        self.recov.restore_bytes[n] = image_bytes;
+        self.tracer.emit(
+            at,
+            n as u32,
+            NO_THREAD,
+            NO_CAUSE,
+            TraceEvent::PersistCommit {
+                epoch: ckpt.epoch,
+                bytes: image_bytes as u32,
+            },
+        );
+        if self.trace {
+            eprintln!(
+                "persist n{n} epoch {} slot {slot} seq {seq} ({image_bytes} bytes, done {committed})",
+                ckpt.epoch
+            );
+        }
+        self.charge(
+            n,
+            at,
+            committed.saturating_since(at),
+            Category::DsmOverhead,
+            None,
+        )
+    }
+
+    /// Applies crash semantics to `x`'s persistent device at the
+    /// crash instant — the store buffer is lost and the in-flight
+    /// sector tears — then classifies both slots and makes the best
+    /// committed image the node's restore source. Torn slots count as
+    /// `torn_discards`; restoring an older image than the newest
+    /// persist attempted counts as a `slot_fallback`.
+    fn reload_from_device(&mut self, x: NodeId, now: SimTime) {
+        let states: Vec<SlotState> = {
+            let dev = &mut self.recov.pdevs[x];
+            dev.crash(now);
+            (0..SLOT_COUNT)
+                .map(|s| classify_slot(dev.read(payload_region(s)), dev.read(commit_region(s))))
+                .collect()
+        };
+        let torn = states
+            .iter()
+            .filter(|s| matches!(s, SlotState::Torn))
+            .count() as u64;
+        self.recov.stats.torn_discards += torn;
+        let best = states
+            .into_iter()
+            .enumerate()
+            .filter_map(|(slot, s)| match s {
+                SlotState::Committed { seq, ckpt } => Some((seq, slot, ckpt)),
+                _ => None,
+            })
+            .max_by_key(|&(seq, ..)| seq);
+        match best {
+            Some((seq, slot, ckpt)) => {
+                if seq < self.recov.persist_seq[x] {
+                    self.recov.stats.slot_fallbacks += 1;
+                }
+                if self.trace {
+                    eprintln!(
+                        "[{now}] n{x} device: restore epoch {} from slot {slot} \
+                         (seq {seq} of {}, {torn} torn)",
+                        ckpt.epoch, self.recov.persist_seq[x]
+                    );
+                }
+                self.recov.restore_bytes[x] =
+                    (ckpt.encode_segmented().len() + crate::checkpoint::COMMIT_LEN) as u64;
+                self.recov.busy_at_ckpt[x] = self.recov.busy_at_slot[x][slot];
+                self.recov.ckpts[x] = Some(*ckpt);
+            }
+            None => {
+                // Nothing committed yet (the crash predates the first
+                // durable checkpoint): recovery restarts from scratch.
+                if self.trace {
+                    eprintln!("[{now}] n{x} device: no committed slot ({torn} torn)");
+                }
+                self.recov.restore_bytes[x] = 0;
+                self.recov.busy_at_ckpt[x] = SimDuration::ZERO;
+                self.recov.ckpts[x] = None;
+            }
         }
     }
 
@@ -2484,7 +2663,7 @@ impl<'a> Core<'a> {
         );
         let every = self.cfg.recovery.checkpoint_every;
         if every > 0 && self.recov.epochs_done[n].is_multiple_of(every) {
-            self.take_checkpoint(n, end);
+            end = self.take_checkpoint(n, end);
         }
         let end = self.auto_prefetch_at_sync(n, SyncKey::Barrier(id), end);
         let woken = self.nodes[n].barrier.release(id);

@@ -57,7 +57,10 @@ mod trace;
 mod transport;
 
 pub use accounting::{Breakdown, Category, IdleReason, NodeAccount, NormalizedBreakdown};
-pub use checkpoint::{Checkpoint, CheckpointError, DiffRecord, PageImage};
+pub use checkpoint::{
+    classify_slot, commit_region, payload_region, slot_for_seq, Checkpoint, CheckpointError,
+    CommitRecord, DiffRecord, PageImage, SlotState, COMMIT_LEN, SLOT_COUNT, SLOT_REGIONS,
+};
 pub use conductor::DsmCtx;
 pub use config::{DsmConfig, PrefetchConfig, ThreadConfig};
 pub use costs::CostModel;
@@ -79,7 +82,7 @@ pub use report::{
 pub use rsdsm_protocol::{Page, PAGE_SIZE};
 pub use rsdsm_simnet::{
     ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall, Partition,
-    QueueBackend,
+    PersistConfig, PersistDevice, PersistStats, QueueBackend,
 };
 pub use thread::ThreadId;
 pub use trace::{

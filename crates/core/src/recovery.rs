@@ -19,7 +19,7 @@
 //! checkpoint capture at barriers, restart scheduling); see
 //! `DESIGN.md` §6e for the protocol.
 
-use rsdsm_simnet::{NodeId, SimDuration, SimTime};
+use rsdsm_simnet::{NodeId, PersistConfig, SimDuration, SimTime};
 
 /// What a node currently believes about a peer's liveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,8 +73,16 @@ pub struct RecoveryConfig {
     /// outages use the plan's `restart_after`).
     pub restart_base: SimDuration,
     /// Modeled per-page cost of reloading the last checkpoint on the
-    /// restarted node.
+    /// restarted node. Used only when `persist` is disabled; with
+    /// persistence on, the restore cost comes from the device read
+    /// model instead.
     pub restore_per_page: SimDuration,
+    /// Durable-checkpoint persistence: when enabled, checkpoints are
+    /// written to a modeled per-node persistent device through the
+    /// two-slot commit protocol (see `core::checkpoint`), the persist
+    /// cost is charged at capture, and recovery restores from the
+    /// persisted image — surviving crashes that land mid-persist.
+    pub persist: PersistConfig,
 }
 
 impl RecoveryConfig {
@@ -89,6 +97,7 @@ impl RecoveryConfig {
             confirm_grace: SimDuration::from_micros(10_000),
             restart_base: SimDuration::from_micros(500_000),
             restore_per_page: SimDuration::from_micros(20),
+            persist: PersistConfig::off(),
         }
     }
 
@@ -141,6 +150,19 @@ pub struct RecoveryStats {
     /// Total simulated time from each cut to the matching rejoin
     /// (freeze + checkpoint restore + replay).
     pub partition_reconcile_time: SimDuration,
+    /// Bytes written to the persistent devices (segmented images plus
+    /// commit records; zero unless persistence is enabled).
+    pub persist_bytes: u64,
+    /// Device flush operations issued while persisting checkpoints.
+    pub flushes: u64,
+    /// Device fence operations issued while persisting checkpoints.
+    pub fences: u64,
+    /// Persisted slots a crash left detectably torn (discarded by
+    /// recovery's slot classification).
+    pub torn_discards: u64,
+    /// Recoveries that fell back to the previous committed slot
+    /// because the newest persist was torn by the crash.
+    pub slot_fallbacks: u64,
 }
 
 /// Per-link lease bookkeeping: when each node last heard from each

@@ -368,6 +368,17 @@ impl RunReport {
             )
             .expect("write to String");
         }
+        // Gated on the config switch, not the counters: a run without
+        // persistence must emit the exact pre-persistence line.
+        if self.config.recovery.persist.enabled {
+            write!(
+                line,
+                "; persist: {} bytes, {} flushes, {} fences, \
+                 {} torn discarded, {} slot fallbacks",
+                r.persist_bytes, r.flushes, r.fences, r.torn_discards, r.slot_fallbacks,
+            )
+            .expect("write to String");
+        }
         Some(line)
     }
 }

@@ -286,6 +286,14 @@ pub enum TraceEvent {
     /// This node reconciled back into the run after a heal
     /// (checkpoint restore + deterministic replay).
     PartitionRejoin,
+    /// A checkpoint's persisted image committed on the node's
+    /// durable device (two-slot A/B protocol; see `core::checkpoint`).
+    PersistCommit {
+        /// Barrier epoch of the committed image.
+        epoch: u32,
+        /// Persisted bytes (segmented payload plus commit record).
+        bytes: u32,
+    },
 }
 
 impl TraceEvent {
@@ -318,6 +326,7 @@ impl TraceEvent {
             TraceEvent::PartitionFreeze => 23,
             TraceEvent::PartitionHeal => 24,
             TraceEvent::PartitionRejoin => 25,
+            TraceEvent::PersistCommit { .. } => 26,
         }
     }
 
@@ -341,7 +350,9 @@ impl TraceEvent {
             | TraceEvent::PrefetchIssue { .. }
             | TraceEvent::Suspect { .. }
             | TraceEvent::ConfirmDown { .. } => 4,
-            TraceEvent::BarrierRelease { .. } | TraceEvent::CheckpointTaken { .. } => 8,
+            TraceEvent::BarrierRelease { .. }
+            | TraceEvent::CheckpointTaken { .. }
+            | TraceEvent::PersistCommit { .. } => 8,
             TraceEvent::PrefetchDrop { .. } => 5,
             TraceEvent::TransportRetry { .. } => 20,
             TraceEvent::Crash { .. } => 1,
@@ -381,6 +392,7 @@ impl TraceEvent {
             TraceEvent::PartitionFreeze => "partition_freeze",
             TraceEvent::PartitionHeal => "partition_heal",
             TraceEvent::PartitionRejoin => "partition_rejoin",
+            TraceEvent::PersistCommit { .. } => "persist_commit",
         }
     }
 }
@@ -603,7 +615,8 @@ impl Trace {
                 TraceEvent::Suspect { peer } | TraceEvent::ConfirmDown { peer } => {
                     put_u32(&mut out, *peer)
                 }
-                TraceEvent::CheckpointTaken { epoch, bytes } => {
+                TraceEvent::CheckpointTaken { epoch, bytes }
+                | TraceEvent::PersistCommit { epoch, bytes } => {
                     put_u32(&mut out, *epoch);
                     put_u32(&mut out, *bytes);
                 }
@@ -713,6 +726,10 @@ impl Trace {
                 23 => TraceEvent::PartitionFreeze,
                 24 => TraceEvent::PartitionHeal,
                 25 => TraceEvent::PartitionRejoin,
+                26 => TraceEvent::PersistCommit {
+                    epoch: c.u32()?,
+                    bytes: c.u32()?,
+                },
                 _ => return Err(TraceError::Corrupt("unknown event tag")),
             };
             records.push(TraceRecord {

@@ -1,10 +1,16 @@
-//! Property tests for the checkpoint byte encoding: arbitrary
+//! Property tests for the checkpoint byte encodings: arbitrary
 //! recoverable-state snapshots survive an encode/decode round trip
 //! exactly, digests track content, and the format is self-delimiting
-//! (no strict prefix of a valid encoding parses).
+//! (no strict prefix of a valid encoding parses). The segmented
+//! durable-slot format gets the same treatment plus crash-shape
+//! coverage: a slot truncated at any byte classifies as `Torn` or
+//! falls back cleanly, and classification never panics.
 
 use proptest::prelude::*;
-use rsdsm_core::{Checkpoint, DiffRecord, IntervalRecord, LockId, PageImage};
+use rsdsm_core::{
+    classify_slot, Checkpoint, CommitRecord, DiffRecord, IntervalRecord, LockId, PageImage,
+    SlotState,
+};
 use rsdsm_protocol::{Diff, Page, PageId, VectorClock, PAGE_SIZE};
 
 /// Raw page spec: sparse (word, value) writes into a zeroed page.
@@ -121,5 +127,106 @@ proptest! {
             cut,
             bytes.len()
         );
+
+        // Segmented (durable-slot) framing round-trips the same state
+        // and is byte-stable too.
+        let seg = ckpt.encode_segmented();
+        let seg_back = Checkpoint::decode_segmented(&seg).expect("segmented decode");
+        prop_assert_eq!(&seg_back, &ckpt);
+        prop_assert_eq!(seg_back.digest(), ckpt.digest());
+        prop_assert_eq!(seg_back.encode_segmented(), seg.clone());
+
+        // An intact payload + matching commit record classifies as
+        // Committed and restores the identical checkpoint.
+        let commit = CommitRecord::for_payload(epoch, 1, &seg).encode();
+        match classify_slot(&seg, &commit) {
+            SlotState::Committed { seq, ckpt: restored } => {
+                prop_assert_eq!(seq, 1);
+                prop_assert_eq!(*restored, ckpt);
+            }
+            other => prop_assert!(false, "intact slot classified as {other:?}"),
+        }
+
+        // Crash shapes: a payload truncated at an arbitrary byte with
+        // the commit intact is Torn (the commit's length/fnv check
+        // catches it); a truncated commit record alongside a full
+        // payload is Torn as well, never a bogus Committed.
+        let pcut = (cut_seed % seg.len() as u64) as usize;
+        prop_assert_eq!(
+            classify_slot(&seg[..pcut], &commit),
+            SlotState::Torn,
+            "payload truncated to {} of {} bytes",
+            pcut,
+            seg.len()
+        );
+        let ccut = (cut_seed % commit.len() as u64) as usize;
+        if ccut > 0 {
+            prop_assert_eq!(
+                classify_slot(&seg, &commit[..ccut]),
+                SlotState::Torn,
+                "commit truncated to {} of {} bytes",
+                ccut,
+                commit.len()
+            );
+        }
     }
+
+    /// A corrupted byte anywhere in the payload is caught: the
+    /// per-segment FNV (or the commit's whole-payload FNV) flags the
+    /// slot Torn instead of restoring silently-wrong state.
+    #[test]
+    fn segmented_corruption_is_detected(
+        vc in prop::collection::vec(0u32..1000, 1..8),
+        tokens in prop::collection::vec(0u32..64, 0..6),
+        flip_seed in any::<u64>(),
+    ) {
+        let ckpt = build_checkpoint(3, 7, &vc, &[], &[], &[], &tokens);
+        let seg = ckpt.encode_segmented();
+        let commit = CommitRecord::for_payload(7, 9, &seg).encode();
+        let mut bad = seg.clone();
+        let at = (flip_seed % bad.len() as u64) as usize;
+        bad[at] ^= 0x40;
+        prop_assert_eq!(
+            classify_slot(&bad, &commit),
+            SlotState::Torn,
+            "bit flip at byte {} survived classification",
+            at
+        );
+    }
+}
+
+/// Exhaustive tearing sweep on a small checkpoint: truncating the
+/// payload at *every* byte (commit intact) must classify `Torn`, and
+/// truncating the commit at every byte over an intact payload must
+/// never classify `Committed`. No panic at any cut.
+#[test]
+fn every_truncation_classifies_cleanly() {
+    let ckpt = build_checkpoint(
+        1,
+        4,
+        &[3, 1, 4],
+        &[(9, true, vec![(0, 0xdead_beef), (5, 42)])],
+        &[(9, 2, vec![(3, vec![1, 2, 3])])],
+        &[(0, vec![1, 2], vec![9])],
+        &[7],
+    );
+    let seg = ckpt.encode_segmented();
+    let commit = CommitRecord::for_payload(4, 1, &seg).encode();
+
+    for cut in 0..seg.len() {
+        assert_eq!(
+            classify_slot(&seg[..cut], &commit),
+            SlotState::Torn,
+            "payload cut at {cut}"
+        );
+    }
+    for cut in 0..commit.len() {
+        let state = classify_slot(&seg, &commit[..cut]);
+        assert!(
+            !matches!(state, SlotState::Committed { .. }),
+            "commit cut at {cut} classified Committed"
+        );
+    }
+    // The empty slot (nothing ever written) is Empty, not Torn.
+    assert_eq!(classify_slot(&[], &[]), SlotState::Empty);
 }

@@ -18,6 +18,9 @@
 //! - [`FaultPlan`]: deterministic, seed-driven fault injection —
 //!   drops, duplicates, reordering, jitter, degradation windows, and
 //!   node stalls layered onto the network model.
+//! - [`PersistDevice`]: modeled per-node persistent storage with
+//!   store-buffer, flush/fence, and crash-tearing semantics for
+//!   durable checkpoints.
 //! - [`DetRng`]: seedable generator so every run is reproducible.
 //!
 //! # Examples
@@ -49,6 +52,7 @@
 mod event;
 mod faults;
 mod network;
+mod persist;
 mod rng;
 mod time;
 
@@ -60,5 +64,6 @@ pub use faults::{
 pub use network::{
     KindStats, NetConfig, NetStats, Network, NodeId, NodeTraffic, Reliability, SendOutcome,
 };
+pub use persist::{PersistConfig, PersistDevice, PersistStats};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

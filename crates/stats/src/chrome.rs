@@ -121,7 +121,8 @@ fn args_of(event: &TraceEvent, out: &mut String) {
         TraceEvent::Suspect { peer } | TraceEvent::ConfirmDown { peer } => {
             let _ = write!(out, ",\"peer\":{peer}");
         }
-        TraceEvent::CheckpointTaken { epoch, bytes } => {
+        TraceEvent::CheckpointTaken { epoch, bytes }
+        | TraceEvent::PersistCommit { epoch, bytes } => {
             let _ = write!(out, ",\"epoch\":{epoch},\"bytes\":{bytes}");
         }
     }
