@@ -5,7 +5,7 @@
 //! prefetch mode, and the multithreading mode. The figure/table
 //! binaries construct one config per bar of each figure.
 
-use rsdsm_simnet::{FaultPlan, NetConfig, SimDuration};
+use rsdsm_simnet::{FaultPlan, NetConfig, NodeId, SimDuration, Topology};
 
 use crate::costs::CostModel;
 use crate::oracle::OracleConfig;
@@ -86,6 +86,99 @@ impl PrefetchConfig {
             automatic: true,
             ..PrefetchConfig::hand()
         }
+    }
+}
+
+/// How page homes are assigned when directory sharding is enabled.
+///
+/// With the directory off (the default), homes come from each
+/// application's [`HomePolicy`](crate::HomePolicy) allocation layout,
+/// exactly as the paper's runs; these policies override that layout
+/// cluster-wide so home placement can be studied independently of the
+/// applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryPolicy {
+    /// Home = FNV-1a hash of the page index, modulo the cluster size.
+    /// Spreads directory load uniformly and destroys locality.
+    Hash,
+    /// Contiguous equal blocks of the whole page space, one per node.
+    /// Preserves spatial locality at the cost of hot blocks.
+    Block,
+    /// Pages start hash-homed, then migrate to the first node that
+    /// touches them — before any other node has seen the page — so a
+    /// node that privately initializes a region ends up its home.
+    FirstTouch,
+}
+
+impl DirectoryPolicy {
+    /// The static (pre-migration) home this policy assigns `page` in
+    /// a heap of `total_pages` pages across `nodes` nodes: a pure,
+    /// total, deterministic function of its arguments, so home lookup
+    /// never needs coordination. First-touch starts from the hash
+    /// assignment and migrates at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or `page` is outside the heap.
+    pub fn static_home(self, page: usize, total_pages: usize, nodes: usize) -> NodeId {
+        assert!(nodes > 0, "cluster needs at least one node");
+        assert!(page < total_pages, "page outside the heap");
+        match self {
+            DirectoryPolicy::Hash | DirectoryPolicy::FirstTouch => {
+                // FNV-1a over the page index's little-endian bytes.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in (page as u64).to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (h % nodes as u64) as NodeId
+            }
+            DirectoryPolicy::Block => (page * nodes / total_pages).min(nodes - 1),
+        }
+    }
+}
+
+/// Directory-style metadata sharding (scale-out mode).
+///
+/// Off by default: every node tracks every write notice, exactly the
+/// paper's protocol, and runs are bit-identical to pre-directory
+/// builds. Enabled, each node records write notices only for pages it
+/// is *interested* in — pages it homes, caches, or is fetching — and
+/// page homes serve first-fetch requesters the pruned history along
+/// with the base copy, so a cold reader recovers exactly the notices
+/// it skipped. Lock management is already home-distributed (manager =
+/// lock id modulo cluster size) and unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryConfig {
+    /// Master switch for interest-based notice pruning and home-served
+    /// history healing.
+    pub enabled: bool,
+    /// How page homes are assigned across the cluster.
+    pub policy: DirectoryPolicy,
+}
+
+impl DirectoryConfig {
+    /// Directory sharding disabled: the paper's all-to-all metadata
+    /// protocol, bit-identical to pre-directory builds.
+    pub fn off() -> Self {
+        DirectoryConfig {
+            enabled: false,
+            policy: DirectoryPolicy::Hash,
+        }
+    }
+
+    /// Sharding enabled with the given home-assignment policy.
+    pub fn on(policy: DirectoryPolicy) -> Self {
+        DirectoryConfig {
+            enabled: true,
+            policy,
+        }
+    }
+}
+
+impl Default for DirectoryConfig {
+    fn default() -> Self {
+        DirectoryConfig::off()
     }
 }
 
@@ -175,6 +268,10 @@ pub struct DsmConfig {
     /// crash recovery. Off ([`RecoveryConfig::off`]) by default —
     /// retry exhaustion aborts the run as before.
     pub recovery: RecoveryConfig,
+    /// Directory-style metadata sharding by page home. Off
+    /// ([`DirectoryConfig::off`]) by default — every node tracks
+    /// every write notice, as in the paper.
+    pub directory: DirectoryConfig,
 }
 
 impl DsmConfig {
@@ -200,6 +297,7 @@ impl DsmConfig {
             max_sim_time: SimDuration::from_secs(36_000),
             oracle: OracleConfig::off(),
             recovery: RecoveryConfig::off(),
+            directory: DirectoryConfig::off(),
         }
     }
 
@@ -246,6 +344,20 @@ impl DsmConfig {
     /// (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Sets the interconnect topology (builder style). The default,
+    /// [`Topology::FlatBus`], reproduces the original single-switch
+    /// model bit for bit.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.net.topology = topology;
+        self
+    }
+
+    /// Sets the directory-sharding mode (builder style).
+    pub fn with_directory(mut self, directory: DirectoryConfig) -> Self {
+        self.directory = directory;
         self
     }
 

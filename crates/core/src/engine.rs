@@ -16,7 +16,7 @@ use std::thread;
 use rsdsm_protocol::{CachedDiff, Diff, Page, PageId, VectorClock, WriteNotice};
 use rsdsm_simnet::{
     EventQueue, HeapQueue, Network, NodeId, PersistDevice, QueueBackend, Reliability, SimDuration,
-    SimTime,
+    SimTime, Topology,
 };
 
 use crate::accounting::{Category, IdleReason};
@@ -26,7 +26,7 @@ use crate::checkpoint::{
     SlotState, SLOT_COUNT, SLOT_REGIONS,
 };
 use crate::conductor::{CallMsg, Charges, DsmCtx, Syscall};
-use crate::config::DsmConfig;
+use crate::config::{DirectoryPolicy, DsmConfig};
 use crate::heap::Heap;
 use crate::lock::{AcquireOutcome, ForwardOutcome, GrantOutcome, ReleaseOutcome, RemoteWaiter};
 use crate::msg::{BarrierId, BasePayload, DiffPayload, IntervalRecord, LockId, Msg, MsgBody};
@@ -323,6 +323,17 @@ impl Simulation {
         let cfg = &self.cfg;
         let mut heap = Heap::new(cfg.nodes);
         let handles = app.allocate(&mut heap);
+        if cfg.directory.enabled {
+            // Directory-sharded homes: override the application's
+            // layout with the configured static partition of the page
+            // space (first-touch starts from the hash partition and
+            // migrates at run time).
+            let total = heap.page_count();
+            for p in 0..total {
+                let page = PageId::new(p as u32);
+                heap.set_home(page, cfg.directory.policy.static_home(p, total, cfg.nodes));
+            }
+        }
         let total_pages = heap.page_count();
         let tpn = cfg.threads.threads_per_node;
         let total_threads = cfg.total_threads();
@@ -385,17 +396,19 @@ impl Simulation {
                     }
                 });
             }
-            let mut core = Core::new(cfg, &heap, Arc::clone(&mem), peers, traced, self.backend);
+            let mut core = Core::new(cfg, heap, Arc::clone(&mem), peers, traced, self.backend);
             match core.run_loop() {
                 Ok(finish) => {
                     core.finish_accounts(finish);
                     Ok((
                         finish,
+                        core.heap,
                         core.nodes,
                         core.net,
                         core.transport,
                         core.oracle,
                         core.recov.stats,
+                        core.events_processed,
                         core.tracer.finish(),
                     ))
                 }
@@ -409,8 +422,8 @@ impl Simulation {
             }
         });
 
-        let (finish, nodes, net, transport, oracle_state, recovery_stats, trace) = scope_result
-            .map_err(|e| {
+        let (finish, heap, nodes, net, transport, oracle_state, recovery_stats, events, trace) =
+            scope_result.map_err(|e| {
                 if let SimError::AppThread(_) = e {
                     let note = panic_note.lock().expect("panic note mutex").take();
                     SimError::AppThread(note.unwrap_or_else(|| "unknown panic".to_string()))
@@ -441,7 +454,7 @@ impl Simulation {
         for b in &node_breakdowns {
             breakdown.accumulate(b);
         }
-        let (misses, locks, barriers, prefetch, mt, gc_passes) = fold_counters(
+        let (misses, locks, barriers, prefetch, mt, gc_passes, directory) = fold_counters(
             nodes
                 .iter()
                 .zip(mem_guard.iter())
@@ -467,6 +480,8 @@ impl Simulation {
                 fault_injection: net.fault_stats(),
                 recovery: recovery_stats,
                 gc_passes,
+                directory,
+                events_processed: events,
                 oracle,
                 trace: trace.as_ref().map(Trace::metrics),
             },
@@ -523,7 +538,17 @@ impl Queue {
 /// The running engine.
 struct Core<'a> {
     cfg: &'a DsmConfig,
-    heap: &'a Heap,
+    /// Owned (not borrowed) so the directory layer can migrate page
+    /// homes at run time; returned to `run_inner` so materialization
+    /// reads the final home assignment.
+    heap: Heap,
+    /// Pages some node has touched (faulted on or been served); the
+    /// first-touch migration window for a page closes when its flag
+    /// sets. Unused (all false) when the directory layer is off.
+    claimed: Vec<bool>,
+    /// Events popped from the queue — the scaling suite's
+    /// events-per-second numerator.
+    events_processed: u64,
     mem: Arc<Mutex<Vec<NodeMem>>>,
     nodes: Vec<NodeState>,
     net: Network,
@@ -555,7 +580,7 @@ const MANAGER: NodeId = 0;
 impl<'a> Core<'a> {
     fn new(
         cfg: &'a DsmConfig,
-        heap: &'a Heap,
+        heap: Heap,
         mem: Arc<Mutex<Vec<NodeMem>>>,
         threads: Vec<ThreadPeer>,
         traced: bool,
@@ -664,7 +689,9 @@ impl<'a> Core<'a> {
         net.set_fault_plan(cfg.faults.clone());
         Core {
             cfg,
+            claimed: vec![false; heap.page_count()],
             heap,
+            events_processed: 0,
             mem,
             nodes: (0..cfg.nodes)
                 .map(|n| NodeState::new(n, cfg.nodes, tpn))
@@ -702,6 +729,7 @@ impl<'a> Core<'a> {
             let Some((now, event)) = self.queue.pop() else {
                 return Err(SimError::Deadlock(self.describe_blocked()));
             };
+            self.events_processed += 1;
             if now > limit {
                 return Err(SimError::TimeLimit);
             }
@@ -951,6 +979,9 @@ impl<'a> Core<'a> {
             if peer == n {
                 continue;
             }
+            if !self.monitors(n, peer) {
+                continue;
+            }
             if self.recov.detector.status(n, peer) != PeerStatus::Down
                 && self.recov.last_sent[n][peer] + every <= now
             {
@@ -1011,6 +1042,35 @@ impl<'a> Core<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Whether node `n` actively monitors `peer` (sends heartbeats
+    /// and checks the lease). The full mesh monitors everyone —
+    /// O(N²) frames per idle round. Hierarchical mode cuts that to
+    /// O(N): members monitor their rack leader (the rack's first
+    /// node), leaders monitor their members plus the manager, and the
+    /// manager monitors the leaders plus its own rack. On a flat bus
+    /// the manager doubles as the single leader. Safe because failure
+    /// confirmation still resolves against ground truth at the
+    /// manager; the hierarchy only changes who notices first.
+    fn monitors(&self, n: NodeId, peer: NodeId) -> bool {
+        if !self.cfg.recovery.hierarchical {
+            return true;
+        }
+        let topo = self.cfg.net.topology;
+        let leader_of = |node: NodeId| -> NodeId {
+            match topo {
+                Topology::FlatBus => MANAGER,
+                Topology::RackSpine { rack_size, .. } => (node / rack_size) * rack_size,
+            }
+        };
+        if n == MANAGER {
+            return leader_of(peer) == peer || topo.same_rack(n, peer);
+        }
+        if leader_of(n) == n {
+            return topo.same_rack(n, peer) || peer == MANAGER;
+        }
+        peer == leader_of(n)
     }
 
     /// Starts a suspicion episode: `observer` stopped hearing from
@@ -1748,6 +1808,10 @@ impl<'a> Core<'a> {
             return self.block(tid, n, BlockReason::Memory, end);
         }
 
+        if self.cfg.directory.enabled {
+            self.first_touch(n, page);
+        }
+
         let (missing, need_base) = self.missing_for(n, page);
         if self.trace {
             eprintln!("[{now}] fault n{n} {page}: missing {missing:?} base {need_base}");
@@ -1824,6 +1888,43 @@ impl<'a> Core<'a> {
             },
         );
         self.block(tid, n, BlockReason::Memory, end)
+    }
+
+    /// First-touch accounting: the first node to fault on (or be
+    /// served) a page claims it. Under the `FirstTouch` policy an
+    /// unclaimed page that is still pristine at its static home
+    /// migrates its home to the first toucher, turning the fault
+    /// into a local hit and homing the page where it is used.
+    fn first_touch(&mut self, n: NodeId, page: PageId) {
+        let p = page.index();
+        if self.claimed[p] {
+            return;
+        }
+        self.claimed[p] = true;
+        if self.cfg.directory.policy != DirectoryPolicy::FirstTouch {
+            return;
+        }
+        let home = self.heap.home(page);
+        if home == n {
+            return;
+        }
+        // Migrate only while the page is pristine at its static home:
+        // the home never wrote it (no open twin, no dirty mark, no
+        // closed diffs). Non-home writers claim pages via their own
+        // faults before writing, so an unclaimed page can only have
+        // been written by the home itself.
+        let home_wrote = self.nodes[home].own_diffs.keys().any(|&(dp, _)| dp == p);
+        let mut mem = self.mem.lock().expect("mem mutex");
+        if home_wrote || mem[home].pages[p].twin.is_some() || mem[home].dirty.contains(&page) {
+            return;
+        }
+        mem[home].pages[p].valid = false;
+        mem[home].pages[p].ever_valid = false;
+        mem[n].pages[p].valid = true;
+        mem[n].pages[p].ever_valid = true;
+        drop(mem);
+        self.heap.set_home(page, n);
+        self.nodes[n].counters.dir_migrations += 1;
     }
 
     /// The (origin → stamps) diffs node `n` still needs for `page`
@@ -2276,6 +2377,15 @@ impl<'a> Core<'a> {
             return;
         }
         for &page in &rec.pages {
+            // Directory sharding: interval *knowledge* (the vector
+            // clocks above) is always full, but per-page write
+            // notices are only tracked for pages this node has an
+            // interest in. A pruned page's first touch is a base
+            // fetch from its home, which re-serves the history.
+            if self.cfg.directory.enabled && !self.interested(n, page) {
+                self.nodes[n].counters.dir_pruned += 1;
+                continue;
+            }
             let is_new = self.nodes[n].board.record(WriteNotice {
                 page,
                 origin: rec.origin,
@@ -2319,6 +2429,26 @@ impl<'a> Core<'a> {
                 mem[n].pages[page.index()].valid = false;
             }
         }
+    }
+
+    /// Whether node `n` must track write notices for `page`: it
+    /// homes the page, has (ever) held a copy, holds prefetched
+    /// state for it, or has a fetch in flight. Anything else may
+    /// drop the notice.
+    fn interested(&self, n: NodeId, page: PageId) -> bool {
+        if self.heap.home(page) == n {
+            return true;
+        }
+        let node = &self.nodes[n];
+        if node.base_cache.contains_key(&page)
+            || node.cache.contains_page(page)
+            || node.pf_meta.contains_key(&page)
+            || node.fetches.contains_key(&page)
+        {
+            return true;
+        }
+        let mem = self.mem.lock().expect("mem mutex");
+        mem[n].pages[page.index()].ever_valid
     }
 
     // ------------------------------------------------------------------
@@ -3006,6 +3136,14 @@ impl<'a> Core<'a> {
         let mut end = at;
         let mut reply_diffs = Vec::new();
 
+        if self.cfg.directory.enabled {
+            // Any served copy closes the page's first-touch window.
+            self.claimed[page.index()] = true;
+            if self.heap.home(page) == m {
+                self.nodes[m].counters.dir_home_hits += 1;
+            }
+        }
+
         if prefetch {
             // §3.1: servicing a prefetch for a dirty page splits the
             // open interval so later writes are distinguishable, and
@@ -3123,7 +3261,28 @@ impl<'a> Core<'a> {
             None
         };
 
-        let intervals = self.nodes[m].intervals_unknown_to(requester_vc);
+        let mut intervals = self.nodes[m].intervals_unknown_to(requester_vc);
+        if want_base && self.cfg.directory.enabled {
+            // Heal a pruned requester: a first touch needs the page's
+            // full notice history, including intervals the
+            // requester's clock already covers (knowledge it learned
+            // but whose notices it pruned). Records are re-served
+            // whole — never synthesized per-page slices — so a
+            // requester that genuinely never saw one learns every
+            // page it names.
+            let healed: Vec<IntervalRecord> = self.nodes[m]
+                .known_intervals
+                .iter()
+                .filter(|rec| {
+                    rec.origin != requester
+                        && rec.pages.contains(&page)
+                        && requester_vc.dominates(&rec.stamp)
+                })
+                .cloned()
+                .collect();
+            self.nodes[m].counters.dir_forwards += healed.len() as u64;
+            intervals.extend(healed);
+        }
         end = self.charge(m, end, self.cfg.costs.msg_send, Category::DsmOverhead, None);
         let sent = self.post(
             end,

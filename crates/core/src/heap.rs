@@ -221,6 +221,19 @@ impl Heap {
         self.homes[page.index()]
     }
 
+    /// Reassigns the home of `page` — the directory layer's hook for
+    /// policy overrides at startup and first-touch migration at run
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never allocated or the node is outside
+    /// the cluster.
+    pub fn set_home(&mut self, page: PageId, home: NodeId) {
+        assert!(home < self.nodes, "home node out of range");
+        self.homes[page.index()] = home;
+    }
+
     /// Number of nodes in the cluster.
     pub fn nodes(&self) -> usize {
         self.nodes

@@ -62,7 +62,7 @@ pub use checkpoint::{
     CommitRecord, DiffRecord, PageImage, SlotState, COMMIT_LEN, SLOT_COUNT, SLOT_REGIONS,
 };
 pub use conductor::DsmCtx;
-pub use config::{DsmConfig, PrefetchConfig, ThreadConfig};
+pub use config::{DirectoryConfig, DirectoryPolicy, DsmConfig, PrefetchConfig, ThreadConfig};
 pub use costs::CostModel;
 pub use engine::Simulation;
 pub use golden::{golden_run, GoldenRun};
@@ -76,13 +76,13 @@ pub use oracle::{
 pub use program::{DsmProgram, VerifyCtx};
 pub use recovery::{FailureDetector, PeerStatus, RecoveryConfig, RecoveryStats};
 pub use report::{
-    MissSummary, MtSummary, NetSummary, PrefetchSummary, RunReport, SimError, SyncSummary,
-    TrafficRow,
+    DirectorySummary, MissSummary, MtSummary, NetSummary, PrefetchSummary, RunReport, SimError,
+    SyncSummary, TrafficRow,
 };
 pub use rsdsm_protocol::{Page, PAGE_SIZE};
 pub use rsdsm_simnet::{
     ClassProbs, DegradedWindow, FaultPlan, FaultStats, NodeCrash, NodeStall, Partition,
-    PersistConfig, PersistDevice, PersistStats, QueueBackend,
+    PersistConfig, PersistDevice, PersistStats, QueueBackend, Topology,
 };
 pub use thread::ThreadId;
 pub use trace::{

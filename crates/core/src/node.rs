@@ -218,6 +218,19 @@ pub struct NodeCounters {
     pub pf_reply_drops: u64,
     /// Garbage collection passes performed.
     pub gc_passes: u64,
+    /// Directory mode: fetch requests this node served for pages it
+    /// homes (directory hot-spotting shows up here).
+    pub dir_home_hits: u64,
+    /// Directory mode: full interval records the home re-served to
+    /// heal a requester whose pruned notice board lacked the page's
+    /// history.
+    pub dir_forwards: u64,
+    /// Directory mode: write notices not recorded locally because
+    /// this node holds no interest in the page (never touched it,
+    /// does not home it, has nothing cached or in flight).
+    pub dir_pruned: u64,
+    /// Directory mode: first-touch home migrations this node won.
+    pub dir_migrations: u64,
 }
 
 impl NodeCounters {

@@ -192,6 +192,22 @@ impl PrefetchSummary {
     }
 }
 
+/// Directory-layer measurements (the scale-out suite's hot-spot
+/// analysis). All zero when [`DirectoryConfig`](crate::DirectoryConfig)
+/// is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectorySummary {
+    /// Fetch requests served by the page's home node.
+    pub home_hits: u64,
+    /// Full interval records re-served by homes to heal requesters
+    /// whose pruned notice boards lacked a page's history.
+    pub forwards: u64,
+    /// Write notices dropped at nodes with no interest in the page.
+    pub pruned: u64,
+    /// First-touch home migrations performed.
+    pub migrations: u64,
+}
+
 /// Multithreading measurements (Table 2 left columns).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MtSummary {
@@ -263,6 +279,13 @@ pub struct RunReport {
     pub recovery: RecoveryStats,
     /// Garbage-collection passes across all nodes.
     pub gc_passes: u64,
+    /// Directory-layer tallies (home hits, heal forwards, pruned
+    /// notices, first-touch migrations); all zero unless the run's
+    /// [`DirectoryConfig`](crate::DirectoryConfig) is enabled.
+    pub directory: DirectorySummary,
+    /// Simulation events the engine loop processed — the scaling
+    /// suite's events-per-second numerator.
+    pub events_processed: u64,
     /// Consistency-oracle observations (invariant violations, lock
     /// trace, final image); `None` unless the run's
     /// [`OracleConfig`](crate::OracleConfig) enabled something.
@@ -310,6 +333,9 @@ impl RunReport {
         let f = &self.fault_injection;
         let t = &self.transport;
         let r = &self.recovery;
+        let d = &self.directory;
+        let dir_active =
+            self.config.directory.enabled && d.home_hits + d.forwards + d.pruned + d.migrations > 0;
         let quiet = f.injected_drops == 0
             && f.duplicates == 0
             && f.reordered == 0
@@ -318,7 +344,8 @@ impl RunReport {
             && self.net.drops == 0
             && r.crashes == 0
             && r.suspicions == 0
-            && r.partitions == 0;
+            && r.partitions == 0
+            && !dir_active;
         if quiet {
             return None;
         }
@@ -369,6 +396,17 @@ impl RunReport {
             .expect("write to String");
         }
         // Gated on the config switch, not the counters: a run without
+        // the directory layer must emit the exact pre-directory line.
+        if self.config.directory.enabled {
+            write!(
+                line,
+                "; directory: {} home hits, {} heal forwards, \
+                 {} notices pruned, {} migrations",
+                d.home_hits, d.forwards, d.pruned, d.migrations,
+            )
+            .expect("write to String");
+        }
+        // Gated on the config switch, not the counters: a run without
         // persistence must emit the exact pre-persistence line.
         if self.config.recovery.persist.enabled {
             write!(
@@ -392,6 +430,7 @@ pub(crate) fn fold_counters(
     PrefetchSummary,
     MtSummary,
     u64,
+    DirectorySummary,
 ) {
     let mut miss = MissSummary::default();
     let mut locks = SyncSummary::default();
@@ -399,6 +438,7 @@ pub(crate) fn fold_counters(
     let mut pf = PrefetchSummary::default();
     let mut mt = MtSummary::default();
     let mut gc = 0;
+    let mut dir = DirectorySummary::default();
     for (c, a) in counters {
         miss.faults += c.faults;
         miss.misses += c.misses;
@@ -429,8 +469,12 @@ pub(crate) fn fold_counters(
         mt.stall_sum += c.miss_stall + c.lock_stall + c.barrier_stall;
         mt.stall_count += c.misses + c.lock_waits + c.barrier_waits;
         gc += c.gc_passes;
+        dir.home_hits += c.dir_home_hits;
+        dir.forwards += c.dir_forwards;
+        dir.pruned += c.dir_pruned;
+        dir.migrations += c.dir_migrations;
     }
-    (miss, locks, barriers, pf, mt, gc)
+    (miss, locks, barriers, pf, mt, gc, dir)
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ mod network;
 mod persist;
 mod rng;
 mod time;
+mod topology;
 
 pub use event::{EventQueue, HeapQueue, QueueBackend, WHEEL_HORIZON_NS, WHEEL_TIER_BOUNDARIES_NS};
 pub use faults::{
@@ -62,8 +63,9 @@ pub use faults::{
     Partition,
 };
 pub use network::{
-    KindStats, NetConfig, NetStats, Network, NodeId, NodeTraffic, Reliability, SendOutcome,
+    Hop, KindStats, NetConfig, NetStats, Network, NodeId, NodeTraffic, Reliability, SendOutcome,
 };
 pub use persist::{PersistConfig, PersistDevice, PersistStats};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use topology::Topology;

@@ -46,6 +46,7 @@ use std::collections::BTreeMap;
 use crate::faults::{Delivery, FaultClass, FaultInjector, FaultPlan, FaultStats};
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
 
 /// Identifies a node (workstation) in the cluster. Nodes are numbered
 /// `0..n`.
@@ -122,6 +123,11 @@ pub struct NetConfig {
     pub drop_probability: f64,
     /// Seed for the deterministic drop lottery.
     pub seed: u64,
+    /// Interconnect shape. [`Topology::FlatBus`] (the default)
+    /// reproduces the original single-switch model bit for bit;
+    /// [`Topology::RackSpine`] adds ToR/spine hops and trunk
+    /// contention for cross-rack frames.
+    pub topology: Topology,
 }
 
 impl NetConfig {
@@ -136,6 +142,7 @@ impl NetConfig {
             congestion_threshold: SimDuration::from_millis(6),
             drop_probability: 0.5,
             seed,
+            topology: Topology::FlatBus,
         }
     }
 
@@ -150,6 +157,7 @@ impl NetConfig {
             congestion_threshold: SimDuration::from_secs(3600),
             drop_probability: 0.0,
             seed,
+            topology: Topology::FlatBus,
         }
     }
 
@@ -261,10 +269,41 @@ pub struct Network {
     cfg: NetConfig,
     egress_free: Vec<SimTime>,
     ingress_free: Vec<SimTime>,
+    // Rack-spine trunk link state, indexed [rack * spines + spine].
+    // Empty under the flat bus.
+    up_free: Vec<SimTime>,
+    down_free: Vec<SimTime>,
+    spine_down: Vec<bool>,
     down: Vec<bool>,
     rng: DetRng,
     stats: NetStats,
     faults: FaultInjector,
+    last_route: Vec<Hop>,
+}
+
+/// One charged hop of the most recent delivered frame: the queueing
+/// delay on the hop's link, the serialization time onto it, and the
+/// fixed propagation/forwarding latency that follows it. The hop
+/// totals of a delivered frame sum exactly to its end-to-end latency
+/// (send time to arrival) — the conservation law the topology
+/// property tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Which link this hop crossed.
+    pub link: &'static str,
+    /// Time spent queued behind earlier traffic on the link.
+    pub queue: SimDuration,
+    /// Serialization time onto the link.
+    pub tx: SimDuration,
+    /// Propagation plus switch-forwarding latency after the link.
+    pub fixed: SimDuration,
+}
+
+impl Hop {
+    /// Everything this hop charged the frame.
+    pub fn total(&self) -> SimDuration {
+        self.queue + self.tx + self.fixed
+    }
 }
 
 impl Network {
@@ -275,15 +314,40 @@ impl Network {
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize, cfg: NetConfig) -> Self {
         assert!(nodes > 0, "network needs at least one node");
+        let racks = cfg.topology.racks(nodes);
+        let spines = cfg.topology.spines();
         Network {
             rng: DetRng::new(cfg.seed),
             egress_free: vec![SimTime::ZERO; nodes],
             ingress_free: vec![SimTime::ZERO; nodes],
+            up_free: vec![SimTime::ZERO; racks * spines],
+            down_free: vec![SimTime::ZERO; racks * spines],
+            spine_down: vec![false; spines],
             down: vec![false; nodes],
             stats: NetStats::new(nodes),
             faults: FaultInjector::new(FaultPlan::none()),
+            last_route: Vec::new(),
             cfg,
         }
+    }
+
+    /// Marks a spine switch dead or alive. Cross-rack frames route
+    /// around dead spines; with every spine dead they are dropped
+    /// (intra-rack traffic is unaffected). No-op on the flat bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spine` is out of range for the topology.
+    pub fn set_spine_down(&mut self, spine: usize, down: bool) {
+        assert!(spine < self.spine_down.len(), "spine id out of range");
+        self.spine_down[spine] = down;
+    }
+
+    /// The hop-by-hop charges of the most recent delivered frame
+    /// (empty if the last send was dropped or none was made). Hop
+    /// totals sum exactly to that frame's end-to-end latency.
+    pub fn last_route(&self) -> &[Hop] {
+        &self.last_route
     }
 
     /// Installs a fault plan, resetting the injector's random stream
@@ -400,31 +464,17 @@ impl Network {
             return self.record_drop(kind);
         }
 
-        // Egress: queue behind whatever src is already transmitting.
-        let egress_start = now.max(self.egress_free[src]);
-        let egress_delay = egress_start.saturating_since(now);
-        if self.should_drop(reliability, egress_delay) {
+        // Route per topology: one switch inside a rack (or on the flat
+        // bus), ToR -> spine -> ToR across racks.
+        self.last_route.clear();
+        let routed = if self.cfg.topology.same_rack(src, dst) {
+            self.route_single_switch(now, src, dst, tx, reliability)
+        } else {
+            self.route_fabric(now, src, dst, tx, wire_bytes, reliability)
+        };
+        let Some((arrival, queue_delay)) = routed else {
             return self.record_drop(kind);
-        }
-        let egress_done = egress_start + tx;
-
-        // Through the switch.
-        let at_switch = egress_done + self.cfg.wire_latency + self.cfg.switch_latency;
-
-        // Ingress: queue behind traffic already heading into dst
-        // (hot-spotting shows up here).
-        let ingress_start = at_switch.max(self.ingress_free[dst]);
-        let ingress_delay = ingress_start.saturating_since(at_switch);
-        if self.should_drop(reliability, ingress_delay) {
-            // The message did consume src's egress link before being
-            // discarded at the congested switch output port.
-            self.egress_free[src] = egress_done;
-            return self.record_drop(kind);
-        }
-        let arrival = ingress_start + tx + self.cfg.wire_latency;
-
-        self.egress_free[src] = egress_done;
-        self.ingress_free[dst] = arrival;
+        };
 
         // The base model would deliver at `arrival`; the fault plan
         // gets the final say (and may add a duplicate copy), then any
@@ -433,7 +483,6 @@ impl Network {
         let delivery = self.faults.apply(class, src, dst, now, arrival);
         let Delivery { primary, duplicate } = self.faults.partition_filter(src, dst, now, delivery);
 
-        let queue_delay = egress_delay + ingress_delay;
         for _copy in [primary, duplicate].into_iter().flatten() {
             self.stats.delivered += 1;
             self.stats.total_queue_delay += queue_delay;
@@ -455,6 +504,169 @@ impl Network {
             (None, Some(arrival)) => SendOutcome::Delivered { arrival },
             (None, None) => self.record_drop(kind),
         }
+    }
+
+    /// The original single-switch path: host egress, one switch, host
+    /// ingress. Used for every flat-bus frame and for intra-rack
+    /// frames under [`Topology::RackSpine`] (the ToR plays the
+    /// switch). Arithmetic and randomness are exactly the
+    /// pre-topology model's, so flat-bus runs are bit-identical.
+    fn route_single_switch(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        tx: SimDuration,
+        reliability: Reliability,
+    ) -> Option<(SimTime, SimDuration)> {
+        // Egress: queue behind whatever src is already transmitting.
+        let egress_start = now.max(self.egress_free[src]);
+        let egress_delay = egress_start.saturating_since(now);
+        if self.should_drop(reliability, egress_delay) {
+            return None;
+        }
+        let egress_done = egress_start + tx;
+
+        // Through the switch.
+        let at_switch = egress_done + self.cfg.wire_latency + self.cfg.switch_latency;
+
+        // Ingress: queue behind traffic already heading into dst
+        // (hot-spotting shows up here).
+        let ingress_start = at_switch.max(self.ingress_free[dst]);
+        let ingress_delay = ingress_start.saturating_since(at_switch);
+        if self.should_drop(reliability, ingress_delay) {
+            // The message did consume src's egress link before being
+            // discarded at the congested switch output port.
+            self.egress_free[src] = egress_done;
+            return None;
+        }
+        let arrival = ingress_start + tx + self.cfg.wire_latency;
+
+        self.egress_free[src] = egress_done;
+        self.ingress_free[dst] = arrival;
+        self.last_route.push(Hop {
+            link: "egress",
+            queue: egress_delay,
+            tx,
+            fixed: self.cfg.wire_latency + self.cfg.switch_latency,
+        });
+        self.last_route.push(Hop {
+            link: "ingress",
+            queue: ingress_delay,
+            tx,
+            fixed: self.cfg.wire_latency,
+        });
+        Some((arrival, egress_delay + ingress_delay))
+    }
+
+    /// The cross-rack path: host egress, source ToR, a spine trunk up,
+    /// the spine switch, a trunk down, the destination ToR, host
+    /// ingress. Trunks are shared per-rack-per-spine FIFO resources
+    /// sized by the oversubscription ratio, so rack-level incast and
+    /// oversubscribed uplinks show up as queueing exactly like host
+    /// links do. Each queue applies the same congestion-drop rule as
+    /// the base model.
+    fn route_fabric(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        tx: SimDuration,
+        wire_bytes: u64,
+        reliability: Reliability,
+    ) -> Option<(SimTime, SimDuration)> {
+        let topo = self.cfg.topology;
+        let spines = topo.spines();
+        let (rs, rd) = (topo.rack_of(src), topo.rack_of(dst));
+
+        // Host egress onto the source ToR.
+        let egress_start = now.max(self.egress_free[src]);
+        let egress_delay = egress_start.saturating_since(now);
+        if self.should_drop(reliability, egress_delay) {
+            return None;
+        }
+        let egress_done = egress_start + tx;
+        let at_tor = egress_done + self.cfg.wire_latency + self.cfg.switch_latency;
+
+        // Deterministic, symmetric spine choice; dead spines are
+        // routed around in preference order. With every spine dead the
+        // frame leaves the host and dies at the ToR, which has nowhere
+        // to forward it.
+        let preferred = topo.spine_for(rs, rd).expect("fabric routes cross a spine");
+        let Some(spine) = (0..spines)
+            .map(|i| (preferred + i) % spines)
+            .find(|&s| !self.spine_down[s])
+        else {
+            self.egress_free[src] = egress_done;
+            return None;
+        };
+
+        let trunk_tx = topo.trunk_tx_time(self.cfg.bandwidth_bps, wire_bytes * 8);
+        let up = rs * spines + spine;
+        let up_start = at_tor.max(self.up_free[up]);
+        let up_delay = up_start.saturating_since(at_tor);
+        if self.should_drop(reliability, up_delay) {
+            self.egress_free[src] = egress_done;
+            return None;
+        }
+        let up_done = up_start + trunk_tx;
+        let at_spine = up_done + self.cfg.wire_latency + self.cfg.switch_latency;
+
+        let dn = rd * spines + spine;
+        let down_start = at_spine.max(self.down_free[dn]);
+        let down_delay = down_start.saturating_since(at_spine);
+        if self.should_drop(reliability, down_delay) {
+            self.egress_free[src] = egress_done;
+            self.up_free[up] = up_done;
+            return None;
+        }
+        let down_done = down_start + trunk_tx;
+        let at_dst_tor = down_done + self.cfg.wire_latency + self.cfg.switch_latency;
+
+        // Host ingress off the destination ToR.
+        let ingress_start = at_dst_tor.max(self.ingress_free[dst]);
+        let ingress_delay = ingress_start.saturating_since(at_dst_tor);
+        if self.should_drop(reliability, ingress_delay) {
+            self.egress_free[src] = egress_done;
+            self.up_free[up] = up_done;
+            self.down_free[dn] = down_done;
+            return None;
+        }
+        let arrival = ingress_start + tx + self.cfg.wire_latency;
+
+        self.egress_free[src] = egress_done;
+        self.up_free[up] = up_done;
+        self.down_free[dn] = down_done;
+        self.ingress_free[dst] = arrival;
+        let hop_fixed = self.cfg.wire_latency + self.cfg.switch_latency;
+        self.last_route.push(Hop {
+            link: "egress",
+            queue: egress_delay,
+            tx,
+            fixed: hop_fixed,
+        });
+        self.last_route.push(Hop {
+            link: "uplink",
+            queue: up_delay,
+            tx: trunk_tx,
+            fixed: hop_fixed,
+        });
+        self.last_route.push(Hop {
+            link: "downlink",
+            queue: down_delay,
+            tx: trunk_tx,
+            fixed: hop_fixed,
+        });
+        self.last_route.push(Hop {
+            link: "ingress",
+            queue: ingress_delay,
+            tx,
+            fixed: self.cfg.wire_latency,
+        });
+        Some((
+            arrival,
+            egress_delay + up_delay + down_delay + ingress_delay,
+        ))
     }
 
     fn should_drop(&mut self, reliability: Reliability, queue_delay: SimDuration) -> bool {
