@@ -167,6 +167,55 @@ fn bench_event_queue(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_prefetch_detect(c: &mut Criterion) {
+    use rsdsm_core::{AdaptiveConfig, MissClass, StrideDetector, ThrottleController};
+
+    let mut group = c.benchmark_group("prefetch_detect");
+    // The detector's per-fault hot path — one observe on a steady
+    // strided stream (the amortized O(1) claim: ring-buffer slide
+    // plus two count updates, no rescan).
+    group.bench_function("observe_steady_stride", |b| {
+        let mut d = StrideDetector::new(8);
+        let mut page = 0u64;
+        for _ in 0..16 {
+            page += 2;
+            d.observe(page);
+        }
+        b.iter(|| {
+            page += 2;
+            black_box(d.observe(black_box(page)))
+        })
+    });
+    // Worst case for the majority count: every delta different, so
+    // the window's counts churn on each slide.
+    group.bench_function("observe_trendless", |b| {
+        let mut d = StrideDetector::new(8);
+        let mut page = 0u64;
+        let mut step = 1u64;
+        b.iter(|| {
+            step = step % 97 + 1;
+            page += step;
+            black_box(d.observe(black_box(page)))
+        })
+    });
+    // The throttle's per-fault feedback fold: a counter bump on most
+    // faults, a windowed evaluation every eval_period-th.
+    group.bench_function("throttle_observe", |b| {
+        let mut t = ThrottleController::new(&AdaptiveConfig::on());
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let class = if k.is_multiple_of(3) {
+                MissClass::Hit
+            } else {
+                MissClass::NoPf
+            };
+            black_box(t.observe(black_box(class)))
+        })
+    });
+    group.finish();
+}
+
 fn bench_network(c: &mut Criterion) {
     c.bench_function("network/send_page", |b| {
         let mut net = Network::new(8, NetConfig::atm_155(1));
@@ -205,6 +254,7 @@ criterion_group!(
     bench_trace_and_report,
     bench_vector_clocks,
     bench_event_queue,
+    bench_prefetch_detect,
     bench_network,
     bench_notice_board
 );

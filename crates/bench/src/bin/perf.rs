@@ -25,7 +25,9 @@ use std::time::Instant;
 
 use rsdsm_apps::{Benchmark, Scale};
 use rsdsm_bench::{pool, queue_replay, ExpOpts, Variant};
-use rsdsm_core::{DsmConfig, FaultPlan};
+use rsdsm_core::{
+    AdaptiveConfig, DsmConfig, FaultPlan, MissClass, StrideDetector, ThrottleController,
+};
 use rsdsm_oracle::{check_technique, Technique};
 use rsdsm_protocol::{Diff, Page, PAGE_SIZE};
 use rsdsm_simnet::{EventQueue, HeapQueue};
@@ -129,6 +131,50 @@ fn main() {
     samples.push(Sample {
         name: "fault_summary_line_ns",
         nanos: time(iters, || lossy.fault_summary_line()),
+        iters,
+    });
+
+    // --- Adaptive-prefetch per-fault hot path ---
+    // The detector's amortized-O(1) claim, measured: one observe on a
+    // steady strided stream (ring slide + two count updates) and on a
+    // trendless stream (maximal count churn), plus the throttle's
+    // feedback fold. These run on every remote fault of an adaptive
+    // run, so they must stay in the tens of nanoseconds.
+    let iters = 1_000_000;
+    let mut detector = StrideDetector::new(8);
+    let mut page = 0u64;
+    samples.push(Sample {
+        name: "prefetch_detect_steady_ns",
+        nanos: time(iters, || {
+            page += 2;
+            detector.observe(page)
+        }),
+        iters,
+    });
+    let mut detector = StrideDetector::new(8);
+    let mut page = 0u64;
+    let mut step = 1u64;
+    samples.push(Sample {
+        name: "prefetch_detect_trendless_ns",
+        nanos: time(iters, || {
+            step = step % 97 + 1;
+            page += step;
+            detector.observe(page)
+        }),
+        iters,
+    });
+    let mut throttle = ThrottleController::new(&AdaptiveConfig::on());
+    let mut k = 0u64;
+    samples.push(Sample {
+        name: "prefetch_throttle_observe_ns",
+        nanos: time(iters, || {
+            k += 1;
+            throttle.observe(if k.is_multiple_of(3) {
+                MissClass::Hit
+            } else {
+                MissClass::NoPf
+            })
+        }),
         iters,
     });
 

@@ -373,6 +373,12 @@ pub enum Variant {
     Original,
     /// With prefetching ("P"), compiler-style for FFT and LU-NCONT.
     Prefetch,
+    /// History-based automatic prefetching ("H", Bianchini-style).
+    History,
+    /// Online adaptive stride prefetching ("A"), annotations ignored.
+    Adaptive,
+    /// Adaptive detection plus the static annotations ("A+P").
+    AdaptiveStatic,
     /// Multithreading with n threads/processor ("nT").
     Threads(usize),
     /// Combined: n threads for sync latency + prefetching ("nTP").
@@ -385,6 +391,9 @@ impl Variant {
         match self {
             Variant::Original => "O".into(),
             Variant::Prefetch => "P".into(),
+            Variant::History => "H".into(),
+            Variant::Adaptive => "A".into(),
+            Variant::AdaptiveStatic => "A+P".into(),
             Variant::Threads(n) => format!("{n}T"),
             Variant::Combined(n) => format!("{n}TP"),
         }
@@ -392,10 +401,23 @@ impl Variant {
 
     /// Builds the configuration for `bench` under these options.
     pub fn config(self, bench: Benchmark, opts: &ExpOpts) -> DsmConfig {
-        let base = opts.base_config();
+        self.config_on(bench, opts.base_config())
+    }
+
+    /// Layers this variant's technique onto an arbitrary base config
+    /// (a faulted, fabric, or otherwise specialized baseline).
+    pub fn config_on(self, bench: Benchmark, base: DsmConfig) -> DsmConfig {
         match self {
             Variant::Original => base,
             Variant::Prefetch => base.with_prefetch(bench.paper_prefetch()),
+            Variant::History => base.with_prefetch(PrefetchConfig::automatic()),
+            Variant::Adaptive => base.with_prefetch(PrefetchConfig::adaptive()),
+            Variant::AdaptiveStatic => base.with_prefetch(PrefetchConfig {
+                // The static half keeps the paper's per-app insertion
+                // style (compiler-inserted for FFT and LU-NCONT).
+                compiler_style: bench.uses_compiler_prefetch(),
+                ..PrefetchConfig::adaptive_static()
+            }),
             Variant::Threads(n) => base.with_threads(ThreadConfig::multithreaded(n)),
             Variant::Combined(n) => {
                 // §5.1: suppress redundant sibling prefetches; RADIX
@@ -669,8 +691,33 @@ mod tests {
     fn variant_labels() {
         assert_eq!(Variant::Original.label(), "O");
         assert_eq!(Variant::Prefetch.label(), "P");
+        assert_eq!(Variant::History.label(), "H");
+        assert_eq!(Variant::Adaptive.label(), "A");
+        assert_eq!(Variant::AdaptiveStatic.label(), "A+P");
         assert_eq!(Variant::Threads(4).label(), "4T");
         assert_eq!(Variant::Combined(8).label(), "8TP");
+    }
+
+    #[test]
+    fn adaptive_variants_configure_their_modes() {
+        use rsdsm_core::PrefetchMode;
+        let opts = ExpOpts::default();
+        let h = Variant::History.config(Benchmark::Radix, &opts);
+        assert_eq!(h.prefetch.mode(), PrefetchMode::History);
+        let a = Variant::Adaptive.config(Benchmark::Fft, &opts);
+        assert_eq!(a.prefetch.mode(), PrefetchMode::Adaptive);
+        assert!(!a.prefetch.compiler_style, "adaptive ignores annotations");
+        let ap = Variant::AdaptiveStatic.config(Benchmark::Fft, &opts);
+        assert_eq!(ap.prefetch.mode(), PrefetchMode::AdaptiveStatic);
+        assert!(
+            ap.prefetch.compiler_style,
+            "FFT's static half is compiler-inserted"
+        );
+        let ap_sor = Variant::AdaptiveStatic.config(Benchmark::Sor, &opts);
+        assert!(
+            !ap_sor.prefetch.compiler_style,
+            "SOR's static half is hand-inserted"
+        );
     }
 
     #[test]

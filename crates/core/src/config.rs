@@ -5,15 +5,18 @@
 //! prefetch mode, and the multithreading mode. The figure/table
 //! binaries construct one config per bar of each figure.
 
+use std::fmt;
+
 use rsdsm_simnet::{FaultPlan, NetConfig, NodeId, SimDuration, Topology};
 
 use crate::costs::CostModel;
 use crate::oracle::OracleConfig;
+use crate::prefetch::AdaptiveConfig;
 use crate::recovery::RecoveryConfig;
 use crate::transport::TransportConfig;
 
 /// How prefetching is enabled for a run (§3, §5.1).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct PrefetchConfig {
     /// Whether `DsmCtx::prefetch` calls issue messages at all.
     /// When false, prefetch calls are free no-ops, giving the
@@ -44,6 +47,62 @@ pub struct PrefetchConfig {
     /// cannot classify (inflates unnecessary-prefetch counts the way
     /// Table 1 shows for FFT and LU-NCONT).
     pub compiler_style: bool,
+    /// The online majority-trend stride engine (`core::prefetch`):
+    /// detector window, degree/lead controller, and feedback
+    /// thresholds. Off ([`AdaptiveConfig::off`]) by default.
+    pub adaptive: AdaptiveConfig,
+}
+
+/// Replicates the pre-adaptive derived output exactly while the
+/// adaptive engine is off, so every pinned report digest (the config
+/// is embedded in [`RunReport`](crate::RunReport)'s debug form) stays
+/// byte-identical; the `adaptive` field only appears once the mode is
+/// actually on.
+impl fmt::Debug for PrefetchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("PrefetchConfig");
+        s.field("enabled", &self.enabled)
+            .field("throttle", &self.throttle)
+            .field("suppress_redundant", &self.suppress_redundant)
+            .field("automatic", &self.automatic)
+            .field("reliable", &self.reliable)
+            .field("compiler_style", &self.compiler_style);
+        if self.adaptive.enabled {
+            s.field("adaptive", &self.adaptive);
+        }
+        s.finish()
+    }
+}
+
+/// The prefetch technique a [`PrefetchConfig`] describes, for labels
+/// and dispatch: the paper's static modes, the Bianchini-style
+/// history replay, and the adaptive engine (alone or combined with
+/// static annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchMode {
+    /// No prefetching (the "O" bars).
+    Off,
+    /// Hand- or compiler-inserted annotations (the "P" bars).
+    Static,
+    /// History replay at sync points ([`PrefetchConfig::automatic`]).
+    History,
+    /// Online stride detection, annotations ignored.
+    Adaptive,
+    /// Online stride detection plus static annotations.
+    AdaptiveStatic,
+}
+
+impl PrefetchMode {
+    /// Short label for tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchMode::Off => "O",
+            PrefetchMode::Static => "P",
+            PrefetchMode::History => "H",
+            PrefetchMode::Adaptive => "A",
+            PrefetchMode::AdaptiveStatic => "A+P",
+        }
+    }
 }
 
 impl PrefetchConfig {
@@ -56,6 +115,7 @@ impl PrefetchConfig {
             automatic: false,
             reliable: false,
             compiler_style: false,
+            adaptive: AdaptiveConfig::off(),
         }
     }
 
@@ -63,11 +123,7 @@ impl PrefetchConfig {
     pub fn hand() -> Self {
         PrefetchConfig {
             enabled: true,
-            throttle: 1,
-            suppress_redundant: false,
-            automatic: false,
-            reliable: false,
-            compiler_style: false,
+            ..PrefetchConfig::off()
         }
     }
 
@@ -86,6 +142,51 @@ impl PrefetchConfig {
             automatic: true,
             ..PrefetchConfig::hand()
         }
+    }
+
+    /// Online adaptive prefetching ([`PrefetchMode::Adaptive`]):
+    /// majority-trend stride detection with feedback throttling,
+    /// application annotations ignored.
+    pub fn adaptive() -> Self {
+        PrefetchConfig {
+            adaptive: AdaptiveConfig::on(),
+            ..PrefetchConfig::hand()
+        }
+    }
+
+    /// Adaptive detection *plus* the application's static annotations
+    /// ([`PrefetchMode::AdaptiveStatic`]); combine with
+    /// `compiler_style` for the apps the paper compiles prefetches
+    /// into.
+    pub fn adaptive_static() -> Self {
+        PrefetchConfig {
+            adaptive: AdaptiveConfig::combined(),
+            ..PrefetchConfig::hand()
+        }
+    }
+
+    /// The technique this configuration describes.
+    pub fn mode(&self) -> PrefetchMode {
+        if !self.enabled {
+            PrefetchMode::Off
+        } else if self.adaptive.enabled {
+            if self.adaptive.combine_static {
+                PrefetchMode::AdaptiveStatic
+            } else {
+                PrefetchMode::Adaptive
+            }
+        } else if self.automatic {
+            PrefetchMode::History
+        } else {
+            PrefetchMode::Static
+        }
+    }
+
+    /// Whether application/compiler-inserted prefetch annotations are
+    /// honored: static modes always, adaptive only in the combined
+    /// mode, history never (it replaces them entirely).
+    pub fn honors_annotations(&self) -> bool {
+        self.enabled && !self.automatic && (!self.adaptive.enabled || self.adaptive.combine_static)
     }
 }
 
@@ -420,5 +521,55 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         DsmConfig::paper_cluster(0);
+    }
+
+    #[test]
+    fn prefetch_modes_classify_their_constructors() {
+        assert_eq!(PrefetchConfig::off().mode(), PrefetchMode::Off);
+        assert_eq!(PrefetchConfig::hand().mode(), PrefetchMode::Static);
+        assert_eq!(PrefetchConfig::compiler().mode(), PrefetchMode::Static);
+        assert_eq!(PrefetchConfig::automatic().mode(), PrefetchMode::History);
+        assert_eq!(PrefetchConfig::adaptive().mode(), PrefetchMode::Adaptive);
+        assert_eq!(
+            PrefetchConfig::adaptive_static().mode(),
+            PrefetchMode::AdaptiveStatic
+        );
+        let labels: Vec<_> = [
+            PrefetchMode::Off,
+            PrefetchMode::Static,
+            PrefetchMode::History,
+            PrefetchMode::Adaptive,
+            PrefetchMode::AdaptiveStatic,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels, vec!["O", "P", "H", "A", "A+P"]);
+    }
+
+    #[test]
+    fn annotation_honoring_per_mode() {
+        assert!(!PrefetchConfig::off().honors_annotations());
+        assert!(PrefetchConfig::hand().honors_annotations());
+        assert!(PrefetchConfig::compiler().honors_annotations());
+        assert!(!PrefetchConfig::automatic().honors_annotations());
+        assert!(!PrefetchConfig::adaptive().honors_annotations());
+        assert!(PrefetchConfig::adaptive_static().honors_annotations());
+    }
+
+    /// The custom `Debug` must be byte-identical to the pre-adaptive
+    /// derived output while the engine is off — pinned report digests
+    /// format the config — and only grow the `adaptive` field when on.
+    #[test]
+    fn prefetch_debug_hides_disabled_adaptive() {
+        let off = format!("{:?}", PrefetchConfig::hand());
+        assert_eq!(
+            off,
+            "PrefetchConfig { enabled: true, throttle: 1, \
+             suppress_redundant: false, automatic: false, \
+             reliable: false, compiler_style: false }"
+        );
+        let on = format!("{:?}", PrefetchConfig::adaptive());
+        assert!(on.contains("adaptive: AdaptiveConfig"));
     }
 }

@@ -125,6 +125,34 @@ impl CostModel {
     pub fn diff_apply(&self, payload: usize) -> SimDuration {
         self.diff_apply_base + scale_per_kb(self.diff_apply_per_kb, payload)
     }
+
+    /// CPU cost of one adaptive-detector observation in the fault
+    /// handler: a window bump plus the majority check — the same
+    /// table-lookup scale as a prefetch validity check. Derived from
+    /// existing constants (no new fields: the model is embedded in
+    /// every pinned report digest), and charged by the engine at
+    /// execution, never pre-queried.
+    pub fn adaptive_observe(&self) -> SimDuration {
+        self.prefetch_check
+    }
+
+    /// CPU cost of planning `candidates` adaptive prefetch targets
+    /// (bounds/validity filtering before any message is generated;
+    /// issued messages are then charged [`CostModel::adaptive_issue`]
+    /// each by the send path, at execution).
+    pub fn adaptive_plan(&self, candidates: usize) -> SimDuration {
+        SimDuration::from_nanos(self.prefetch_check.as_nanos() * candidates as u64)
+    }
+
+    /// CPU cost of sending one adaptive prefetch request. The
+    /// `prefetch_issue` constant models the paper's *user-level*
+    /// prefetch call (trap into the library, argument checks, then
+    /// the send); the adaptive engine already runs inside the fault
+    /// handler at protocol level, so its issues pay only the plain
+    /// message-send cost.
+    pub fn adaptive_issue(&self) -> SimDuration {
+        self.msg_send
+    }
 }
 
 impl Default for CostModel {

@@ -30,8 +30,9 @@ use crate::config::{DirectoryPolicy, DsmConfig};
 use crate::heap::Heap;
 use crate::lock::{AcquireOutcome, ForwardOutcome, GrantOutcome, ReleaseOutcome, RemoteWaiter};
 use crate::msg::{BarrierId, BasePayload, DiffPayload, IntervalRecord, LockId, Msg, MsgBody};
-use crate::node::{Fetch, MissClass, NodeMem, NodeState, SyncKey};
+use crate::node::{AdaptiveNode, Fetch, MissClass, NodeMem, NodeState, SyncKey};
 use crate::oracle::{digest_pages, OracleOutcome, OracleState};
+use crate::prefetch::{AdaptiveStats, TrendChange};
 use crate::program::{DsmProgram, VerifyCtx};
 use crate::recovery::{FailureDetector, PeerStatus, RecoveryStats};
 use crate::report::{fold_counters, NetSummary, RunReport, SimError};
@@ -237,6 +238,8 @@ fn kind_code(body: &MsgBody) -> u8 {
         "diff_reply" => kind::DIFF_REPLY,
         "prefetch_request" => kind::PREFETCH_REQUEST,
         "prefetch_reply" => kind::PREFETCH_REPLY,
+        "adaptive_request" => kind::ADAPTIVE_REQUEST,
+        "adaptive_reply" => kind::ADAPTIVE_REPLY,
         "lock_request" => kind::LOCK_REQUEST,
         "lock_forward" => kind::LOCK_FORWARD,
         "lock_grant" => kind::LOCK_GRANT,
@@ -460,6 +463,15 @@ impl Simulation {
                 .zip(mem_guard.iter())
                 .map(|(n, m)| (n.counters, m.counters)),
         );
+        let adaptive = cfg.prefetch.adaptive.enabled.then(|| {
+            let mut total = AdaptiveStats::default();
+            for node in &nodes {
+                if let Some(ad) = &node.adaptive {
+                    total.absorb(&ad.stats);
+                }
+            }
+            total
+        });
 
         let trace = traced.then_some(trace);
         Ok((
@@ -484,6 +496,7 @@ impl Simulation {
                 events_processed: events,
                 oracle,
                 trace: trace.as_ref().map(Trace::metrics),
+                adaptive,
             },
             trace,
         ))
@@ -694,7 +707,13 @@ impl<'a> Core<'a> {
             events_processed: 0,
             mem,
             nodes: (0..cfg.nodes)
-                .map(|n| NodeState::new(n, cfg.nodes, tpn))
+                .map(|n| {
+                    let mut ns = NodeState::new(n, cfg.nodes, tpn);
+                    if cfg.prefetch.adaptive.enabled {
+                        ns.adaptive = Some(AdaptiveNode::new(&cfg.prefetch.adaptive, tpn));
+                    }
+                    ns
+                })
                 .collect(),
             net,
             transport: Transport::new(cfg.transport.clone()),
@@ -1765,7 +1784,7 @@ impl<'a> Core<'a> {
             Syscall::Release(lock) => self.handle_release(tid, n, lock, now),
             Syscall::Barrier(id) => self.handle_barrier_arrive(tid, n, id, now),
             Syscall::Prefetch(pages) => {
-                let end = self.handle_prefetch(n, &pages, now);
+                let end = self.handle_prefetch(n, &pages, now, NO_CAUSE, false);
                 self.run_thread(tid, end, None)
             }
         }
@@ -1821,11 +1840,12 @@ impl<'a> Core<'a> {
             let had_pf = self.nodes[n].pf_meta.contains_key(&page);
             let apply_end = self.apply_local(n, page, end);
             self.validate_page(n, page);
-            self.nodes[n].counters.classify(if had_pf {
+            let cls = if had_pf {
                 MissClass::Hit
             } else {
                 MissClass::NoPf
-            });
+            };
+            self.nodes[n].counters.classify(cls);
             self.tracer.emit(
                 apply_end,
                 n as u32,
@@ -1836,6 +1856,7 @@ impl<'a> Core<'a> {
                     class: if had_pf { class::HIT } else { class::NO_PF },
                 },
             );
+            let apply_end = self.adaptive_fault(tid, n, page, cls, begin_id, apply_end);
             return self.run_thread(tid, apply_end, None);
         }
 
@@ -1872,9 +1893,48 @@ impl<'a> Core<'a> {
             },
         );
 
+        // Too-late join: when every missing piece was already
+        // requested by an adaptive prefetch (reliable traffic — it
+        // retransmits through loss and parks across a crash like any
+        // demand message), re-requesting it would push a duplicate
+        // round through the very server whose queue made the
+        // prefetch late. Wait for the in-flight replies instead.
+        if class == MissClass::TooLate
+            && self.nodes[n]
+                .pf_meta
+                .get(&page)
+                .is_some_and(|m| m.all_adaptive)
+        {
+            let inflight = {
+                let mem = self.mem.lock().expect("mem mutex");
+                mem[n].prefetch_inflight.get(&page).copied().unwrap_or(0)
+            };
+            if inflight > 0 {
+                let end = self.adaptive_fault(tid, n, page, class, begin_id, end);
+                self.nodes[n].fetches.insert(
+                    page,
+                    Fetch {
+                        outstanding: inflight as usize,
+                        waiters: vec![tid],
+                        collected: Vec::new(),
+                        base: None,
+                        base_pending: false,
+                        started: now,
+                        joined: true,
+                    },
+                );
+                return self.block(tid, n, BlockReason::Memory, end);
+            }
+        }
+
+        // Demand requests launch first; the adaptive engine then
+        // observes the fault and issues lookahead requests while the
+        // thread is already blocked on the reply, so issue overhead
+        // overlaps the memory stall instead of extending it.
         let end = self
-            .send_fetch_requests(n, page, &missing, need_base, end, false)
+            .send_fetch_requests(n, page, &missing, need_base, end, false, false)
             .0;
+        let end = self.adaptive_fault(tid, n, page, class, begin_id, end);
         let outstanding = self.count_requests(&missing, need_base, page);
         self.nodes[n].fetches.insert(
             page,
@@ -1885,6 +1945,7 @@ impl<'a> Core<'a> {
                 base: None,
                 base_pending: need_base,
                 started: now,
+                joined: false,
             },
         );
         self.block(tid, n, BlockReason::Memory, end)
@@ -1968,6 +2029,7 @@ impl<'a> Core<'a> {
     /// Sends diff/base requests; returns the CPU end time and the
     /// number of messages actually delivered (prefetch requests may
     /// drop).
+    #[allow(clippy::too_many_arguments)]
     fn send_fetch_requests(
         &mut self,
         n: NodeId,
@@ -1976,10 +2038,13 @@ impl<'a> Core<'a> {
         need_base: bool,
         mut end: SimTime,
         prefetch: bool,
+        adaptive: bool,
     ) -> (SimTime, usize) {
         let home = self.heap.home(page);
         let mut delivered = 0;
-        let send_cost = if prefetch {
+        let send_cost = if adaptive {
+            self.cfg.costs.adaptive_issue()
+        } else if prefetch {
             self.cfg.costs.prefetch_issue
         } else {
             self.cfg.costs.msg_send
@@ -1996,7 +2061,8 @@ impl<'a> Core<'a> {
                 stamps: stamps.clone(),
                 want_base: need_base && *origin == home,
                 prefetch,
-                droppable: prefetch && !self.cfg.prefetch.reliable,
+                adaptive,
+                droppable: prefetch && !adaptive && !self.cfg.prefetch.reliable,
                 vc: self.nodes[n].vc.clone(),
             };
             if self.post(end, n, *origin, body) {
@@ -2026,7 +2092,8 @@ impl<'a> Core<'a> {
                 stamps: Vec::new(),
                 want_base: true,
                 prefetch,
-                droppable: prefetch && !self.cfg.prefetch.reliable,
+                adaptive,
+                droppable: prefetch && !adaptive && !self.cfg.prefetch.reliable,
                 vc: self.nodes[n].vc.clone(),
             };
             if self.post(end, n, home, body) {
@@ -2206,16 +2273,32 @@ impl<'a> Core<'a> {
     // Prefetching (§3)
     // ------------------------------------------------------------------
 
-    fn handle_prefetch(&mut self, n: NodeId, pages: &[PageId], now: SimTime) -> SimTime {
+    /// Issues prefetch requests for `pages`, skipping anything valid,
+    /// in flight, or already locally available. `cause` is the trace
+    /// record the issues link to ([`NO_CAUSE`] inherits the ambient
+    /// cause, as before); `adaptive` marks stride-engine issues, which
+    /// are counted in [`AdaptiveStats`] and travel as
+    /// `adaptive_request` traffic.
+    fn handle_prefetch(
+        &mut self,
+        n: NodeId,
+        pages: &[PageId],
+        now: SimTime,
+        cause: u64,
+        adaptive: bool,
+    ) -> SimTime {
         let mut end = now;
         for &page in pages {
-            {
+            let valid = {
                 let mem = self.mem.lock().expect("mem mutex");
-                if mem[n].pages[page.index()].valid {
-                    continue;
-                }
+                mem[n].pages[page.index()].valid
+            };
+            if valid {
+                self.adaptive_cancel(n, adaptive);
+                continue;
             }
             if self.nodes[n].fetches.contains_key(&page) {
+                self.adaptive_cancel(n, adaptive);
                 continue;
             }
             let (missing, need_base) = self.missing_for(n, page);
@@ -2223,11 +2306,19 @@ impl<'a> Core<'a> {
                 // Diffs already cached: the data is locally available.
                 let mut mem = self.mem.lock().expect("mem mutex");
                 mem[n].counters.pf_unnecessary += 1;
+                drop(mem);
+                self.adaptive_cancel(n, adaptive);
                 continue;
             }
             {
                 let node = &mut self.nodes[n];
                 let meta = node.pf_meta.entry(page).or_default();
+                let fresh = meta.requested.is_empty() && !meta.wanted_base;
+                meta.all_adaptive = if fresh {
+                    adaptive
+                } else {
+                    meta.all_adaptive && adaptive
+                };
                 for (origin, stamps) in &missing {
                     for s in stamps {
                         meta.requested.insert((*origin, s.get(*origin)));
@@ -2241,18 +2332,224 @@ impl<'a> Core<'a> {
                 end,
                 n as u32,
                 NO_THREAD,
-                NO_CAUSE,
+                cause,
                 TraceEvent::PrefetchIssue {
                     page: page.index() as u32,
                 },
             );
             let (new_end, _delivered) =
-                self.send_fetch_requests(n, page, &missing, need_base, end, true);
+                self.send_fetch_requests(n, page, &missing, need_base, end, true, adaptive);
             end = new_end;
+            if adaptive {
+                if let Some(ad) = self.nodes[n].adaptive.as_mut() {
+                    ad.stats.issued += 1;
+                }
+            }
             let requests = self.count_requests(&missing, need_base, page);
             let mut mem = self.mem.lock().expect("mem mutex");
             *mem[n].prefetch_inflight.entry(page).or_insert(0) += requests as u32;
         }
+        end
+    }
+
+    /// Counts one adaptive candidate cancelled before issue. No-op
+    /// for non-adaptive prefetches.
+    fn adaptive_cancel(&mut self, n: NodeId, adaptive: bool) {
+        if adaptive {
+            if let Some(ad) = self.nodes[n].adaptive.as_mut() {
+                ad.stats.cancelled += 1;
+            }
+        }
+    }
+
+    /// Adaptive engine hook, run on every classified fault when the
+    /// mode is on: feeds the faulting thread's stride detector and the
+    /// node's throttle controller, emits detect/throttle trace events
+    /// linked to the fault's begin record, and issues prefetches ahead
+    /// of the current trend at the controller's (degree, lead)
+    /// operating point. All CPU time is charged here, at execution,
+    /// on the fault path.
+    fn adaptive_fault(
+        &mut self,
+        tid: ThreadId,
+        n: NodeId,
+        page: PageId,
+        class: MissClass,
+        begin_id: u64,
+        at: SimTime,
+    ) -> SimTime {
+        if !self.cfg.prefetch.adaptive.enabled {
+            return at;
+        }
+        let end = self.charge(
+            n,
+            at,
+            self.cfg.costs.adaptive_observe(),
+            Category::PrefetchOverhead,
+            None,
+        );
+        let local = tid.local_index(self.tpn());
+        let total_pages = self.heap.page_count() as i64;
+        let ad = self.nodes[n].adaptive.as_mut().expect("adaptive state");
+        let change = ad.detectors[local].observe(page.index() as u64);
+        let trend = ad.detectors[local].trend();
+        let transition = ad.throttle.observe(class);
+        match change {
+            TrendChange::Detected(_) => ad.stats.detected_strides += 1,
+            TrendChange::Flipped(_) => ad.stats.window_flips += 1,
+            _ => {}
+        }
+        if change != TrendChange::None {
+            // Any trend movement restarts the planned-range tracking.
+            ad.planned[local] = None;
+        }
+        match change {
+            // A fresh majority gets one confirming fault before
+            // anything is issued on it.
+            TrendChange::Detected(_) => ad.probation[local] = 1,
+            // A flip means the last confirmed majority was wrong:
+            // double the stream's probation each time. Irregular
+            // patterns (2D neighborhoods, hash orders) flip
+            // endlessly and quickly stop issuing at all.
+            TrendChange::Flipped(_) => {
+                ad.flips[local] += 1;
+                ad.probation[local] = 1u32 << ad.flips[local].min(5);
+            }
+            _ => {}
+        }
+        if let Some(ch) = transition {
+            ad.stats.record(ch);
+        }
+        let degree = ad.throttle.degree();
+        let lead = ad.throttle.lead();
+        let may_issue = ad.throttle.may_issue();
+        if let TrendChange::Detected(s) | TrendChange::Flipped(s) = change {
+            self.tracer.emit(
+                end,
+                n as u32,
+                tid.0 as u32,
+                begin_id,
+                TraceEvent::AdaptiveDetect {
+                    page: page.index() as u32,
+                    stride: s as i32,
+                },
+            );
+        }
+        if let Some(ch) = transition {
+            self.tracer.emit(
+                end,
+                n as u32,
+                tid.0 as u32,
+                begin_id,
+                TraceEvent::AdaptiveThrottle {
+                    change: ch.code(),
+                    degree,
+                    lead,
+                },
+            );
+        }
+        let Some(stride) = trend else {
+            return end;
+        };
+        {
+            let ad = self.nodes[n].adaptive.as_mut().expect("adaptive state");
+            if ad.probation[local] > 0 {
+                // The stream's trend is still on probation (fresh, or
+                // recently proven wrong by a flip): hold issue until
+                // enough consecutive faults confirm it.
+                ad.probation[local] -= 1;
+                return end;
+            }
+        }
+        if !may_issue {
+            // The trend holds but the controller is cooling down:
+            // every candidate this fault would have planned is
+            // cancelled unissued.
+            if let Some(ad) = self.nodes[n].adaptive.as_mut() {
+                ad.stats.cancelled += u64::from(degree);
+            }
+            return end;
+        }
+        // The lookahead window this fault wants covered, clipped to
+        // the extent beyond the thread's previous high-water mark:
+        // successive faults on a stride stream extend the planned
+        // range by ~one page each instead of re-issuing the whole
+        // overlapping window (the burst would swamp the protocol
+        // processors and the fabric for no added coverage).
+        let planned = self.nodes[n]
+            .adaptive
+            .as_ref()
+            .expect("adaptive state")
+            .planned[local];
+        let fresh: Vec<i64> = (0..degree)
+            .map(|k| page.index() as i64 + stride * i64::from(lead + k))
+            .filter(|&p| match planned {
+                Some((ps, fur)) if ps == stride => {
+                    if stride > 0 {
+                        p > fur
+                    } else {
+                        p < fur
+                    }
+                }
+                _ => true,
+            })
+            .collect();
+        // In-flight budget: page-sized prefetch replies serialize on
+        // the same links as demand replies, so an unpaced stream of
+        // issues queues demand traffic behind megabytes of lookahead
+        // and *adds* memory stall. New issues are admitted only while
+        // fewer than `degree` replies are outstanding — the
+        // controller's ramp/backoff therefore directly sizes the
+        // pipeline the fabric carries.
+        let outstanding: u32 = {
+            let mem = self.mem.lock().expect("mem mutex");
+            mem[n].prefetch_inflight.values().sum()
+        };
+        let allowed = u64::from(degree.saturating_sub(outstanding)) as usize;
+        let mut candidates: Vec<PageId> = fresh
+            .iter()
+            .filter(|&&p| p >= 0 && p < total_pages)
+            .map(|&p| PageId::new(p as u32))
+            .collect();
+        candidates.truncate(allowed);
+        {
+            let ad = self.nodes[n].adaptive.as_mut().expect("adaptive state");
+            // Fresh candidates past the heap ends or over budget are
+            // cancelled; already-planned pages are simply not fresh.
+            ad.stats.cancelled += (fresh.len() - candidates.len()) as u64;
+            // The mark advances only over what actually issues, so
+            // budget-suppressed pages stay eligible for later faults.
+            if let Some(last) = candidates.last() {
+                let far = last.index() as i64;
+                let mark = match planned {
+                    Some((ps, fur)) if ps == stride => {
+                        if stride > 0 {
+                            far.max(fur)
+                        } else {
+                            far.min(fur)
+                        }
+                    }
+                    _ => far,
+                };
+                ad.planned[local] = Some((stride, mark));
+            }
+        }
+        if candidates.is_empty() {
+            return end;
+        }
+        // Plan and issue run on the node's protocol processor, off
+        // the faulting thread's critical path: the CPU busy time is
+        // charged (it delays later protocol work on this node) but
+        // the fault completes independently — for a remote miss the
+        // issues overlap the memory stall already in progress.
+        let issue_at = self.charge(
+            n,
+            end,
+            self.cfg.costs.adaptive_plan(candidates.len()),
+            Category::PrefetchOverhead,
+            None,
+        );
+        self.handle_prefetch(n, &candidates, issue_at, begin_id, true);
         end
     }
 
@@ -2289,7 +2586,7 @@ impl<'a> Core<'a> {
             Category::PrefetchOverhead,
             None,
         );
-        self.handle_prefetch(n, &history, end)
+        self.handle_prefetch(n, &history, end, NO_CAUSE, false)
     }
 
     // ------------------------------------------------------------------
@@ -2778,6 +3075,19 @@ impl<'a> Core<'a> {
             let mut mem = self.mem.lock().expect("mem mutex");
             mem[n].epoch_prefetched.clear();
         }
+        // A barrier release bounds the access phase on every local
+        // thread: the adaptive detectors' delta chains break so the
+        // jump across the barrier is never scored as a stride, but
+        // the accumulated windows survive — iterative apps repeat the
+        // same short stride pattern each epoch and the majority forms
+        // across epochs, not within one.
+        if let Some(ad) = self.nodes[n].adaptive.as_mut() {
+            for d in &mut ad.detectors {
+                d.break_chain();
+            }
+            // Pages the next interval invalidates must be re-planned.
+            ad.planned.fill(None);
+        }
         // Barrier-aligned checkpoint: every local interval is closed
         // here (no twins), making this the natural recovery line.
         self.recov.epochs_done[n] += 1;
@@ -2939,11 +3249,12 @@ impl<'a> Core<'a> {
                 stamps,
                 want_base,
                 prefetch,
+                adaptive,
                 droppable,
                 vc,
             } => {
                 self.serve_diff_request(
-                    n, msg.src, page, &stamps, want_base, prefetch, droppable, &vc, end,
+                    n, msg.src, page, &stamps, want_base, prefetch, adaptive, droppable, &vc, end,
                 );
                 Ok(())
             }
@@ -3028,6 +3339,15 @@ impl<'a> Core<'a> {
                 match self.nodes[n].locks.handle_grant(lock) {
                     GrantOutcome::WakeLocal(tid) => {
                         self.oracle.record_grant(lock, tid);
+                        // A remote grant opens a new lock epoch for
+                        // the acquirer: its delta chain breaks so the
+                        // jump to the critical section's pages is
+                        // not scored, but the window survives.
+                        let local = tid.local_index(self.tpn());
+                        if let Some(ad) = self.nodes[n].adaptive.as_mut() {
+                            ad.detectors[local].break_chain();
+                            ad.planned[local] = None;
+                        }
                         let end = self.auto_prefetch_at_sync(n, SyncKey::Lock(lock), end);
                         self.wake(tid, end)
                     }
@@ -3121,6 +3441,7 @@ impl<'a> Core<'a> {
 
     /// Services a diff (or prefetch) request at node `m`.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn serve_diff_request(
         &mut self,
         m: NodeId,
@@ -3129,6 +3450,7 @@ impl<'a> Core<'a> {
         stamps: &[VectorClock],
         want_base: bool,
         prefetch: bool,
+        adaptive: bool,
         droppable: bool,
         requester_vc: &VectorClock,
         at: SimTime,
@@ -3293,6 +3615,7 @@ impl<'a> Core<'a> {
                 diffs: reply_diffs,
                 base,
                 prefetch,
+                adaptive,
                 droppable,
                 intervals,
             },
@@ -3352,6 +3675,19 @@ impl<'a> Core<'a> {
                     mem[n].prefetch_inflight.remove(&page);
                 }
             }
+            drop(mem);
+            // A too-late join rides on this reply stream: the
+            // faulting thread is blocked waiting for exactly these
+            // frames (the data itself sits in the caches above).
+            if self.nodes[n].fetches.get(&page).is_some_and(|f| f.joined) {
+                let fetch = self.nodes[n].fetches.get_mut(&page).expect("joined fetch");
+                fetch.outstanding -= 1;
+                if fetch.outstanding == 0 {
+                    let fetch = self.nodes[n].fetches.remove(&page).expect("fetch exists");
+                    let end = self.apply_with(n, page, fetch.collected, fetch.base, end);
+                    return self.finish_fetch(n, page, fetch.waiters, fetch.started, end);
+                }
+            }
             return Ok(());
         }
 
@@ -3384,21 +3720,36 @@ impl<'a> Core<'a> {
         }
         let fetch = self.nodes[n].fetches.remove(&page).expect("fetch exists");
         let end = self.apply_with(n, page, fetch.collected, fetch.base, end);
+        self.finish_fetch(n, page, fetch.waiters, fetch.started, end)
+    }
 
+    /// Final leg of a completed fetch (demand or too-late join):
+    /// re-drives anything that went missing while the replies were in
+    /// flight, then validates the page and wakes the waiters.
+    fn finish_fetch(
+        &mut self,
+        n: NodeId,
+        page: PageId,
+        waiters: Vec<ThreadId>,
+        started: SimTime,
+        end: SimTime,
+    ) -> Result<(), SimError> {
         // New notices may have arrived while fetching; keep going.
         let (missing, need_base) = self.missing_for(n, page);
         if !missing.is_empty() || need_base {
-            let (end2, _) = self.send_fetch_requests(n, page, &missing, need_base, end, false);
+            let (end2, _) =
+                self.send_fetch_requests(n, page, &missing, need_base, end, false, false);
             let outstanding = self.count_requests(&missing, need_base, page);
             self.nodes[n].fetches.insert(
                 page,
                 Fetch {
                     outstanding,
-                    waiters: fetch.waiters,
+                    waiters,
                     collected: Vec::new(),
                     base: None,
                     base_pending: need_base,
-                    started: fetch.started,
+                    started,
+                    joined: false,
                 },
             );
             let _ = end2;
@@ -3406,9 +3757,9 @@ impl<'a> Core<'a> {
         }
 
         self.validate_page(n, page);
-        self.nodes[n].counters.miss_latency_sum += end.saturating_since(fetch.started);
+        self.nodes[n].counters.miss_latency_sum += end.saturating_since(started);
         if let Some((begin, cls)) = self.tracer.take_fault(n as u32, page.index() as u32) {
-            let thread = fetch.waiters.first().map_or(NO_THREAD, |t| t.0 as u32);
+            let thread = waiters.first().map_or(NO_THREAD, |t| t.0 as u32);
             self.tracer.emit(
                 end,
                 n as u32,
@@ -3420,7 +3771,7 @@ impl<'a> Core<'a> {
                 },
             );
         }
-        for tid in fetch.waiters {
+        for tid in waiters {
             self.wake(tid, end)?;
         }
         Ok(())

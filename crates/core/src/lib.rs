@@ -49,6 +49,7 @@ mod lock;
 mod msg;
 mod node;
 mod oracle;
+mod prefetch;
 mod program;
 mod recovery;
 mod report;
@@ -62,7 +63,9 @@ pub use checkpoint::{
     CommitRecord, DiffRecord, PageImage, SlotState, COMMIT_LEN, SLOT_COUNT, SLOT_REGIONS,
 };
 pub use conductor::DsmCtx;
-pub use config::{DirectoryConfig, DirectoryPolicy, DsmConfig, PrefetchConfig, ThreadConfig};
+pub use config::{
+    DirectoryConfig, DirectoryPolicy, DsmConfig, PrefetchConfig, PrefetchMode, ThreadConfig,
+};
 pub use costs::CostModel;
 pub use engine::Simulation;
 pub use golden::{golden_run, GoldenRun};
@@ -72,6 +75,9 @@ pub use node::{AccessCounters, MissClass, NodeCounters};
 pub use oracle::{
     digest_pages, fnv1a, fnv1a_extend, GrantRecord, InvariantKind, OracleConfig, OracleOutcome,
     Violation,
+};
+pub use prefetch::{
+    AdaptiveConfig, AdaptiveStats, StrideDetector, ThrottleChange, ThrottleController, TrendChange,
 };
 pub use program::{DsmProgram, VerifyCtx};
 pub use recovery::{FailureDetector, PeerStatus, RecoveryConfig, RecoveryStats};

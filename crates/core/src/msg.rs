@@ -93,6 +93,9 @@ pub enum MsgBody {
         /// This is a prefetch request (servicing may split an open
         /// interval).
         prefetch: bool,
+        /// The prefetch was issued by the adaptive stride engine
+        /// (distinguished in traffic statistics; implies `prefetch`).
+        adaptive: bool,
         /// Whether the network may drop this message (prefetch
         /// traffic is droppable unless configured reliable).
         droppable: bool,
@@ -110,6 +113,8 @@ pub enum MsgBody {
         base: Option<BasePayload>,
         /// Mirrors the request's prefetch flag.
         prefetch: bool,
+        /// Mirrors the request's adaptive flag.
+        adaptive: bool,
         /// Mirrors the request's droppable flag.
         droppable: bool,
         /// Write notices the requester did not have. Piggybacking
@@ -249,14 +254,12 @@ impl MsgBody {
     /// Statistics label for the network layer.
     pub fn kind(&self) -> &'static str {
         match self {
+            MsgBody::DiffRequest { adaptive: true, .. } => "adaptive_request",
             MsgBody::DiffRequest { prefetch: true, .. } => "prefetch_request",
-            MsgBody::DiffRequest {
-                prefetch: false, ..
-            } => "diff_request",
+            MsgBody::DiffRequest { .. } => "diff_request",
+            MsgBody::DiffReply { adaptive: true, .. } => "adaptive_reply",
             MsgBody::DiffReply { prefetch: true, .. } => "prefetch_reply",
-            MsgBody::DiffReply {
-                prefetch: false, ..
-            } => "diff_reply",
+            MsgBody::DiffReply { .. } => "diff_reply",
             MsgBody::LockRequest { .. } => "lock_request",
             MsgBody::LockForward { .. } => "lock_forward",
             MsgBody::LockGrant { .. } => "lock_grant",
@@ -298,6 +301,7 @@ mod tests {
             stamps: vec![vc()],
             want_base: false,
             prefetch: false,
+            adaptive: false,
             droppable: false,
             vc: vc(),
         };
@@ -306,6 +310,7 @@ mod tests {
             stamps: vec![vc(); 4],
             want_base: false,
             prefetch: false,
+            adaptive: false,
             droppable: false,
             vc: vc(),
         };
@@ -322,6 +327,7 @@ mod tests {
                 incorporated: vec![],
             }),
             prefetch: false,
+            adaptive: false,
             droppable: false,
             intervals: vec![],
         };
@@ -335,6 +341,7 @@ mod tests {
             stamps: vec![],
             want_base: false,
             prefetch: true,
+            adaptive: false,
             droppable: true,
             vc: vc(),
         };

@@ -19,6 +19,7 @@ use crate::accounting::NodeAccount;
 use crate::barrier::NodeBarrier;
 use crate::lock::LockTable;
 use crate::msg::{BasePayload, DiffPayload, IntervalRecord};
+use crate::prefetch::{AdaptiveConfig, AdaptiveStats, StrideDetector, ThrottleController};
 use crate::thread::{Scheduler, ThreadId};
 
 /// One page slot in a node's memory.
@@ -146,6 +147,59 @@ pub enum MissClass {
     Invalidated,
 }
 
+/// Per-node state of the adaptive prefetch engine (see
+/// [`crate::prefetch`]). Constructed only when
+/// [`AdaptiveConfig::enabled`] is set — `None` otherwise, so disabled
+/// runs carry no adaptive state at all.
+#[derive(Debug)]
+pub(crate) struct AdaptiveNode {
+    /// One stride detector per local application thread; each is
+    /// reset at the thread's lock/barrier acquisitions so every
+    /// (thread, lock-epoch) stream is scored independently.
+    pub detectors: Vec<StrideDetector>,
+    /// Per-thread streaming high-water mark: `(stride, furthest)` of
+    /// the pages already planned under the current trend. Successive
+    /// faults on a stride stream only extend the planned range past
+    /// `furthest` (steady state: one new issue per fault) instead of
+    /// re-issuing the whole overlapping lookahead window every fault.
+    /// Cleared whenever the trend changes and at epoch boundaries
+    /// (pages invalidated by the next interval must be re-planned).
+    pub planned: Vec<Option<(i64, i64)>>,
+    /// Per-thread count of trend flips: each one means a previously
+    /// confirmed majority turned out wrong. Scales the probation
+    /// below exponentially — a stream that keeps flipping (an access
+    /// pattern no stride model fits) is trusted less and less.
+    pub flips: Vec<u32>,
+    /// Per-thread faults remaining before the stream's current trend
+    /// is trusted enough to issue on: 1 after a fresh detection,
+    /// `2^flips` after a flip. Wrong-way windows fetched on a
+    /// short-lived majority are load the §3.3 feedback can never
+    /// attribute (pages nobody faults on are neither hits nor
+    /// misses), so they must be prevented, not corrected.
+    pub probation: Vec<u32>,
+    /// The node-wide feedback throttle over (degree, lead).
+    pub throttle: ThrottleController,
+    /// This node's share of the run-level adaptive counters.
+    pub stats: AdaptiveStats,
+}
+
+impl AdaptiveNode {
+    /// Fresh adaptive state for a node with `threads_on_node` local
+    /// threads.
+    pub fn new(cfg: &AdaptiveConfig, threads_on_node: usize) -> Self {
+        AdaptiveNode {
+            detectors: (0..threads_on_node)
+                .map(|_| StrideDetector::new(cfg.window))
+                .collect(),
+            planned: vec![None; threads_on_node],
+            flips: vec![0; threads_on_node],
+            probation: vec![0; threads_on_node],
+            throttle: ThrottleController::new(cfg),
+            stats: AdaptiveStats::default(),
+        }
+    }
+}
+
 /// An in-progress remote page fetch (fault-driven).
 #[derive(Debug)]
 pub(crate) struct Fetch {
@@ -161,6 +215,12 @@ pub(crate) struct Fetch {
     pub base_pending: bool,
     /// When the fault occurred (for miss latency accounting).
     pub started: SimTime,
+    /// True for a too-late join: every missing piece is already on
+    /// the wire as a *reliable* adaptive prefetch, so this fetch
+    /// consumes those replies instead of duplicating the requests
+    /// through an already-loaded server. `outstanding` then counts
+    /// in-flight prefetch replies, not demand replies.
+    pub joined: bool,
 }
 
 /// Prefetch bookkeeping for one page (engine side).
@@ -170,6 +230,11 @@ pub(crate) struct PfMeta {
     pub requested: std::collections::HashSet<(NodeId, u32)>,
     /// Whether a base copy was requested.
     pub wanted_base: bool,
+    /// True while *every* request for this page was adaptive (and
+    /// therefore reliable). Only then may a too-late fault join the
+    /// in-flight replies instead of re-requesting: joining a
+    /// droppable static prefetch could wait forever.
+    pub all_adaptive: bool,
 }
 
 /// Engine-side statistics counters for one node.
@@ -284,6 +349,9 @@ pub(crate) struct NodeState {
     pub current_sync: Option<SyncKey>,
     /// Automatic-prefetch mode: pages faulted in the current epoch.
     pub current_faults: Vec<PageId>,
+    /// Adaptive prefetch engine state; `None` unless the run enables
+    /// `PrefetchConfig::adaptive`.
+    pub adaptive: Option<AdaptiveNode>,
     /// Lock state.
     pub locks: LockTable,
     /// Barrier local-combining state.
@@ -333,6 +401,7 @@ impl NodeState {
             sync_history: HashMap::new(),
             current_sync: None,
             current_faults: Vec::new(),
+            adaptive: None,
             locks: LockTable::new(id, nodes),
             barrier: NodeBarrier::new(threads_on_node),
             sched: Scheduler::new(),

@@ -8,6 +8,7 @@ use crate::accounting::Breakdown;
 use crate::config::DsmConfig;
 use crate::node::{AccessCounters, NodeCounters};
 use crate::oracle::{fnv1a, OracleOutcome};
+use crate::prefetch::AdaptiveStats;
 use crate::recovery::RecoveryStats;
 use crate::trace::TraceMetrics;
 use crate::transport::TransportSummary;
@@ -244,7 +245,7 @@ impl MtSummary {
 }
 
 /// Everything measured in one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunReport {
     /// Benchmark name.
     pub app: String,
@@ -297,6 +298,46 @@ pub struct RunReport {
     /// Excluded from [`digest`](RunReport::digest) so tracing has
     /// zero observer effect on the determinism fingerprint.
     pub trace: Option<TraceMetrics>,
+    /// Adaptive prefetch engine tallies; `None` unless the run's
+    /// [`AdaptiveConfig`](crate::AdaptiveConfig) is enabled, and
+    /// hidden from the Debug rendering (hence from
+    /// [`digest`](RunReport::digest)) while `None`, so pre-adaptive
+    /// pinned digests are untouched.
+    pub adaptive: Option<AdaptiveStats>,
+}
+
+// Hand-written to replicate the derive exactly, except that the
+// `adaptive` field only renders when present: the digest is FNV over
+// the Debug text, and disabled-adaptive runs must stay byte-identical
+// to reports from before the field existed.
+impl fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("RunReport");
+        s.field("app", &self.app)
+            .field("config", &self.config)
+            .field("total_time", &self.total_time)
+            .field("node_breakdowns", &self.node_breakdowns)
+            .field("breakdown", &self.breakdown)
+            .field("verified", &self.verified)
+            .field("net", &self.net)
+            .field("misses", &self.misses)
+            .field("locks", &self.locks)
+            .field("barriers", &self.barriers)
+            .field("prefetch", &self.prefetch)
+            .field("mt", &self.mt)
+            .field("transport", &self.transport)
+            .field("fault_injection", &self.fault_injection)
+            .field("recovery", &self.recovery)
+            .field("gc_passes", &self.gc_passes)
+            .field("directory", &self.directory)
+            .field("events_processed", &self.events_processed)
+            .field("oracle", &self.oracle)
+            .field("trace", &self.trace);
+        if self.adaptive.is_some() {
+            s.field("adaptive", &self.adaptive);
+        }
+        s.finish()
+    }
 }
 
 impl RunReport {
@@ -345,7 +386,8 @@ impl RunReport {
             && r.crashes == 0
             && r.suspicions == 0
             && r.partitions == 0
-            && !dir_active;
+            && !dir_active
+            && !self.config.prefetch.adaptive.enabled;
         if quiet {
             return None;
         }
@@ -414,6 +456,22 @@ impl RunReport {
                 "; persist: {} bytes, {} flushes, {} fences, \
                  {} torn discarded, {} slot fallbacks",
                 r.persist_bytes, r.flushes, r.fences, r.torn_discards, r.slot_fallbacks,
+            )
+            .expect("write to String");
+        }
+        // Gated on the config switch, not the counters: runs without
+        // the adaptive engine must emit the exact pre-adaptive line.
+        if self.config.prefetch.adaptive.enabled {
+            let a = self.adaptive.unwrap_or_default();
+            write!(
+                line,
+                "; adaptive: {} strides, {} flips, \
+                 {} throttle transitions, {} issued, {} cancelled",
+                a.detected_strides,
+                a.window_flips,
+                a.throttle_transitions(),
+                a.issued,
+                a.cancelled,
             )
             .expect("write to String");
         }

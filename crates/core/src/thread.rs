@@ -28,6 +28,13 @@ impl ThreadId {
     pub fn node(self, threads_per_node: usize) -> NodeId {
         self.0 / threads_per_node
     }
+
+    /// Position among the sibling threads of its node — the per-node
+    /// stream index the adaptive prefetcher keys its stride detectors
+    /// by (each sibling's fault stream is watched independently).
+    pub fn local_index(self, threads_per_node: usize) -> usize {
+        self.0 % threads_per_node
+    }
 }
 
 /// Why a thread is blocked; determines idle attribution and whether a
@@ -157,6 +164,9 @@ mod tests {
         assert_eq!(ThreadId(4).node(4), 1);
         assert_eq!(ThreadId(7).node(1), 7);
         assert_eq!(ThreadId(5).index(), 5);
+        assert_eq!(ThreadId(0).local_index(4), 0);
+        assert_eq!(ThreadId(3).local_index(4), 3);
+        assert_eq!(ThreadId(6).local_index(4), 2);
     }
 
     #[test]

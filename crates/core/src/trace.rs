@@ -76,6 +76,10 @@ pub mod kind {
     pub const ACK: u8 = 11;
     /// Idle-link heartbeat frame.
     pub const HEARTBEAT: u8 = 12;
+    /// Prefetch request issued by the adaptive stride engine.
+    pub const ADAPTIVE_REQUEST: u8 = 13;
+    /// Reply to an adaptive prefetch request.
+    pub const ADAPTIVE_REPLY: u8 = 14;
 }
 
 /// Human-readable label for a message-class code.
@@ -94,6 +98,8 @@ pub fn kind_label(code: u8) -> &'static str {
         kind::RECOVERY_START => "recovery_start",
         kind::ACK => "ack",
         kind::HEARTBEAT => "heartbeat",
+        kind::ADAPTIVE_REQUEST => "adaptive_request",
+        kind::ADAPTIVE_REPLY => "adaptive_reply",
         _ => "unknown",
     }
 }
@@ -294,6 +300,27 @@ pub enum TraceEvent {
         /// Persisted bytes (segmented payload plus commit record).
         bytes: u32,
     },
+    /// The adaptive engine's detector found (or flipped to) a
+    /// majority stride on this thread's fault stream; `cause` links
+    /// the [`TraceEvent::FaultBegin`] that completed the majority.
+    AdaptiveDetect {
+        /// The faulting page that triggered the detection.
+        page: u32,
+        /// The detected stride, in pages (may be negative).
+        stride: i32,
+    },
+    /// The adaptive throttle controller changed its operating point;
+    /// `cause` links the [`TraceEvent::FaultBegin`] whose
+    /// classification closed the evaluation window.
+    AdaptiveThrottle {
+        /// Transition code (`ThrottleChange::code`): 0 ramp, 1
+        /// deepen, 2 backoff, 3 suppress, 4 resume.
+        change: u8,
+        /// Degree (pages per detecting fault) after the transition.
+        degree: u32,
+        /// Lead (look-ahead multiplier) after the transition.
+        lead: u32,
+    },
 }
 
 impl TraceEvent {
@@ -327,6 +354,8 @@ impl TraceEvent {
             TraceEvent::PartitionHeal => 24,
             TraceEvent::PartitionRejoin => 25,
             TraceEvent::PersistCommit { .. } => 26,
+            TraceEvent::AdaptiveDetect { .. } => 27,
+            TraceEvent::AdaptiveThrottle { .. } => 28,
         }
     }
 
@@ -352,8 +381,10 @@ impl TraceEvent {
             | TraceEvent::ConfirmDown { .. } => 4,
             TraceEvent::BarrierRelease { .. }
             | TraceEvent::CheckpointTaken { .. }
-            | TraceEvent::PersistCommit { .. } => 8,
+            | TraceEvent::PersistCommit { .. }
+            | TraceEvent::AdaptiveDetect { .. } => 8,
             TraceEvent::PrefetchDrop { .. } => 5,
+            TraceEvent::AdaptiveThrottle { .. } => 9,
             TraceEvent::TransportRetry { .. } => 20,
             TraceEvent::Crash { .. } => 1,
             TraceEvent::Restart
@@ -393,6 +424,8 @@ impl TraceEvent {
             TraceEvent::PartitionHeal => "partition_heal",
             TraceEvent::PartitionRejoin => "partition_rejoin",
             TraceEvent::PersistCommit { .. } => "persist_commit",
+            TraceEvent::AdaptiveDetect { .. } => "adaptive_detect",
+            TraceEvent::AdaptiveThrottle { .. } => "adaptive_throttle",
         }
     }
 }
@@ -620,6 +653,19 @@ impl Trace {
                     put_u32(&mut out, *epoch);
                     put_u32(&mut out, *bytes);
                 }
+                TraceEvent::AdaptiveDetect { page, stride } => {
+                    put_u32(&mut out, *page);
+                    put_u32(&mut out, *stride as u32);
+                }
+                TraceEvent::AdaptiveThrottle {
+                    change,
+                    degree,
+                    lead,
+                } => {
+                    put_u8(&mut out, *change);
+                    put_u32(&mut out, *degree);
+                    put_u32(&mut out, *lead);
+                }
             }
         }
         out
@@ -729,6 +775,15 @@ impl Trace {
                 26 => TraceEvent::PersistCommit {
                     epoch: c.u32()?,
                     bytes: c.u32()?,
+                },
+                27 => TraceEvent::AdaptiveDetect {
+                    page: c.u32()?,
+                    stride: c.u32()? as i32,
+                },
+                28 => TraceEvent::AdaptiveThrottle {
+                    change: c.u8()?,
+                    degree: c.u32()?,
+                    lead: c.u32()?,
                 },
                 _ => return Err(TraceError::Corrupt("unknown event tag")),
             };
@@ -1345,6 +1400,16 @@ mod tests {
             TraceEvent::PartitionFreeze,
             TraceEvent::PartitionHeal,
             TraceEvent::PartitionRejoin,
+            TraceEvent::PersistCommit { epoch: 1, bytes: 2 },
+            TraceEvent::AdaptiveDetect {
+                page: 1,
+                stride: -3,
+            },
+            TraceEvent::AdaptiveThrottle {
+                change: 2,
+                degree: 4,
+                lead: 1,
+            },
         ];
         for event in events {
             let t = Trace {

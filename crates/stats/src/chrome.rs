@@ -125,6 +125,19 @@ fn args_of(event: &TraceEvent, out: &mut String) {
         | TraceEvent::PersistCommit { epoch, bytes } => {
             let _ = write!(out, ",\"epoch\":{epoch},\"bytes\":{bytes}");
         }
+        TraceEvent::AdaptiveDetect { page, stride } => {
+            let _ = write!(out, ",\"page\":{page},\"stride\":{stride}");
+        }
+        TraceEvent::AdaptiveThrottle {
+            change,
+            degree,
+            lead,
+        } => {
+            let _ = write!(
+                out,
+                ",\"change\":{change},\"degree\":{degree},\"lead\":{lead}"
+            );
+        }
     }
 }
 

@@ -13,7 +13,8 @@
 
 use rsdsm::apps::{Benchmark, Scale};
 use rsdsm::core::{
-    DsmConfig, FaultPlan, NodeCrash, Partition, QueueBackend, RecoveryConfig, TransportConfig,
+    AdaptiveConfig, DsmConfig, FaultPlan, NodeCrash, Partition, PrefetchConfig, QueueBackend,
+    RecoveryConfig, TransportConfig,
 };
 use rsdsm::oracle::Technique;
 use rsdsm::simnet::{SimDuration, SimTime};
@@ -94,6 +95,20 @@ fn grid() -> Vec<Cell> {
         bench: Benchmark::Radix,
         cfg: cut,
     });
+    // Adaptive-prefetch cells: the stride detectors, throttle
+    // controllers, and too-late joins are per-node state inside the
+    // cell, so they must be as worker-count- and backend-blind as
+    // everything else.
+    cells.push(Cell {
+        label: "FFT [A]".into(),
+        bench: Benchmark::Fft,
+        cfg: base(4).with_prefetch(PrefetchConfig::adaptive()),
+    });
+    cells.push(Cell {
+        label: "RADIX [A+P]".into(),
+        bench: Benchmark::Radix,
+        cfg: base(4).with_prefetch(PrefetchConfig::adaptive_static()),
+    });
     cells
 }
 
@@ -168,6 +183,49 @@ fn digests_on(backend: QueueBackend) -> Vec<(String, u64, u64, usize)> {
         })
         .collect();
     pool::run(4, tasks)
+}
+
+/// Observer-freedom of the adaptive machinery, pinned at the byte
+/// level: a run whose `AdaptiveConfig` is disabled must produce a
+/// report that is textually identical — and therefore
+/// digest-identical — to one from a build that never had the adaptive
+/// module, no matter how the disabled config was arrived at. The
+/// absolute digest below anchors that to the pre-adaptive history;
+/// the Debug-text check catches the field ever leaking into the
+/// rendering while `None`.
+#[test]
+fn disabled_adaptive_is_byte_transparent() {
+    let plain = Benchmark::Radix
+        .run(Scale::Test, base(4))
+        .expect("plain RADIX");
+    // Same run, but with the adaptive knob explicitly constructed and
+    // switched off rather than defaulted.
+    let toggled = Benchmark::Radix
+        .run(
+            Scale::Test,
+            base(4).with_prefetch(PrefetchConfig {
+                adaptive: AdaptiveConfig::off(),
+                ..PrefetchConfig::off()
+            }),
+        )
+        .expect("toggled RADIX");
+    assert_eq!(plain.digest(), toggled.digest());
+    let text = format!("{plain:?}");
+    assert!(
+        !text.contains("adaptive"),
+        "disabled adaptive state leaked into the report rendering"
+    );
+    assert!(plain.adaptive.is_none());
+    // And an enabled run renders it, so the gate is the config, not a
+    // dead field.
+    let on = Benchmark::Radix
+        .run(
+            Scale::Test,
+            base(4).with_prefetch(PrefetchConfig::adaptive()),
+        )
+        .expect("adaptive RADIX");
+    assert!(format!("{on:?}").contains("adaptive"));
+    assert_ne!(on.digest(), plain.digest());
 }
 
 /// The timing-wheel queue and the binary-heap reference produce
